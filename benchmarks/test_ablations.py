@@ -1,0 +1,44 @@
+"""Design-choice ablations (DESIGN.md's ablation index).
+
+* ``abl`` — one table comparing the paper's VDM rules against three
+  alternates: prefer-Case-II, random-Case-III selection, and
+  reconnect-at-source;
+* ``abl_refine_period`` — the VDM-R period sweep (Section 5.4.5 suggests
+  it as future work: "additional experiments could be done to understand
+  the effect of frequency of refinement messages").
+"""
+
+import numpy as np
+
+
+def test_ablation_design_choices(figure_bench, expect_shape):
+    table = figure_bench("abl")
+    # Metric index 4 is reconnect_s (see the table title).
+    names = {s.name for s in table.series}
+    assert names == {
+        "paper-default",
+        "prefer-case2",
+        "random-case3",
+        "reconnect-at-source",
+    }
+    default = table.get("paper-default").means()
+    source_restart = table.get("reconnect-at-source").means()
+    # Grandparent restart (the paper's rule) must not be slower than the
+    # source-restart alternative on reconnection time (index 4).
+    expect_shape(
+        default[4] <= source_restart[4] * 1.25,
+        "grandparent restart should not be slower than source restart",
+    )
+
+
+def test_ablation_refine_period(figure_bench, expect_shape):
+    table = figure_bench("abl_refine_period")
+    overhead = table.get("overhead_pct").means()
+    # Faster refinement costs more overhead: the 60 s point must be the
+    # most expensive.
+    expect_shape(
+        overhead[0] >= max(overhead[1:]) * 0.9,
+        "the fastest refinement period should cost the most overhead",
+    )
+    stretch = table.get("stretch").means()
+    assert all(v > 0 for v in stretch)

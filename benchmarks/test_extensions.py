@@ -1,0 +1,29 @@
+"""Extension benches: experiments beyond the paper, from its future-work
+list (bandwidth-derived degrees / free riders) and related-work chapter
+(SplitStream-style striping)."""
+
+import numpy as np
+
+
+def test_ext_free_riders(figure_bench, expect_shape):
+    table = figure_bench("ext_free_riders")
+    stretch = table.get("stretch").means()
+    hopcount = table.get("hopcount").means()
+    assert all(v > 0 for v in stretch + hopcount)
+    expect_shape(
+        hopcount[-1] >= hopcount[0] * 0.95,
+        "free riders should deepen the tree (fewer forwarding slots)",
+    )
+
+
+def test_ext_striping(figure_bench, expect_shape):
+    table = figure_bench("ext_striping")
+    continuity = table.get("continuity").means()
+    quality = table.get("full_quality").means()
+    # Hard invariants: both are fractions; continuity dominates quality.
+    assert all(0.0 <= v <= 1.0 + 1e-9 for v in continuity + quality)
+    assert all(c >= q - 1e-9 for c, q in zip(continuity, quality))
+    expect_shape(
+        continuity[-1] >= continuity[0] - 0.02,
+        "striping should hold or improve continuity under churn",
+    )

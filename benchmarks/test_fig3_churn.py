@@ -1,0 +1,62 @@
+"""Figs 3.25-3.28: stress, stretch, loss, and overhead vs churn rate.
+
+The paper's headline simulation comparison (VDM vs HMTP on a transit-stub
+underlay, churn 1-10% per 400 s slot).  Expected relationships:
+
+* stress: both protocols close, roughly flat in churn (Fig 3.25);
+* stretch: VDM clearly below HMTP (Fig 3.26; paper: ~7 vs ~12);
+* loss: VDM below HMTP, both rising with churn (Fig 3.27);
+* overhead: linear in churn, VDM below HMTP (Fig 3.28).
+"""
+
+
+def test_fig3_25_stress_vs_churn(figure_bench, expect_shape):
+    table = figure_bench("fig3_25")
+    vdm = table.get("VDM").means()
+    hmtp = table.get("HMTP").means()
+    # Hard sanity: stress is at least 1 by construction.
+    assert all(v >= 1.0 for v in vdm + hmtp)
+    expect_shape(
+        all(v <= 4.0 for v in vdm + hmtp),
+        "stress should sit in the paper's ~1.4-2.5 band",
+    )
+    expect_shape(
+        max(vdm) <= 1.5 * min(vdm),
+        "VDM stress should be roughly flat in churn",
+    )
+
+
+def test_fig3_26_stretch_vs_churn(figure_bench, expect_shape):
+    table = figure_bench("fig3_26")
+    vdm = table.get("VDM").means()
+    hmtp = table.get("HMTP").means()
+    assert all(v > 0 for v in vdm + hmtp)
+    expect_shape(
+        sum(v < h for v, h in zip(vdm, hmtp)) >= len(vdm) - 1,
+        "VDM stretch should beat HMTP across churn rates",
+    )
+
+
+def test_fig3_27_loss_vs_churn(figure_bench, expect_shape):
+    table = figure_bench("fig3_27")
+    vdm = table.get("VDM").means()
+    hmtp = table.get("HMTP").means()
+    assert all(0 <= v <= 100 for v in vdm + hmtp)
+    expect_shape(vdm[-1] >= vdm[0], "VDM loss should rise with churn")
+    expect_shape(hmtp[-1] >= hmtp[0], "HMTP loss should rise with churn")
+    expect_shape(
+        vdm[-1] < hmtp[-1],
+        "grandparent reconnection should keep VDM loss below HMTP at high churn",
+    )
+
+
+def test_fig3_28_overhead_vs_churn(figure_bench, expect_shape):
+    table = figure_bench("fig3_28")
+    vdm = table.get("VDM").means()
+    hmtp = table.get("HMTP").means()
+    assert all(v >= 0 for v in vdm + hmtp)
+    expect_shape(
+        all(v < h for v, h in zip(vdm, hmtp)),
+        "VDM overhead should stay below HMTP (refinement messaging)",
+    )
+    expect_shape(vdm[-1] > vdm[0], "overhead should rise with churn")

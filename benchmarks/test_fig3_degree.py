@@ -1,0 +1,51 @@
+"""Figs 3.33-3.36: VDM's four metrics vs average node degree.
+
+Paper shapes: stress roughly flat; stretch falls steeply until degree ~5
+then flattens (VDM deliberately stops exploiting extra degree); loss falls
+with degree then fluctuates; overhead is U-shaped.
+"""
+
+
+def test_fig3_33_stress_vs_degree(figure_bench, expect_shape):
+    table = figure_bench("fig3_33")
+    vals = table.get("VDM").means()
+    assert all(v >= 1.0 for v in vals)
+    expect_shape(
+        max(vals) <= 2.5 * min(vals),
+        "stress should be roughly flat in degree",
+    )
+
+
+def test_fig3_34_stretch_vs_degree(figure_bench, expect_shape):
+    table = figure_bench("fig3_34")
+    vals = table.get("VDM").means()
+    assert all(v > 0 for v in vals)
+    expect_shape(
+        vals[0] >= max(vals[1:]) * 0.9,
+        "degree-starved trees should have the worst stretch",
+    )
+    right = vals[len(vals) // 2 :]
+    expect_shape(
+        max(right) - min(right) <= vals[0] - min(vals) + 1e-9,
+        "stretch should flatten at higher degrees",
+    )
+
+
+def test_fig3_35_loss_vs_degree(figure_bench, expect_shape):
+    table = figure_bench("fig3_35")
+    vals = table.get("VDM").means()
+    assert all(0 <= v <= 100 for v in vals)
+    expect_shape(
+        min(vals[1:]) <= vals[0] + 0.05,
+        "loss should not be best at the degree-starved end",
+    )
+
+
+def test_fig3_36_overhead_vs_degree(figure_bench, expect_shape):
+    table = figure_bench("fig3_36")
+    vals = table.get("VDM").means()
+    assert all(v >= 0 for v in vals)
+    expect_shape(
+        vals[0] >= min(vals),
+        "low degree should cost extra join iterations (overhead)",
+    )

@@ -1,0 +1,39 @@
+"""Figs 3.29-3.32: VDM's four metrics as the population grows.
+
+Paper shapes: everything rises with N, but sub-linearly (the scalability
+argument — stress 1.3 -> 1.8 over 100 -> 1000 nodes, logarithmic stretch
+growth, diminishing overhead increments).
+"""
+
+
+def test_fig3_29_stress_vs_nodes(figure_bench, expect_shape):
+    table = figure_bench("fig3_29")
+    vals = table.get("VDM").means()
+    assert all(v >= 1.0 for v in vals)
+    expect_shape(vals[-1] >= vals[0], "stress should rise with N")
+    expect_shape(
+        vals[-1] < 2.5 * vals[0], "stress growth should be sub-linear"
+    )
+
+
+def test_fig3_30_stretch_vs_nodes(figure_bench, expect_shape):
+    table = figure_bench("fig3_30")
+    vals = table.get("VDM").means()
+    assert all(v > 0 for v in vals)
+    expect_shape(vals[-1] >= vals[0], "stretch should rise with N")
+
+
+def test_fig3_31_loss_vs_nodes(figure_bench, expect_shape):
+    table = figure_bench("fig3_31")
+    vals = table.get("VDM").means()
+    assert all(0 <= v <= 100 for v in vals)
+    expect_shape(
+        vals[-1] >= vals[0] - 0.05,
+        "deeper trees (larger N) should not lose less",
+    )
+
+
+def test_fig3_32_overhead_vs_nodes(figure_bench):
+    table = figure_bench("fig3_32")
+    vals = table.get("VDM").means()
+    assert all(v >= 0 for v in vals)

@@ -1,0 +1,87 @@
+"""Figs 5.7-5.13: PlanetLab emulation, VDM vs HMTP across churn rates.
+
+Expected relationships (Section 5.4.2):
+
+* startup time churn-independent, HMTP's slightly higher (5.7);
+* reconnection faster than startup; VDM (grandparent restart) beats
+  HMTP (root restart) (5.8);
+* stretch ~1.6 vs ~1.9, hopcount ~4.5 vs ~5.5 (5.9, 5.10);
+* loss rises with churn, VDM lower (5.12);
+* overhead: HMTP far above VDM — its 30 s refinement messaging (5.13).
+
+Fig 5.11 (resource usage): the paper reports VDM below HMTP; this
+reproduction measures the opposite ordering — see EXPERIMENTS.md for the
+analysis — so the bench asserts only sanity bounds there.
+"""
+
+import numpy as np
+
+
+def test_fig5_7_startup_vs_churn(figure_bench, expect_shape):
+    table = figure_bench("fig5_7")
+    vdm = table.get("VDM").means()
+    hmtp = table.get("HMTP").means()
+    assert all(0 < v < 10.0 for v in vdm + hmtp)
+    expect_shape(
+        max(vdm) <= 3.0 * min(vdm) + 0.2,
+        "startup time should be churn-independent",
+    )
+
+
+def test_fig5_8_reconnection_vs_churn(figure_bench, expect_shape):
+    table = figure_bench("fig5_8")
+    recon_vdm = np.mean(table.get("VDM").means())
+    recon_hmtp = np.mean(table.get("HMTP").means())
+    assert recon_vdm >= 0 and recon_hmtp >= 0
+    expect_shape(
+        recon_vdm < recon_hmtp,
+        "grandparent restart should beat HMTP's root restart",
+    )
+
+
+def test_fig5_9_stretch_vs_churn(figure_bench, expect_shape):
+    table = figure_bench("fig5_9")
+    vdm = np.mean(table.get("VDM").means())
+    hmtp = np.mean(table.get("HMTP").means())
+    expect_shape(1.0 <= vdm <= 3.0, "VDM stretch should sit near the paper's ~1.6")
+    expect_shape(vdm <= hmtp * 1.1, "VDM stretch should not exceed HMTP's")
+
+
+def test_fig5_10_hopcount_vs_churn(figure_bench, expect_shape):
+    table = figure_bench("fig5_10")
+    vdm = np.mean(table.get("VDM").means())
+    hmtp = np.mean(table.get("HMTP").means())
+    assert vdm > 0 and hmtp > 0
+    expect_shape(
+        vdm < hmtp * 1.05,
+        "VDM's Case II inserts should keep the tree at least as shallow",
+    )
+
+
+def test_fig5_11_usage_vs_churn(figure_bench):
+    table = figure_bench("fig5_11")
+    for series in table.series:
+        assert all(0 < v < 3.0 for v in series.means())
+
+
+def test_fig5_12_loss_vs_churn(figure_bench, expect_shape):
+    table = figure_bench("fig5_12")
+    vdm = table.get("VDM").means()
+    hmtp = table.get("HMTP").means()
+    assert all(0 <= v <= 100 for v in vdm + hmtp)
+    expect_shape(vdm[-1] >= vdm[0] - 0.01, "loss should rise with churn")
+    expect_shape(
+        np.mean(vdm) <= np.mean(hmtp) + 1e-6,
+        "VDM loss should not exceed HMTP's",
+    )
+
+
+def test_fig5_13_overhead_vs_churn(figure_bench, expect_shape):
+    table = figure_bench("fig5_13")
+    vdm = np.mean(table.get("VDM").means())
+    hmtp = np.mean(table.get("HMTP").means())
+    assert vdm >= 0 and hmtp >= 0
+    expect_shape(
+        hmtp > 5.0 * vdm,
+        "HMTP overhead should dwarf VDM's (30 s refinement)",
+    )

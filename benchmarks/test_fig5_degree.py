@@ -1,0 +1,76 @@
+"""Figs 5.21-5.27: PlanetLab emulation, VDM metrics vs node degree.
+
+The paper's recurring observation: metrics improve with degree until ~5,
+then flatten because VDM deliberately leaves spare degree unused to stay
+close to the MST.
+"""
+
+
+def test_fig5_21_startup_vs_degree(figure_bench, expect_shape):
+    table = figure_bench("fig5_21")
+    avg = table.get("startup_s").means()
+    assert all(v > 0 for v in avg)
+    expect_shape(
+        avg[0] >= min(avg) * 0.95,
+        "degree-2 trees are deepest, so joins take longest there",
+    )
+
+
+def test_fig5_22_reconnection_vs_degree(figure_bench, expect_shape):
+    table = figure_bench("fig5_22")
+    avg = table.get("reconnect_s").means()
+    assert all(v >= 0 for v in avg)
+    expect_shape(
+        max(avg) <= 5.0 * max(min(avg), 0.02),
+        "reconnection should not depend on degree",
+    )
+
+
+def test_fig5_23_stretch_vs_degree(figure_bench, expect_shape):
+    table = figure_bench("fig5_23")
+    avg = table.get("stretch").means()
+    assert all(v > 0 for v in avg)
+    expect_shape(
+        avg[0] >= avg[-1] * 0.95,
+        "stretch should fall (or hold) from the degree-starved end",
+    )
+    right = avg[len(avg) // 2 :]
+    expect_shape(
+        max(right) - min(right) <= max(avg) - min(avg) + 1e-9,
+        "stretch should flatten at higher degrees",
+    )
+
+
+def test_fig5_24_hopcount_vs_degree(figure_bench, expect_shape):
+    table = figure_bench("fig5_24")
+    avg = table.get("hopcount").means()
+    expect_shape(
+        avg[0] == max(avg), "the deepest tree should be at the smallest degree"
+    )
+    expect_shape(avg[-1] <= avg[0], "hopcount should improve with degree")
+
+
+def test_fig5_25_usage_vs_degree(figure_bench):
+    table = figure_bench("fig5_25")
+    vals = table.get("usage").means()
+    assert all(0 < v < 3.0 for v in vals)
+
+
+def test_fig5_26_loss_vs_degree(figure_bench, expect_shape):
+    table = figure_bench("fig5_26")
+    vals = table.get("loss_pct").means()
+    assert all(0 <= v <= 100 for v in vals)
+    expect_shape(
+        min(vals[1:]) <= vals[0] + 0.05,
+        "deeper (degree-starved) trees should lose at least as much",
+    )
+
+
+def test_fig5_27_overhead_vs_degree(figure_bench, expect_shape):
+    table = figure_bench("fig5_27")
+    vals = table.get("overhead_pct").means()
+    assert all(v >= 0 for v in vals)
+    expect_shape(
+        vals[0] >= min(vals),
+        "extra join iterations at degree 2 should show up as overhead",
+    )

@@ -1,0 +1,66 @@
+"""Figs 5.14-5.20: PlanetLab emulation, VDM metrics vs number of nodes."""
+
+import numpy as np
+
+
+def test_fig5_14_startup_vs_nodes(figure_bench, expect_shape):
+    table = figure_bench("fig5_14")
+    avg = table.get("startup_s").means()
+    mx = table.get("startup_max_s").means()
+    assert all(v > 0 for v in avg)
+    expect_shape(
+        avg[-1] >= avg[0] * 0.8,
+        "startup should grow (or hold) with N — more probes per join",
+    )
+    assert all(m >= a for a, m in zip(avg, mx))
+
+
+def test_fig5_15_reconnection_vs_nodes(figure_bench, expect_shape):
+    table = figure_bench("fig5_15")
+    avg = table.get("reconnect_s").means()
+    assert all(v >= 0 for v in avg)
+    expect_shape(
+        max(avg) <= 4.0 * max(min(avg), 0.02),
+        "grandparent restart should be N-independent",
+    )
+
+
+def test_fig5_16_stretch_vs_nodes(figure_bench, expect_shape):
+    table = figure_bench("fig5_16")
+    mins = table.get("stretch_min").means()
+    avgs = table.get("stretch").means()
+    leaf = table.get("stretch_leaf").means()
+    maxs = table.get("stretch_max").means()
+    for lo, a, lf, hi in zip(mins, avgs, leaf, maxs):
+        assert lo <= a <= hi
+        assert lf <= hi
+    expect_shape(
+        np.mean(leaf) >= np.mean(avgs) * 0.9,
+        "leaf nodes should sit at or beyond the average stretch",
+    )
+
+
+def test_fig5_17_hopcount_vs_nodes(figure_bench, expect_shape):
+    table = figure_bench("fig5_17")
+    avg = table.get("hopcount").means()
+    mx = table.get("hopcount_max").means()
+    expect_shape(avg[-1] > avg[0], "hopcount should grow with N")
+    assert all(m >= a for a, m in zip(avg, mx))
+
+
+def test_fig5_18_usage_vs_nodes(figure_bench):
+    table = figure_bench("fig5_18")
+    vals = table.get("usage").means()
+    assert all(0 < v < 3.0 for v in vals)
+
+
+def test_fig5_19_loss_vs_nodes(figure_bench):
+    table = figure_bench("fig5_19")
+    vals = table.get("loss_pct").means()
+    assert all(0 <= v <= 100 for v in vals)
+
+
+def test_fig5_20_overhead_vs_nodes(figure_bench):
+    table = figure_bench("fig5_20")
+    vals = table.get("overhead_pct").means()
+    assert all(v > 0 for v in vals)

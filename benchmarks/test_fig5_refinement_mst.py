@@ -1,0 +1,50 @@
+"""Figs 5.28-5.31: refinement component and the MST comparison.
+
+* 5.28/5.29 — VDM-R (5-minute refinement) improves stretch (~10% in the
+  paper) and hopcount over plain VDM;
+* 5.30 — the cost: VDM-R's overhead exceeds plain VDM's;
+* 5.31 — without degree limits, VDM's tree cost stays within ~2x of the
+  exact MST and grows mildly with N.
+"""
+
+import numpy as np
+
+
+def test_fig5_28_refinement_stretch(figure_bench, expect_shape):
+    table = figure_bench("fig5_28")
+    plain = np.mean(table.get("VDM").means())
+    refined = np.mean(table.get("VDM-R").means())
+    assert plain > 0 and refined > 0
+    expect_shape(
+        refined <= plain * 1.05,
+        "refinement should not hurt stretch (paper: ~10% better)",
+    )
+
+
+def test_fig5_29_refinement_hopcount(figure_bench, expect_shape):
+    table = figure_bench("fig5_29")
+    plain = np.mean(table.get("VDM").means())
+    refined = np.mean(table.get("VDM-R").means())
+    assert plain > 0 and refined > 0
+    expect_shape(
+        refined <= plain * 1.05,
+        "refinement should balance the tree (lower hopcount)",
+    )
+
+
+def test_fig5_30_refinement_overhead(figure_bench, expect_shape):
+    table = figure_bench("fig5_30")
+    plain = np.mean(table.get("VDM").means())
+    refined = np.mean(table.get("VDM-R").means())
+    expect_shape(
+        refined > plain, "refinement messaging must cost overhead"
+    )
+
+
+def test_fig5_31_mst_ratio(figure_bench, expect_shape):
+    table = figure_bench("fig5_31")
+    ratios = table.get("VDM/MST").means()
+    # Hard invariant: the MST lower-bounds any spanning tree.
+    assert all(r >= 1.0 - 1e-9 for r in ratios)
+    expect_shape(max(ratios) < 2.6, "the tree should stay 'not far from MST'")
+    expect_shape(ratios[-1] >= ratios[0] * 0.8, "ratio should grow mildly with N")

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: build a VDM overlay multicast tree and inspect it.
+
+Builds a small transit-stub underlay (the paper's Chapter 3 substrate at
+toy scale), runs one multicast session where 20 peers join a live stream,
+and prints the resulting tree plus the paper's four core metrics.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    MulticastSession,
+    SessionConfig,
+    vdm,
+)
+from repro.harness.substrates import build_transit_stub_underlay
+from repro.topology.transit_stub import TransitStubConfig
+
+
+def main() -> None:
+    # 1. A router-level underlay: 120 routers in a transit-stub hierarchy,
+    #    with 50 end hosts attached at stub routers.
+    underlay = build_transit_stub_underlay(
+        n_hosts=50,
+        seed=7,
+        ts_config=TransitStubConfig(
+            total_nodes=120,
+            transit_domains=2,
+            transit_nodes_per_domain=4,
+            stub_domains_per_transit=2,
+        ),
+    )
+
+    # 2. A multicast session: 20 peers join over the first 300 s, stream
+    #    for 1000 s total, no churn.  Each peer can feed 2-4 children.
+    config = SessionConfig(
+        n_nodes=20,
+        degree=(2, 4),
+        join_phase_s=300.0,
+        total_s=1000.0,
+        churn_rate=0.0,
+        chunk_rate=10.0,  # 10 video chunks per second
+        seed=42,
+    )
+    session = MulticastSession(underlay, vdm(), config)
+    result = session.run()
+
+    # 3. The tree.
+    tree = result.runtime.tree
+    print(f"source: host {tree.source}")
+    print("overlay tree (indent = depth):")
+
+    def walk(node: int, depth: int) -> None:
+        rtt = (
+            f"  [{underlay.rtt_ms(tree.parent[node], node):.1f} ms from parent]"
+            if tree.parent.get(node) is not None
+            else ""
+        )
+        print("  " * depth + f"host {node}{rtt}")
+        for child in sorted(tree.children.get(node, ())):
+            walk(child, depth + 1)
+
+    walk(tree.source, 0)
+
+    # 4. The paper's metrics for this tree.
+    final = result.final
+    print()
+    print(f"members reachable : {final.n_reachable}")
+    print(f"stress (eq. 3.4)  : {final.stress.average:.2f} "
+          f"(max {final.stress.maximum} copies on one link)")
+    print(f"stretch (eq. 3.5) : {final.stretch.average:.2f} "
+          f"(worst {final.stretch.maximum:.2f})")
+    print(f"mean hopcount     : {final.hopcount.average:.2f}")
+    print(f"avg startup time  : {sum(result.startup_times()) / len(result.startup_times()):.3f} s")
+    print(f"control messages  : {result.runtime.total_control_messages}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""What the viewer sees: playout buffers over VDM vs HMTP under churn.
+
+The paper's network metrics (loss, reconnection time) matter because
+they become *startup waits* and *playback stalls* on the screen.  This
+example (built on the repository's viewer-experience extension, see the
+paper's future-work section about sending real video) runs a churning
+session under both protocols, feeds each viewer's chunk-arrival timeline
+through a playout buffer, and reports the screen-level outcome for two
+buffer sizes.
+
+Run:
+    python examples/viewer_experience.py
+"""
+
+import numpy as np
+
+from repro import MulticastSession, SessionConfig, hmtp, vdm
+from repro.harness.substrates import build_planetlab_underlay
+from repro.streaming import session_experience, summarize_experience
+
+
+def main() -> None:
+    substrate = build_planetlab_underlay(n_select=50, seed=17, n_us=90)
+
+    results = {}
+    for name, factory in [("VDM", vdm()), ("HMTP", hmtp())]:
+        config = SessionConfig(
+            n_nodes=49,
+            degree=4,
+            join_phase_s=800.0,
+            total_s=4000.0,
+            slot_s=400.0,
+            settle_s=100.0,
+            churn_rate=0.10,
+            chunk_rate=10.0,
+            seed=6,
+            source_host=substrate.source,
+            source_degree=4,
+            measurement_noise_sigma=0.1,
+        )
+        results[name] = MulticastSession(
+            substrate.underlay, factory, config
+        ).run()
+
+    print("50-viewer live stream, 10% churn per 400 s slot\n")
+    for buffer_s, label in [(0.5, "tight 0.5 s buffer"), (4.0, "roomy 4 s buffer")]:
+        print(f"=== {label} ===")
+        header = (
+            f"{'protocol':<8}{'startup s':>11}{'stalls/viewer':>15}"
+            f"{'stall s/viewer':>16}{'clean viewers':>15}"
+        )
+        print(header)
+        for name, result in results.items():
+            qoe = session_experience(
+                result,
+                startup_target_s=buffer_s,
+                rebuffer_target_s=buffer_s / 2,
+            )
+            s = summarize_experience(qoe)
+            print(
+                f"{name:<8}{s['startup_delay_s']:>11.2f}"
+                f"{s['stall_count']:>15.2f}{s['stall_time_s']:>16.2f}"
+                f"{100 * s['clean_fraction']:>14.0f}%"
+            )
+        print()
+
+    print(
+        "Takeaways: VDM's grandparent reconnection keeps most churn\n"
+        "outages shorter than even the tight buffer, so its viewers\n"
+        "stall less; a roomy buffer hides most remaining outages for\n"
+        "both protocols at the cost of a longer startup wait."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for offline editable installs.
+
+The execution environment has setuptools but no ``wheel`` package, so
+PEP 660 editable installs fail; this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` use the legacy
+develop path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

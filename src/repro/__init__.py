@@ -1,0 +1,136 @@
+"""Virtual Direction Multicast (VDM) for overlay networks.
+
+A from-scratch reproduction of *Virtual Direction Multicast for Overlay
+Networks* (Mercan & Yuksel, 2011): the VDM protocol, the HMTP/BTP/MST
+comparators, a discrete-event network simulator, a GT-ITM-style topology
+generator, a PlanetLab-style emulation substrate, and a benchmark harness
+regenerating every figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import (
+...     MulticastSession, SessionConfig, RouterUnderlay,
+...     generate_transit_stub, vdm,
+... )
+>>> # (see examples/quickstart.py for a complete runnable walkthrough)
+
+Package map
+-----------
+* :mod:`repro.core` — VDM itself: directionality cases, generalized
+  virtual distances, the agent.
+* :mod:`repro.protocols` — shared agent runtime plus HMTP, BTP, MST.
+* :mod:`repro.sim` — event engine, underlays, delivery accounting,
+  churn, session orchestration.
+* :mod:`repro.topology` — transit-stub and PlanetLab-like substrates.
+* :mod:`repro.metrics` — stress/stretch/loss/overhead and friends.
+* :mod:`repro.planetlab` — scenario-driven controller/agent emulation.
+* :mod:`repro.harness` — per-figure experiment definitions.
+"""
+
+from repro.core import (
+    Case,
+    classify_case,
+    VDMAgent,
+    VDMConfig,
+    DelayDistance,
+    LossDistance,
+    CompositeDistance,
+)
+from repro.factories import (
+    vdm,
+    vdm_r,
+    vdm_loss,
+    hmtp,
+    btp,
+    delay_metric,
+    loss_metric,
+    composite_metric,
+)
+from repro.protocols import (
+    HMTPAgent,
+    HMTPConfig,
+    BTPAgent,
+    BTPConfig,
+    ProtocolRuntime,
+    TreeRegistry,
+    mst_parent_map,
+    degree_constrained_mst,
+)
+from repro.sim import (
+    Simulator,
+    Underlay,
+    RouterUnderlay,
+    MatrixUnderlay,
+    MulticastSession,
+    SessionConfig,
+    SessionResult,
+)
+from repro.topology import (
+    TransitStubConfig,
+    generate_transit_stub,
+    generate_planetlab_pool,
+    assign_link_errors,
+    LinkErrorConfig,
+)
+from repro.core.capacity import UplinkPopulation, degree_from_uplink
+from repro.core.oracle import CachedMetricOracle
+from repro.protocols.multitree import StripedSession, StripeReport
+from repro.streaming import (
+    PlayoutBuffer,
+    ViewerExperience,
+    session_experience,
+    summarize_experience,
+)
+from repro.metrics.treeviz import render_tree_text, tree_to_dot
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Case",
+    "classify_case",
+    "VDMAgent",
+    "VDMConfig",
+    "DelayDistance",
+    "LossDistance",
+    "CompositeDistance",
+    "vdm",
+    "vdm_r",
+    "vdm_loss",
+    "hmtp",
+    "btp",
+    "delay_metric",
+    "loss_metric",
+    "composite_metric",
+    "HMTPAgent",
+    "HMTPConfig",
+    "BTPAgent",
+    "BTPConfig",
+    "ProtocolRuntime",
+    "TreeRegistry",
+    "mst_parent_map",
+    "degree_constrained_mst",
+    "Simulator",
+    "Underlay",
+    "RouterUnderlay",
+    "MatrixUnderlay",
+    "MulticastSession",
+    "SessionConfig",
+    "SessionResult",
+    "TransitStubConfig",
+    "generate_transit_stub",
+    "generate_planetlab_pool",
+    "assign_link_errors",
+    "LinkErrorConfig",
+    "UplinkPopulation",
+    "degree_from_uplink",
+    "CachedMetricOracle",
+    "StripedSession",
+    "StripeReport",
+    "PlayoutBuffer",
+    "ViewerExperience",
+    "session_experience",
+    "summarize_experience",
+    "render_tree_text",
+    "tree_to_dot",
+    "__version__",
+]

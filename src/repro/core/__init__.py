@@ -1,0 +1,31 @@
+"""Virtual Direction Multicast — the paper's contribution.
+
+* :mod:`repro.core.cases` — the 1-D directionality abstraction: classify a
+  (pivot, existing-child, newcomer) triangle into Case I/II/III
+  (Section 3.1.2).
+* :mod:`repro.core.distance` — generalized virtual distances (Chapter 4):
+  delay (VDM-D), loss (VDM-L), and weighted composites.
+* :mod:`repro.core.vdm` — the VDM agent: iterative directional join
+  (Section 3.2), grandparent reconnection (3.3), periodic refinement (3.4).
+"""
+
+from repro.core.cases import Case, classify_case, classify_children
+from repro.core.distance import (
+    DelayDistance,
+    LossDistance,
+    CompositeDistance,
+    VirtualDistance,
+)
+from repro.core.vdm import VDMAgent, VDMConfig
+
+__all__ = [
+    "Case",
+    "classify_case",
+    "classify_children",
+    "DelayDistance",
+    "LossDistance",
+    "CompositeDistance",
+    "VirtualDistance",
+    "VDMAgent",
+    "VDMConfig",
+]

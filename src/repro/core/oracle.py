@@ -1,0 +1,124 @@
+"""Third-party measurement services (the paper's third future-work item).
+
+Measuring loss between two peers takes far longer than an RTT probe —
+"infeasible for quick start up and reconnection" — so the paper proposes
+consuming a measurement *service* (it cites iPlane / iPlane nano): a
+prediction system that serves cached, periodically refreshed estimates.
+
+:class:`CachedMetricOracle` models exactly that around any
+:class:`~repro.core.distance.VirtualDistance`:
+
+* estimates are snapshotted per *epoch* (the service's refresh period)
+  with a configurable estimation error;
+* within an epoch every query returns the same (possibly wrong) value —
+  the defining property of a cached service, as opposed to per-probe
+  noise;
+* a ``coverage`` fraction models pairs the service has no data for,
+  which fall back to a (cheap, always available) RTT scaled estimate.
+
+It is itself a valid session metric, so VDM-L can run on "service data"
+instead of oracle-true loss:
+
+>>> # session = MulticastSession(ul, vdm(), cfg,
+>>> #     metric_factory=lambda u: CachedMetricOracle(LossDistance(u), ...))
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.distance import VirtualDistance
+from repro.util.rngtools import rng_from_seed
+from repro.util.validation import check_positive, check_probability
+
+__all__ = ["CachedMetricOracle"]
+
+
+class CachedMetricOracle:
+    """A cached, epoch-refreshed view of an underlying metric.
+
+    Parameters
+    ----------
+    truth:
+        The metric being estimated (e.g. :class:`LossDistance`).
+    clock:
+        Callable returning the current time in seconds (typically
+        ``lambda: sim.now``); drives epoch rollover.  Defaults to a
+        frozen clock (single epoch) for offline use.
+    refresh_period_s:
+        How often the service refreshes its estimates.
+    error_sigma:
+        Lognormal estimation error applied once per (pair, epoch).
+    coverage:
+        Fraction of pairs the service covers; uncovered pairs use the
+        fallback estimate for the whole run.
+    fallback:
+        Estimate for uncovered pairs, ``f(a, b) -> float``.  Defaults to
+        the truth metric's value scaled by 1.5 (a deliberately crude
+        stand-in for an RTT-derived guess).
+    """
+
+    def __init__(
+        self,
+        truth: VirtualDistance | Callable[[int, int], float],
+        *,
+        clock: Callable[[], float] | None = None,
+        refresh_period_s: float = 600.0,
+        error_sigma: float = 0.2,
+        coverage: float = 1.0,
+        fallback: Callable[[int, int], float] | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        check_positive("refresh_period_s", refresh_period_s)
+        if error_sigma < 0:
+            raise ValueError(f"error_sigma must be >= 0, got {error_sigma}")
+        check_probability("coverage", coverage)
+        self.truth = truth
+        self.clock = clock or (lambda: 0.0)
+        self.refresh_period_s = float(refresh_period_s)
+        self.error_sigma = float(error_sigma)
+        self.coverage = float(coverage)
+        self.fallback = fallback or (lambda a, b: 1.5 * float(truth(a, b)))
+        self._rng = rng_from_seed(seed)
+        self._covered: dict[tuple[int, int], bool] = {}
+        self._cache: dict[tuple[int, int], tuple[int, float]] = {}
+        self.queries = 0
+        self.refreshes = 0
+
+    def _pair(self, a: int, b: int) -> tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    def _is_covered(self, pair: tuple[int, int]) -> bool:
+        if pair not in self._covered:
+            self._covered[pair] = bool(self._rng.random() < self.coverage)
+        return self._covered[pair]
+
+    def current_epoch(self) -> int:
+        return int(self.clock() // self.refresh_period_s)
+
+    def __call__(self, a: int, b: int) -> float:
+        self.queries += 1
+        if a == b:
+            return 0.0
+        pair = self._pair(a, b)
+        if not self._is_covered(pair):
+            return float(self.fallback(a, b))
+        epoch = self.current_epoch()
+        cached = self._cache.get(pair)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        value = float(self.truth(a, b))
+        if self.error_sigma > 0:
+            value *= float(self._rng.lognormal(0.0, self.error_sigma))
+        self._cache[pair] = (epoch, value)
+        self.refreshes += 1
+        return value
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of queries served from cache (or fallback)."""
+        if self.queries == 0:
+            return 0.0
+        return 1.0 - self.refreshes / self.queries

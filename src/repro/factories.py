@@ -1,0 +1,117 @@
+"""Agent factories — the bridge between protocol classes and sessions.
+
+A :class:`~repro.sim.session.MulticastSession` is protocol-agnostic; it
+creates one agent per joining host through a factory with the uniform
+signature ``factory(node_id, env, *, degree_limit, rng)``.  The helpers
+here build such factories for every protocol in the library, with the
+paper's variants as one-liners:
+
+>>> from repro.factories import vdm, vdm_r, vdm_loss, hmtp
+>>> make_vdm = vdm()                  # plain VDM (no refinement)
+>>> make_vdm_r = vdm_r(period_s=300)  # VDM-R, 5-minute refinement
+>>> make_hmtp = hmtp()                # HMTP with its 30 s refinement
+
+The loss-based tree of Chapter 4 (VDM-L) is a *metric* change, not an
+agent change — pass ``metric_factory=loss_metric()`` to the session and
+keep the plain VDM factory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.distance import CompositeDistance, DelayDistance, LossDistance
+from repro.core.vdm import VDMAgent, VDMConfig
+from repro.protocols.base import OverlayAgent, ProtocolRuntime
+from repro.protocols.btp import BTPAgent, BTPConfig
+from repro.protocols.hmtp import HMTPAgent, HMTPConfig
+from repro.sim.network import Underlay
+
+__all__ = [
+    "vdm",
+    "vdm_r",
+    "vdm_loss",
+    "hmtp",
+    "btp",
+    "delay_metric",
+    "loss_metric",
+    "composite_metric",
+]
+
+AgentFactory = Callable[..., OverlayAgent]
+
+
+def vdm(config: VDMConfig | None = None) -> AgentFactory:
+    """Factory for plain VDM agents."""
+    cfg = config or VDMConfig()
+
+    def make(
+        node_id: int, env: ProtocolRuntime, *, degree_limit: int, rng=None
+    ) -> VDMAgent:
+        return VDMAgent(node_id, env, degree_limit=degree_limit, config=cfg, rng=rng)
+
+    return make
+
+
+def vdm_r(period_s: float = 180.0, config: VDMConfig | None = None) -> AgentFactory:
+    """Factory for VDM-R: VDM with periodic refinement armed.
+
+    The paper uses a 3-minute period in simulation (Section 3.4) and a
+    5-minute period on PlanetLab (Section 5.4.5).
+    """
+    import dataclasses
+
+    base = config or VDMConfig()
+    return vdm(dataclasses.replace(base, refine_period_s=period_s))
+
+
+def vdm_loss(config: VDMConfig | None = None) -> AgentFactory:
+    """Alias of :func:`vdm` kept for symmetry: VDM-L = VDM + loss metric.
+
+    Combine with ``metric_factory=loss_metric()`` on the session.
+    """
+    return vdm(config)
+
+
+def hmtp(config: HMTPConfig | None = None) -> AgentFactory:
+    """Factory for HMTP agents (periodic refinement armed by default)."""
+    cfg = config or HMTPConfig()
+
+    def make(
+        node_id: int, env: ProtocolRuntime, *, degree_limit: int, rng=None
+    ) -> HMTPAgent:
+        return HMTPAgent(
+            node_id, env, degree_limit=degree_limit, config=cfg, rng=rng
+        )
+
+    return make
+
+
+def btp(config: BTPConfig | None = None) -> AgentFactory:
+    """Factory for BTP agents."""
+    cfg = config or BTPConfig()
+
+    def make(
+        node_id: int, env: ProtocolRuntime, *, degree_limit: int, rng=None
+    ) -> BTPAgent:
+        return BTPAgent(node_id, env, degree_limit=degree_limit, config=cfg)
+
+    return make
+
+
+# -- metric factories (session's ``metric_factory`` argument) ----------------
+
+
+def delay_metric() -> Callable[[Underlay], DelayDistance]:
+    """VDM-D / HMTP metric: RTT."""
+    return lambda underlay: DelayDistance(underlay)
+
+
+def loss_metric(**kwargs) -> Callable[[Underlay], LossDistance]:
+    """VDM-L metric: additive loss distance (Chapter 4)."""
+    return lambda underlay: LossDistance(underlay, **kwargs)
+
+
+def composite_metric(alpha: float = 0.5, **kwargs) -> Callable[[Underlay], CompositeDistance]:
+    """Weighted delay/loss blend (generalization extension)."""
+    return lambda underlay: CompositeDistance(underlay, alpha=alpha, **kwargs)

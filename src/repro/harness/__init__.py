@@ -1,0 +1,28 @@
+"""Experiment harness: one entry point per paper figure.
+
+* :mod:`repro.harness.substrates` — builders for the two evaluation
+  substrates (transit-stub router underlay, PlanetLab matrix underlay).
+* :mod:`repro.harness.experiments` — experiment runners: each paper
+  figure is a function returning a :class:`repro.metrics.report.SeriesTable`.
+* :mod:`repro.harness.presets` — ``paper`` vs ``quick`` scale presets.
+* :mod:`repro.harness.registry` — figure-id -> runner mapping, used by
+  the CLI (``python -m repro.harness fig3_26``) and the benchmarks.
+"""
+
+from repro.harness.substrates import (
+    build_transit_stub_underlay,
+    build_planetlab_underlay,
+    PlanetLabSubstrate,
+)
+from repro.harness.presets import Preset, PRESETS
+from repro.harness.registry import REGISTRY, run_experiment
+
+__all__ = [
+    "build_transit_stub_underlay",
+    "build_planetlab_underlay",
+    "PlanetLabSubstrate",
+    "Preset",
+    "PRESETS",
+    "REGISTRY",
+    "run_experiment",
+]

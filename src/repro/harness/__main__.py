@@ -1,0 +1,80 @@
+"""CLI entry point: ``python -m repro.harness <figure-id> [...]``.
+
+Examples
+--------
+Reproduce one figure at CI scale::
+
+    python -m repro.harness fig3_26
+
+Reproduce a whole chapter at paper scale (slow)::
+
+    python -m repro.harness fig5_9 fig5_10 --preset paper
+
+List everything::
+
+    python -m repro.harness --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.experiments import ch5_sample_tree
+from repro.harness.presets import PRESETS
+from repro.harness.registry import REGISTRY, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate figures from the VDM paper's evaluation.",
+    )
+    parser.add_argument("figures", nargs="*", help="figure ids, e.g. fig3_25")
+    parser.add_argument(
+        "--preset",
+        default="quick",
+        choices=sorted(PRESETS),
+        help="experiment scale (default: quick)",
+    )
+    parser.add_argument("--list", action="store_true", help="list figure ids")
+    parser.add_argument(
+        "--sample-tree",
+        action="store_true",
+        help="print the Fig 5.5 sample tree (add --eu for Fig 5.6)",
+    )
+    parser.add_argument("--eu", action="store_true", help="include EU nodes")
+    parser.add_argument("--json", action="store_true", help="emit JSON not tables")
+    parser.add_argument(
+        "--chart", action="store_true", help="draw an ASCII chart under each table"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        width = max(len(k) for k in REGISTRY)
+        for fig_id, entry in REGISTRY.items():
+            print(f"{fig_id.ljust(width)}  Fig {entry.figure:<5} {entry.description}")
+        return 0
+
+    if args.sample_tree:
+        print(ch5_sample_tree(PRESETS[args.preset], transatlantic=args.eu))
+        return 0
+
+    if not args.figures:
+        parser.print_help()
+        return 2
+
+    for fig_id in args.figures:
+        table = run_experiment(fig_id, args.preset)
+        print(table.to_json() if args.json else table.render())
+        if args.chart and not args.json:
+            from repro.metrics.ascii_chart import ascii_chart
+
+            print()
+            print(ascii_chart(table))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Side-by-side protocol comparison on one scenario.
+
+The examples and the paper's tables repeatedly need "run the same
+session under several protocols and line up the metrics"; this module is
+that, as a public API:
+
+>>> from repro.harness.compare import compare_protocols
+>>> # table = compare_protocols(underlay, {"VDM": vdm(), "HMTP": hmtp()},
+>>> #                           config, replications=5)
+>>> # print(table.render())
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.metrics.report import SeriesTable
+from repro.metrics.stats import mean_ci
+from repro.sim.network import Underlay
+from repro.sim.session import (
+    AgentFactory,
+    MetricFactory,
+    MulticastSession,
+    SessionConfig,
+    SessionResult,
+)
+from repro.util.rngtools import spawn_rng
+
+__all__ = ["COMPARISON_METRICS", "compare_protocols"]
+
+
+COMPARISON_METRICS: dict[str, Callable[[SessionResult], float]] = {
+    "stress": lambda r: r.mean_metric(lambda m: m.stress.average),
+    "stretch": lambda r: r.mean_metric(lambda m: m.stretch.average),
+    "hopcount": lambda r: r.mean_metric(lambda m: m.hopcount.average),
+    "usage_norm": lambda r: r.mean_metric(lambda m: m.usage.normalized),
+    "loss_pct": lambda r: 100.0 * r.mean_metric(lambda m: m.window_mean_node_loss),
+    "overhead_pct": lambda r: 100.0 * r.mean_metric(lambda m: m.window_overhead),
+    "startup_s": lambda r: (
+        float(np.mean(r.startup_times())) if r.startup_times() else 0.0
+    ),
+    "reconnect_s": lambda r: (
+        float(np.mean(r.reconnection_times())) if r.reconnection_times() else 0.0
+    ),
+}
+
+
+def compare_protocols(
+    underlay: Underlay,
+    factories: Mapping[str, AgentFactory],
+    config: SessionConfig,
+    *,
+    replications: int = 3,
+    metrics: Mapping[str, Callable[[SessionResult], float]] | None = None,
+    metric_factory: MetricFactory | None = None,
+) -> SeriesTable:
+    """Run the same scenario under each protocol and tabulate.
+
+    Every protocol sees the same underlay and the same per-replication
+    session seeds (derived from ``config.seed``), so membership schedules
+    and churn are identical across protocols — only the protocol differs.
+
+    Returns a :class:`SeriesTable` with one series per protocol and one
+    x-row per metric (the row order follows ``metrics``).
+    """
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    if not factories:
+        raise ValueError("need at least one protocol factory")
+    chosen = dict(metrics or COMPARISON_METRICS)
+
+    table = SeriesTable(
+        title="Protocol comparison ["
+        + ", ".join(f"{i}={name}" for i, name in enumerate(chosen))
+        + "]",
+        x_label="metric_idx",
+        x_values=list(range(len(chosen))),
+    )
+    for proto_name, factory in factories.items():
+        samples: dict[str, list[float]] = {m: [] for m in chosen}
+        for rep in range(replications):
+            seed = int(spawn_rng(config.seed, "compare", rep).integers(2**31))
+            rep_config = dataclasses.replace(config, seed=seed)
+            result = MulticastSession(
+                underlay, factory, rep_config, metric_factory=metric_factory
+            ).run()
+            for metric_name, extract in chosen.items():
+                samples[metric_name].append(extract(result))
+        table.add_series(
+            proto_name, [mean_ci(samples[m]) for m in chosen]
+        )
+    return table

@@ -1,0 +1,915 @@
+"""Experiment runners — one per figure of the paper's evaluation.
+
+Figures come in groups that share a parameter sweep (e.g. Figs 3.25-3.28
+are four metrics of the same churn sweep); each group runs once per preset
+and is cached, so requesting ``fig3_26`` after ``fig3_25`` is free.
+
+Every runner returns a :class:`repro.metrics.report.SeriesTable` whose
+``expected_shape`` field states the paper's qualitative result for that
+figure, making benchmark output self-checking by eye.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.capacity import UplinkPopulation
+from repro.core.vdm import VDMConfig
+from repro.factories import hmtp, loss_metric, vdm, vdm_r
+from repro.protocols.multitree import StripedSession
+from repro.harness.presets import Preset
+from repro.harness.substrates import (
+    build_planetlab_underlay,
+    build_transit_stub_underlay,
+)
+from repro.metrics.collectors import mst_ratio
+from repro.metrics.report import SeriesTable
+from repro.metrics.stats import SummaryStats, mean_ci
+from repro.protocols.hmtp import HMTPConfig
+from repro.sim.session import MulticastSession, SessionConfig, SessionResult
+from repro.topology.linkmodel import LinkErrorConfig
+from repro.util.rngtools import spawn_rng
+
+__all__ = [
+    "ch3_churn_tables",
+    "ch3_nodes_tables",
+    "ch3_degree_tables",
+    "ch4_time_tables",
+    "ch5_churn_tables",
+    "ch5_nodes_tables",
+    "ch5_degree_tables",
+    "ch5_refinement_tables",
+    "ch5_mst_table",
+    "ch5_sample_tree",
+    "ablation_tables",
+    "extension_tables",
+    "clear_cache",
+]
+
+_CACHE: dict[tuple[str, str], dict[str, SeriesTable]] = {}
+
+
+def clear_cache() -> None:
+    """Drop all cached sweep results (tests use this)."""
+    _CACHE.clear()
+
+
+def _cached(group: str, preset: Preset, build: Callable[[], dict[str, SeriesTable]]):
+    key = (group, preset.name)
+    if key not in _CACHE:
+        _CACHE[key] = build()
+    return _CACHE[key]
+
+
+# ---------------------------------------------------------------------------
+# metric extractors: SessionResult -> scalar
+# ---------------------------------------------------------------------------
+
+
+def _m_stress(res: SessionResult) -> float:
+    return res.mean_metric(lambda r: r.stress.average)
+
+
+def _m_stretch(res: SessionResult) -> float:
+    return res.mean_metric(lambda r: r.stretch.average)
+
+
+def _m_loss_pct(res: SessionResult) -> float:
+    return 100.0 * res.mean_metric(lambda r: r.window_mean_node_loss)
+
+
+def _m_overhead_pct(res: SessionResult) -> float:
+    return 100.0 * res.mean_metric(lambda r: r.window_overhead)
+
+
+def _m_hopcount(res: SessionResult) -> float:
+    return res.mean_metric(lambda r: r.hopcount.average)
+
+
+def _m_usage(res: SessionResult) -> float:
+    return res.mean_metric(lambda r: r.usage.normalized)
+
+
+def _m_startup_avg(res: SessionResult) -> float:
+    times = res.startup_times()
+    return float(np.mean(times)) if times else 0.0
+
+
+def _m_startup_max(res: SessionResult) -> float:
+    times = res.startup_times()
+    return float(np.max(times)) if times else 0.0
+
+
+def _m_recon_avg(res: SessionResult) -> float:
+    times = res.reconnection_times()
+    return float(np.mean(times)) if times else 0.0
+
+
+def _m_recon_max(res: SessionResult) -> float:
+    times = res.reconnection_times()
+    return float(np.max(times)) if times else 0.0
+
+
+CH3_METRICS: dict[str, Callable[[SessionResult], float]] = {
+    "stress": _m_stress,
+    "stretch": _m_stretch,
+    "loss_pct": _m_loss_pct,
+    "overhead_pct": _m_overhead_pct,
+}
+
+CH5_METRICS: dict[str, Callable[[SessionResult], float]] = {
+    "startup_s": _m_startup_avg,
+    "startup_max_s": _m_startup_max,
+    "reconnect_s": _m_recon_avg,
+    "reconnect_max_s": _m_recon_max,
+    "stretch": _m_stretch,
+    "stretch_min": lambda r: r.mean_metric(lambda m: m.stretch.minimum),
+    "stretch_max": lambda r: r.mean_metric(lambda m: m.stretch.maximum),
+    "stretch_leaf": lambda r: r.mean_metric(lambda m: m.stretch.leaf_average),
+    "hopcount": _m_hopcount,
+    "hopcount_max": lambda r: r.mean_metric(lambda m: float(m.hopcount.maximum)),
+    "hopcount_leaf": lambda r: r.mean_metric(lambda m: m.hopcount.leaf_average),
+    "usage": _m_usage,
+    "loss_pct": _m_loss_pct,
+    "overhead_pct": _m_overhead_pct,
+}
+
+
+def _series(
+    per_x_results: list[list[SessionResult]],
+    extract: Callable[[SessionResult], float],
+) -> list[SummaryStats]:
+    return [mean_ci([extract(r) for r in results]) for results in per_x_results]
+
+
+# ---------------------------------------------------------------------------
+# Chapter 3 — NS-2-style simulation
+# ---------------------------------------------------------------------------
+
+
+def _ch3_underlay(preset: Preset, n_hosts: int | None = None, *, errors=None):
+    return build_transit_stub_underlay(
+        n_hosts=n_hosts or preset.ch3_hosts,
+        seed=preset.seed,
+        ts_config=preset.ts_config,
+        link_errors=errors,
+    )
+
+
+def _ch3_config(preset: Preset, *, churn: float, seed: int, n_nodes=None, degree=None):
+    return SessionConfig(
+        n_nodes=n_nodes or preset.ch3_nodes,
+        degree=degree if degree is not None else (2, 5),
+        join_phase_s=preset.ch3_join_phase_s,
+        total_s=preset.ch3_total_s,
+        slot_s=preset.ch3_slot_s,
+        settle_s=preset.ch3_settle_s,
+        churn_rate=churn,
+        seed=seed,
+    )
+
+
+def _ch3_protocols(preset: Preset):
+    return [
+        ("VDM", vdm()),
+        ("HMTP", hmtp(HMTPConfig(refine_period_s=preset.ch3_hmtp_refine_s))),
+    ]
+
+
+def ch3_churn_tables(preset: Preset) -> dict[str, SeriesTable]:
+    """Figs 3.25-3.28: stress/stretch/loss/overhead vs churn, VDM vs HMTP."""
+
+    def build() -> dict[str, SeriesTable]:
+        underlay = _ch3_underlay(preset)
+        results: dict[str, list[list[SessionResult]]] = {}
+        for proto_name, factory in _ch3_protocols(preset):
+            per_x = []
+            for churn in preset.churn_rates:
+                reps = []
+                for rep in range(preset.replications):
+                    seed = int(
+                        spawn_rng(preset.seed, "ch3churn", proto_name, rep).integers(
+                            2**31
+                        )
+                    )
+                    cfg = _ch3_config(preset, churn=churn, seed=seed)
+                    reps.append(MulticastSession(underlay, factory, cfg).run())
+                per_x.append(reps)
+            results[proto_name] = per_x
+
+        x = [100 * c for c in preset.churn_rates]
+        shapes = {
+            "stress": "both ~1.4-1.8, flat in churn, VDM and HMTP close (Fig 3.25)",
+            "stretch": "VDM well below HMTP, both rise slightly (Fig 3.26)",
+            "loss_pct": "VDM below HMTP, both rise with churn (Fig 3.27)",
+            "overhead_pct": "linear in churn, VDM below HMTP (Fig 3.28)",
+        }
+        tables = {}
+        for metric, extract in CH3_METRICS.items():
+            table = SeriesTable(
+                title=f"Fig 3.2x — {metric} vs churn rate (%)",
+                x_label="churn_%",
+                x_values=list(x),
+                expected_shape=shapes[metric],
+            )
+            for proto_name, _ in _ch3_protocols(preset):
+                table.add_series(proto_name, _series(results[proto_name], extract))
+            tables[metric] = table
+        return tables
+
+    return _cached("ch3_churn", preset, build)
+
+
+def ch3_nodes_tables(preset: Preset) -> dict[str, SeriesTable]:
+    """Figs 3.29-3.32: the four metrics vs population size, VDM only."""
+
+    def build() -> dict[str, SeriesTable]:
+        per_x: list[list[SessionResult]] = []
+        for n in preset.node_counts:
+            underlay = _ch3_underlay(preset, n_hosts=max(preset.ch3_hosts, 2 * n))
+            reps = []
+            for rep in range(preset.replications):
+                seed = int(
+                    spawn_rng(preset.seed, "ch3nodes", n, rep).integers(2**31)
+                )
+                cfg = _ch3_config(preset, churn=0.05, seed=seed, n_nodes=n)
+                reps.append(MulticastSession(underlay, vdm(), cfg).run())
+            per_x.append(reps)
+
+        shapes = {
+            "stress": "rises sublinearly with N (~1.3 -> ~1.8 in the paper, Fig 3.29)",
+            "stretch": "rises with N, logarithmic flavor (Fig 3.30)",
+            "loss_pct": "rises with N (deeper trees, Fig 3.31)",
+            "overhead_pct": "rises with diminishing increments (Fig 3.32)",
+        }
+        tables = {}
+        for metric, extract in CH3_METRICS.items():
+            table = SeriesTable(
+                title=f"Fig 3.3x — {metric} vs number of nodes",
+                x_label="n_nodes",
+                x_values=[float(n) for n in preset.node_counts],
+                expected_shape=shapes[metric],
+            )
+            table.add_series("VDM", _series(per_x, extract))
+            tables[metric] = table
+        return tables
+
+    return _cached("ch3_nodes", preset, build)
+
+
+def ch3_degree_tables(preset: Preset) -> dict[str, SeriesTable]:
+    """Figs 3.33-3.36: the four metrics vs average node degree, VDM only."""
+
+    def build() -> dict[str, SeriesTable]:
+        underlay = _ch3_underlay(preset)
+        per_x: list[list[SessionResult]] = []
+        for degree in preset.degree_values:
+            reps = []
+            for rep in range(preset.replications):
+                seed = int(
+                    spawn_rng(preset.seed, "ch3deg", str(degree), rep).integers(2**31)
+                )
+                cfg = _ch3_config(
+                    preset, churn=0.05, seed=seed, degree=float(degree)
+                )
+                reps.append(MulticastSession(underlay, vdm(), cfg).run())
+            per_x.append(reps)
+
+        shapes = {
+            "stress": "roughly flat in degree (Fig 3.33)",
+            "stretch": "falls steeply until degree ~5 then flattens (Fig 3.34)",
+            "loss_pct": "falls with degree then fluctuates (Fig 3.35)",
+            "overhead_pct": "U-shaped: high at low degree, dips, rises again (Fig 3.36)",
+        }
+        tables = {}
+        for metric, extract in CH3_METRICS.items():
+            table = SeriesTable(
+                title=f"Fig 3.3x — {metric} vs average node degree",
+                x_label="avg_degree",
+                x_values=[float(d) for d in preset.degree_values],
+                expected_shape=shapes[metric],
+            )
+            table.add_series("VDM", _series(per_x, extract))
+            tables[metric] = table
+        return tables
+
+    return _cached("ch3_degree", preset, build)
+
+
+# ---------------------------------------------------------------------------
+# Chapter 4 — VDM-D vs VDM-L time series
+# ---------------------------------------------------------------------------
+
+
+def ch4_time_tables(preset: Preset) -> dict[str, SeriesTable]:
+    """Figs 4.6-4.9: stress/stretch/loss/overhead vs time, VDM-D vs VDM-L.
+
+    Setup per Section 4.2: every physical link gets a random error rate in
+    [0, 2%]; nodes keep joining (no churn); metrics are snapshotted at a
+    fixed cadence as the tree grows.
+    """
+
+    def build() -> dict[str, SeriesTable]:
+        errors = LinkErrorConfig(max_error=preset.ch4_max_link_error)
+        underlay = build_transit_stub_underlay(
+            n_hosts=max(preset.ch3_hosts, 2 * preset.ch4_nodes),
+            seed=preset.seed,
+            ts_config=preset.ts_config,
+            link_errors=errors,
+        )
+        variants = [("VDM-D", None), ("VDM-L", loss_metric())]
+        interval = preset.ch4_measure_interval_s
+        n_points = int(preset.ch4_total_s // interval)
+        x = [interval * (i + 1) for i in range(n_points)]
+
+        # per variant, per measurement index, list over reps
+        collected: dict[str, dict[str, list[list[float]]]] = {
+            name: {m: [[] for _ in x] for m in CH3_METRICS} for name, _ in variants
+        }
+        for name, metric_factory in variants:
+            for rep in range(preset.replications):
+                seed = int(spawn_rng(preset.seed, "ch4", name, rep).integers(2**31))
+                cfg = SessionConfig(
+                    n_nodes=preset.ch4_nodes,
+                    degree=(2, 5),
+                    join_phase_s=preset.ch4_total_s,
+                    total_s=preset.ch4_total_s,
+                    churn_rate=0.0,
+                    seed=seed,
+                    join_measure_interval_s=interval,
+                )
+                res = MulticastSession(
+                    underlay, vdm(), cfg, metric_factory=metric_factory
+                ).run()
+                for i in range(n_points):
+                    rec = res.records[i]
+                    collected[name]["stress"][i].append(rec.stress.average)
+                    collected[name]["stretch"][i].append(rec.stretch.average)
+                    collected[name]["loss_pct"][i].append(
+                        100 * rec.window_mean_node_loss
+                    )
+                    collected[name]["overhead_pct"][i].append(
+                        100 * rec.window_overhead
+                    )
+
+        shapes = {
+            "stress": "VDM-D below VDM-L throughout (Fig 4.6)",
+            "stretch": "VDM-D below VDM-L (Fig 4.7)",
+            "loss_pct": "VDM-L below VDM-D — the headline tradeoff (Fig 4.8)",
+            "overhead_pct": "VDM-L at or below VDM-D (Fig 4.9)",
+        }
+        tables = {}
+        for metric in CH3_METRICS:
+            table = SeriesTable(
+                title=f"Fig 4.x — {metric} vs time (s)",
+                x_label="time_s",
+                x_values=list(x),
+                expected_shape=shapes[metric],
+            )
+            for name, _ in variants:
+                table.add_series(
+                    name, [mean_ci(v) for v in collected[name][metric]]
+                )
+            tables[metric] = table
+        return tables
+
+    return _cached("ch4_time", preset, build)
+
+
+# ---------------------------------------------------------------------------
+# Chapter 5 — PlanetLab emulation
+# ---------------------------------------------------------------------------
+
+
+def _pl_substrate(preset: Preset, *, n_select: int | None = None, seed_key: str = ""):
+    return build_planetlab_underlay(
+        n_select=n_select or preset.pl_select,
+        seed=int(spawn_rng(preset.seed, "pl", seed_key).integers(2**31)),
+        n_us=preset.pl_pool_us,
+    )
+
+
+def _pl_config(
+    preset: Preset,
+    substrate,
+    *,
+    churn: float,
+    seed: int,
+    n_nodes: int | None = None,
+    degree: int | None = None,
+) -> SessionConfig:
+    return SessionConfig(
+        n_nodes=n_nodes or (substrate.n_hosts - 1),
+        degree=degree if degree is not None else preset.pl_degree,
+        join_phase_s=preset.pl_join_phase_s,
+        total_s=preset.pl_total_s,
+        slot_s=400.0,
+        settle_s=100.0,
+        churn_rate=churn,
+        seed=seed,
+        source_host=substrate.source,
+        source_degree=degree if degree is not None else preset.pl_degree,
+        measurement_noise_sigma=preset.pl_noise_sigma,
+    )
+
+
+def _pl_protocols(preset: Preset):
+    return [
+        ("VDM", vdm()),
+        ("HMTP", hmtp(HMTPConfig(refine_period_s=preset.pl_hmtp_refine_s))),
+    ]
+
+
+def ch5_churn_tables(preset: Preset) -> dict[str, SeriesTable]:
+    """Figs 5.7-5.13: seven metrics vs churn rate, VDM vs HMTP."""
+
+    def build() -> dict[str, SeriesTable]:
+        substrate = _pl_substrate(preset, seed_key="churn")
+        results: dict[str, list[list[SessionResult]]] = {}
+        for proto_name, factory in _pl_protocols(preset):
+            per_x = []
+            for churn in preset.pl_churn_rates:
+                reps = []
+                for rep in range(preset.pl_replications):
+                    seed = int(
+                        spawn_rng(preset.seed, "ch5churn", proto_name, rep).integers(
+                            2**31
+                        )
+                    )
+                    cfg = _pl_config(preset, substrate, churn=churn, seed=seed)
+                    reps.append(
+                        MulticastSession(substrate.underlay, factory, cfg).run()
+                    )
+                per_x.append(reps)
+            results[proto_name] = per_x
+
+        figures = {
+            "startup_s": "churn-independent, HMTP slightly higher (Fig 5.7)",
+            "reconnect_s": "below startup, churn-independent, VDM lower (Fig 5.8)",
+            "stretch": "VDM ~1.6 vs HMTP ~1.9 (Fig 5.9)",
+            "hopcount": "VDM ~4.5 vs HMTP ~5.5, churn-independent (Fig 5.10)",
+            "usage": "paper: VDM lower; see EXPERIMENTS.md discrepancy note (Fig 5.11)",
+            "loss_pct": "rises with churn, VDM lower (Fig 5.12)",
+            "overhead_pct": "HMTP far above VDM (30 s refinement), both rise (Fig 5.13)",
+        }
+        x = [100 * c for c in preset.pl_churn_rates]
+        tables = {}
+        for metric, shape in figures.items():
+            table = SeriesTable(
+                title=f"Fig 5.x — {metric} vs churn rate (%)",
+                x_label="churn_%",
+                x_values=list(x),
+                expected_shape=shape,
+            )
+            for proto_name, _ in _pl_protocols(preset):
+                table.add_series(
+                    proto_name, _series(results[proto_name], CH5_METRICS[metric])
+                )
+            tables[metric] = table
+        return tables
+
+    return _cached("ch5_churn", preset, build)
+
+
+def ch5_nodes_tables(preset: Preset) -> dict[str, SeriesTable]:
+    """Figs 5.14-5.20: metrics vs number of nodes, VDM (avg/max/leaf series)."""
+
+    def build() -> dict[str, SeriesTable]:
+        per_x: list[list[SessionResult]] = []
+        for n in preset.pl_node_counts:
+            substrate = _pl_substrate(preset, n_select=n + 1, seed_key=f"nodes{n}")
+            reps = []
+            for rep in range(preset.pl_replications):
+                seed = int(spawn_rng(preset.seed, "ch5nodes", n, rep).integers(2**31))
+                cfg = _pl_config(preset, substrate, churn=0.06, seed=seed, n_nodes=n)
+                reps.append(MulticastSession(substrate.underlay, vdm(), cfg).run())
+            per_x.append(reps)
+
+        x = [float(n) for n in preset.pl_node_counts]
+        spec = {
+            "startup_s": (
+                ["startup_s", "startup_max_s"],
+                "avg and max grow with N (~0.5 s avg at N=100, Fig 5.14)",
+            ),
+            "reconnect_s": (
+                ["reconnect_s", "reconnect_max_s"],
+                "N-independent, ~0.2 s avg (Fig 5.15)",
+            ),
+            "stretch": (
+                ["stretch_min", "stretch", "stretch_leaf", "stretch_max"],
+                "avg stabilizes ~1.5; min can dip below 1 (Fig 5.16)",
+            ),
+            "hopcount": (
+                ["hopcount", "hopcount_leaf", "hopcount_max"],
+                "grows like log N; leaf avg above overall avg (Fig 5.17)",
+            ),
+            "usage": (["usage"], "grows with N (Fig 5.18)"),
+            "loss_pct": (["loss_pct"], "grows with N (Fig 5.19)"),
+            "overhead_pct": (["overhead_pct"], "grows with N (Fig 5.20)"),
+        }
+        tables = {}
+        for metric, (series_names, shape) in spec.items():
+            table = SeriesTable(
+                title=f"Fig 5.1x — {metric} vs number of nodes (VDM)",
+                x_label="n_nodes",
+                x_values=list(x),
+                expected_shape=shape,
+            )
+            for s in series_names:
+                table.add_series(s, _series(per_x, CH5_METRICS[s]))
+            tables[metric] = table
+        return tables
+
+    return _cached("ch5_nodes", preset, build)
+
+
+def ch5_degree_tables(preset: Preset) -> dict[str, SeriesTable]:
+    """Figs 5.21-5.27: metrics vs node degree, VDM."""
+
+    def build() -> dict[str, SeriesTable]:
+        substrate = _pl_substrate(preset, seed_key="degree")
+        per_x: list[list[SessionResult]] = []
+        for degree in preset.pl_degree_values:
+            reps = []
+            for rep in range(preset.pl_replications):
+                seed = int(
+                    spawn_rng(preset.seed, "ch5deg", degree, rep).integers(2**31)
+                )
+                cfg = _pl_config(
+                    preset, substrate, churn=0.06, seed=seed, degree=int(degree)
+                )
+                reps.append(MulticastSession(substrate.underlay, vdm(), cfg).run())
+            per_x.append(reps)
+
+        x = [float(d) for d in preset.pl_degree_values]
+        spec = {
+            "startup_s": (
+                ["startup_s", "startup_max_s"],
+                "falls until degree ~4-5 then flat (Fig 5.21)",
+            ),
+            "reconnect_s": (
+                ["reconnect_s", "reconnect_max_s"],
+                "degree-independent (Fig 5.22)",
+            ),
+            "stretch": (
+                ["stretch_min", "stretch", "stretch_leaf", "stretch_max"],
+                "falls until degree ~5 then stabilizes (Fig 5.23)",
+            ),
+            "hopcount": (
+                ["hopcount", "hopcount_leaf", "hopcount_max"],
+                "high at degree 2, improves to ~4 at degree 5, then flat (Fig 5.24)",
+            ),
+            "usage": (["usage"], "improves with degree then flattens (Fig 5.25)"),
+            "loss_pct": (["loss_pct"], "falls until degree ~5 then flat (Fig 5.26)"),
+            "overhead_pct": (
+                ["overhead_pct"],
+                "falls until degree ~5 then similar (Fig 5.27)",
+            ),
+        }
+        tables = {}
+        for metric, (series_names, shape) in spec.items():
+            table = SeriesTable(
+                title=f"Fig 5.2x — {metric} vs node degree (VDM)",
+                x_label="degree",
+                x_values=list(x),
+                expected_shape=shape,
+            )
+            for s in series_names:
+                table.add_series(s, _series(per_x, CH5_METRICS[s]))
+            tables[metric] = table
+        return tables
+
+    return _cached("ch5_degree", preset, build)
+
+
+def ch5_refinement_tables(preset: Preset) -> dict[str, SeriesTable]:
+    """Figs 5.28-5.30: VDM vs VDM-R (periodic refinement) vs N."""
+
+    def build() -> dict[str, SeriesTable]:
+        variants = [
+            ("VDM", vdm()),
+            ("VDM-R", vdm_r(period_s=preset.pl_vdm_r_period_s)),
+        ]
+        results: dict[str, list[list[SessionResult]]] = {}
+        for name, factory in variants:
+            per_x = []
+            for n in preset.pl_refine_node_counts:
+                substrate = _pl_substrate(
+                    preset, n_select=n + 1, seed_key=f"refine{n}"
+                )
+                reps = []
+                for rep in range(preset.pl_replications):
+                    seed = int(
+                        spawn_rng(preset.seed, "ch5ref", name, n, rep).integers(2**31)
+                    )
+                    cfg = _pl_config(
+                        preset, substrate, churn=0.06, seed=seed, n_nodes=n
+                    )
+                    reps.append(
+                        MulticastSession(substrate.underlay, factory, cfg).run()
+                    )
+                per_x.append(reps)
+            results[name] = per_x
+
+        x = [float(n) for n in preset.pl_refine_node_counts]
+        spec = {
+            "stretch": "VDM-R ~10% below VDM (Fig 5.28)",
+            "hopcount": "VDM-R below VDM — more balanced tree (Fig 5.29)",
+            "overhead_pct": "VDM-R above VDM — the cost of refinement (Fig 5.30)",
+        }
+        tables = {}
+        for metric, shape in spec.items():
+            table = SeriesTable(
+                title=f"Fig 5.2x/5.30 — {metric}: refinement effect vs N",
+                x_label="n_nodes",
+                x_values=list(x),
+                expected_shape=shape,
+            )
+            for name, _ in variants:
+                table.add_series(name, _series(results[name], CH5_METRICS[metric]))
+            tables[metric] = table
+        return tables
+
+    return _cached("ch5_refinement", preset, build)
+
+
+def ch5_mst_table(preset: Preset) -> dict[str, SeriesTable]:
+    """Fig 5.31: VDM tree cost / exact MST cost vs N (no degree limits)."""
+
+    def build() -> dict[str, SeriesTable]:
+        per_x: list[list[float]] = []
+        for n in preset.pl_mst_node_counts:
+            substrate = _pl_substrate(preset, n_select=n + 1, seed_key=f"mst{n}")
+            ratios = []
+            for rep in range(preset.pl_replications):
+                seed = int(spawn_rng(preset.seed, "ch5mst", n, rep).integers(2**31))
+                cfg = _pl_config(
+                    preset,
+                    substrate,
+                    churn=0.0,
+                    seed=seed,
+                    n_nodes=n,
+                    degree=max(8, n),  # effectively unconstrained (Sec 5.4.6)
+                )
+                res = MulticastSession(substrate.underlay, vdm(), cfg).run()
+                ratios.append(
+                    mst_ratio(res.runtime.tree, substrate.underlay.rtt_ms)
+                )
+            per_x.append(ratios)
+
+        table = SeriesTable(
+            title="Fig 5.31 — VDM tree cost / MST cost vs N",
+            x_label="n_nodes",
+            x_values=[float(n) for n in preset.pl_mst_node_counts],
+            expected_shape="grows with N but stays below ~2 (Fig 5.31)",
+        )
+        table.add_series("VDM/MST", [mean_ci(v) for v in per_x])
+        return {"mst_ratio": table}
+
+    return _cached("ch5_mst", preset, build)
+
+
+def ch5_sample_tree(preset: Preset, *, transatlantic: bool = False) -> str:
+    """Figs 5.5/5.6: one sample tree, rendered as an indented edge list.
+
+    With ``transatlantic=True`` the pool includes European sites
+    (Fig 5.6); the rendering annotates each node's region so the
+    continental clustering is visible in text.
+    """
+    n_eu = preset.pl_pool_us // 3 if transatlantic else 0
+    substrate = build_planetlab_underlay(
+        n_select=min(preset.pl_select, 40),
+        seed=int(spawn_rng(preset.seed, "pl", "sample").integers(2**31)),
+        n_us=preset.pl_pool_us,
+        n_eu=n_eu,
+    )
+    cfg = _pl_config(
+        preset,
+        substrate,
+        churn=0.0,
+        seed=int(spawn_rng(preset.seed, "sampletree").integers(2**31)),
+    )
+    res = MulticastSession(substrate.underlay, vdm(), cfg).run()
+    tree = res.runtime.tree
+
+    def label(node: int) -> str:
+        site = substrate.nodes[node].site
+        return f"{node}:{site.name}({site.region})"
+
+    lines = [
+        "Sample VDM tree"
+        + (" (US + EU pool, Fig 5.6)" if transatlantic else " (US pool, Fig 5.5)")
+    ]
+    cross_region = 0
+
+    def walk(node: int, depth: int) -> None:
+        nonlocal cross_region
+        lines.append("  " * depth + label(node))
+        for child in sorted(tree.children.get(node, ())):
+            if (
+                substrate.nodes[child].site.region
+                != substrate.nodes[node].site.region
+            ):
+                cross_region += 1
+            walk(child, depth + 1)
+
+    walk(tree.source, 0)
+    total_edges = sum(len(c) for c in tree.children.values())
+    lines.append(
+        f"edges: {total_edges}, cross-region edges: {cross_region} "
+        "(clustering => few cross-region links)"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Ablations
+# ---------------------------------------------------------------------------
+
+
+def ablation_tables(preset: Preset) -> dict[str, SeriesTable]:
+    """Design-choice ablations called out in DESIGN.md.
+
+    * ``case_policy`` — Scenario III: prefer Case III (paper) vs Case II;
+    * ``case3_selection`` — closest (paper) vs random directional child;
+    * ``reconnect`` — grandparent restart (paper) vs source restart;
+    * each evaluated on the Chapter 3 substrate at 5% churn.
+    """
+
+    def build() -> dict[str, SeriesTable]:
+        underlay = _ch3_underlay(preset)
+        variants = {
+            "paper-default": VDMConfig(),
+            "prefer-case2": VDMConfig(case_priority="case2"),
+            "random-case3": VDMConfig(case3_selection="random"),
+            "reconnect-at-source": VDMConfig(reconnect_at="source"),
+        }
+        metrics = {
+            "stress": _m_stress,
+            "stretch": _m_stretch,
+            "loss_pct": _m_loss_pct,
+            "overhead_pct": _m_overhead_pct,
+            "reconnect_s": _m_recon_avg,
+        }
+        collected: dict[str, dict[str, list[float]]] = {
+            v: {m: [] for m in metrics} for v in variants
+        }
+        for name, config in variants.items():
+            for rep in range(preset.replications):
+                seed = int(spawn_rng(preset.seed, "abl", name, rep).integers(2**31))
+                cfg = _ch3_config(preset, churn=0.05, seed=seed)
+                res = MulticastSession(underlay, vdm(config), cfg).run()
+                for m, extract in metrics.items():
+                    collected[name][m].append(extract(res))
+
+        table = SeriesTable(
+            title="Ablations — VDM design choices (rows: metrics as x)",
+            x_label="metric_idx",
+            x_values=list(range(len(metrics))),
+            expected_shape=(
+                "paper defaults should win or tie on loss/reconnect; "
+                "alternatives quantify each rule's contribution"
+            ),
+        )
+        for name in variants:
+            table.add_series(
+                name, [mean_ci(collected[name][m]) for m in metrics]
+            )
+        # Remember which metric each x index means.
+        table.title += " [" + ", ".join(
+            f"{i}={m}" for i, m in enumerate(metrics)
+        ) + "]"
+
+        # Second ablation: refinement-period sweep (Section 5.4.5's
+        # "additional experiments could be done to understand the effect
+        # of frequency of refinement messages").
+        periods = [60.0, 180.0, 600.0]
+        per_x: dict[str, list[list[float]]] = {
+            "stretch": [], "overhead_pct": []
+        }
+        for period in periods:
+            stretch_vals, overhead_vals = [], []
+            for rep in range(preset.replications):
+                seed = int(
+                    spawn_rng(preset.seed, "ablref", str(period), rep).integers(2**31)
+                )
+                cfg = _ch3_config(preset, churn=0.05, seed=seed)
+                res = MulticastSession(
+                    underlay, vdm_r(period_s=period), cfg
+                ).run()
+                stretch_vals.append(_m_stretch(res))
+                overhead_vals.append(_m_overhead_pct(res))
+            per_x["stretch"].append(stretch_vals)
+            per_x["overhead_pct"].append(overhead_vals)
+        refine_table = SeriesTable(
+            title="Ablation — VDM-R refinement period sweep",
+            x_label="period_s",
+            x_values=periods,
+            expected_shape=(
+                "shorter periods buy stretch at a growing overhead cost"
+            ),
+        )
+        refine_table.add_series(
+            "stretch", [mean_ci(v) for v in per_x["stretch"]]
+        )
+        refine_table.add_series(
+            "overhead_pct", [mean_ci(v) for v in per_x["overhead_pct"]]
+        )
+        return {"ablations": table, "refine_period": refine_table}
+
+    return _cached("ablations", preset, build)
+
+
+def extension_tables(preset: Preset) -> dict[str, SeriesTable]:
+    """Experiments beyond the paper, built on its future-work list.
+
+    * ``free_riders`` — degree heterogeneity from a bandwidth-derived
+      population (Chapter 6: "This degree depends on outgoing bandwidth
+      of nodes") with a growing free-rider fraction: how much does
+      contribution asymmetry cost the tree?
+    * ``striping`` — SplitStream-style multi-tree striping over VDM:
+      stripes vs playback continuity and full quality under churn.
+    """
+
+    def build() -> dict[str, SeriesTable]:
+        underlay = _ch3_underlay(preset)
+
+        # --- free riders -------------------------------------------------
+        fractions = [0.0, 0.25, 0.5]
+        fr_metrics = {"stretch": [], "loss_pct": [], "hopcount": []}
+        for fraction in fractions:
+            stretch_v, loss_v, hop_v = [], [], []
+            for rep in range(preset.replications):
+                seed = int(
+                    spawn_rng(preset.seed, "extfr", str(fraction), rep).integers(
+                        2**31
+                    )
+                )
+                population = UplinkPopulation(
+                    median_uplink_kbps=2000.0,
+                    stream_kbps=500.0,
+                    max_degree=8,
+                    free_rider_fraction=fraction,
+                )
+                cfg = _ch3_config(
+                    preset, churn=0.05, seed=seed, degree=population
+                )
+                res = MulticastSession(underlay, vdm(), cfg).run()
+                stretch_v.append(_m_stretch(res))
+                loss_v.append(_m_loss_pct(res))
+                hop_v.append(_m_hopcount(res))
+            fr_metrics["stretch"].append(stretch_v)
+            fr_metrics["loss_pct"].append(loss_v)
+            fr_metrics["hopcount"].append(hop_v)
+        free_rider_table = SeriesTable(
+            title="Extension — free-rider fraction vs tree quality (VDM)",
+            x_label="free_rider_fraction",
+            x_values=fractions,
+            expected_shape=(
+                "more free riders -> fewer forwarding slots -> deeper "
+                "trees, worse stretch and loss"
+            ),
+        )
+        for metric, samples in fr_metrics.items():
+            free_rider_table.add_series(metric, [mean_ci(v) for v in samples])
+
+        # --- striping -----------------------------------------------------
+        stripe_counts = [1, 2, 4]
+        continuity_v: list[list[float]] = []
+        quality_v: list[list[float]] = []
+        for stripes in stripe_counts:
+            cont, qual = [], []
+            for rep in range(preset.replications):
+                seed = int(
+                    spawn_rng(preset.seed, "extstripe", stripes, rep).integers(2**31)
+                )
+                cfg = _ch3_config(preset, churn=0.10, seed=seed, degree=(4, 8))
+                report = StripedSession(
+                    underlay, vdm(), cfg, stripes=stripes
+                ).run()
+                window = (cfg.join_phase_s, cfg.total_s)
+                cont.append(report.continuity(*window))
+                qual.append(report.full_quality(*window))
+            continuity_v.append(cont)
+            quality_v.append(qual)
+        striping_table = SeriesTable(
+            title="Extension — SplitStream-over-VDM: stripes vs resilience",
+            x_label="stripes",
+            x_values=[float(s) for s in stripe_counts],
+            expected_shape=(
+                "continuity (>=1 stripe) should rise (or hold) with "
+                "stripe count while full quality pays the churn tax"
+            ),
+        )
+        striping_table.add_series(
+            "continuity", [mean_ci(v) for v in continuity_v]
+        )
+        striping_table.add_series(
+            "full_quality", [mean_ci(v) for v in quality_v]
+        )
+
+        return {"free_riders": free_rider_table, "striping": striping_table}
+
+    return _cached("extensions", preset, build)

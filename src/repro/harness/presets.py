@@ -1,0 +1,134 @@
+"""Experiment scale presets.
+
+``paper`` reproduces the dissertation's scale: 792-router topologies, 200
+overlay nodes, 10 000 s sessions, 32 replications (5 on the PlanetLab
+side, as in Chapter 5).  ``quick`` shrinks everything to CI scale while
+keeping every structural ratio (join phase : slot : settle, churn-rate
+grid, degree grid) so the *shapes* remain comparable; the benchmark suite
+runs ``quick`` by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.topology.transit_stub import TransitStubConfig
+
+__all__ = ["Preset", "PRESETS"]
+
+
+@dataclass(frozen=True)
+class Preset:
+    """All scale knobs for the experiment suite."""
+
+    name: str
+    seed: int = 2011  # the paper's year; any constant works
+
+    # -- chapter 3: NS-2-style simulation -------------------------------------
+    replications: int = 32
+    ts_config: TransitStubConfig = field(default_factory=TransitStubConfig)
+    ch3_hosts: int = 400
+    ch3_nodes: int = 200
+    ch3_join_phase_s: float = 2000.0
+    ch3_total_s: float = 10000.0
+    ch3_slot_s: float = 400.0
+    ch3_settle_s: float = 100.0
+    #: churn grid (fraction of the population per slot), Figs 3.25-3.28
+    churn_rates: tuple[float, ...] = (0.01, 0.03, 0.05, 0.07, 0.10)
+    #: population grid, Figs 3.29-3.32
+    node_counts: tuple[int, ...] = (100, 200, 300, 400, 500, 600, 700, 800, 900, 1000)
+    #: average-degree grid, Figs 3.33-3.36
+    degree_values: tuple[float, ...] = (1.25, 1.5, 1.75, 2, 2.5, 3, 4, 5, 6, 7, 8)
+    #: HMTP refinement period in the NS-2-style runs (slow; the paper's
+    #: Chapter 3 overhead ratio implies infrequent refinement there)
+    ch3_hmtp_refine_s: float = 1000.0
+
+    # -- chapter 4: generalized metrics ----------------------------------------
+    ch4_nodes: int = 200
+    ch4_total_s: float = 5000.0
+    ch4_measure_interval_s: float = 500.0
+    ch4_max_link_error: float = 0.02
+
+    # -- chapter 5: PlanetLab emulation -----------------------------------------
+    pl_replications: int = 5
+    pl_pool_us: int = 140
+    pl_select: int = 100
+    pl_total_s: float = 5000.0
+    pl_join_phase_s: float = 2000.0
+    pl_degree: int = 4
+    pl_churn_rates: tuple[float, ...] = (0.02, 0.04, 0.06, 0.08, 0.10)
+    pl_node_counts: tuple[int, ...] = (20, 40, 60, 80, 100)
+    pl_degree_values: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8)
+    pl_refine_node_counts: tuple[int, ...] = (10, 20, 30, 40, 50)
+    pl_mst_node_counts: tuple[int, ...] = (10, 20, 30, 40, 50)
+    pl_noise_sigma: float = 0.1
+    pl_hmtp_refine_s: float = 30.0
+    pl_vdm_r_period_s: float = 300.0
+
+
+PAPER = Preset(name="paper")
+
+QUICK = Preset(
+    name="quick",
+    replications=5,
+    ts_config=TransitStubConfig(
+        total_nodes=180,
+        transit_domains=2,
+        transit_nodes_per_domain=4,
+        stub_domains_per_transit=2,
+    ),
+    ch3_hosts=100,
+    ch3_nodes=40,
+    ch3_join_phase_s=800.0,
+    ch3_total_s=3200.0,
+    churn_rates=(0.01, 0.03, 0.05, 0.07, 0.10),  # the paper's full grid
+    node_counts=(20, 40, 60, 80),
+    degree_values=(1.25, 1.5, 2, 3, 5, 8),
+    ch4_nodes=60,
+    ch4_total_s=2000.0,
+    ch4_measure_interval_s=250.0,
+    pl_replications=5,  # the paper's own replication count
+    pl_pool_us=90,
+    pl_select=50,
+    pl_total_s=3200.0,
+    pl_join_phase_s=800.0,
+    pl_churn_rates=(0.02, 0.04, 0.06, 0.08, 0.10),  # full grid
+    pl_node_counts=(15, 30, 45, 60),
+    pl_degree_values=(2, 3, 4, 5, 6, 7, 8),  # full grid
+    pl_refine_node_counts=(10, 20, 30, 40, 50),  # the paper's grid
+    pl_mst_node_counts=(10, 20, 30, 40, 50),  # the paper's grid
+)
+
+#: tiny preset for unit/integration tests
+SMOKE = Preset(
+    name="smoke",
+    replications=1,
+    ts_config=TransitStubConfig(
+        total_nodes=100,
+        transit_domains=2,
+        transit_nodes_per_domain=3,
+        stub_domains_per_transit=2,
+    ),
+    ch3_hosts=50,
+    ch3_nodes=15,
+    ch3_join_phase_s=400.0,
+    ch3_total_s=1600.0,
+    churn_rates=(0.1,),
+    node_counts=(10, 20),
+    degree_values=(2, 4),
+    ch4_nodes=20,
+    ch4_total_s=800.0,
+    ch4_measure_interval_s=200.0,
+    pl_replications=1,
+    pl_pool_us=60,
+    pl_select=25,
+    pl_total_s=1600.0,
+    pl_join_phase_s=400.0,
+    pl_churn_rates=(0.1,),
+    pl_node_counts=(10, 20),
+    pl_degree_values=(2, 4),
+    pl_refine_node_counts=(10, 20),
+    pl_mst_node_counts=(8, 16),
+)
+
+PRESETS: dict[str, Preset] = {p.name: p for p in (PAPER, QUICK, SMOKE)}

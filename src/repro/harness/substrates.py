@@ -1,0 +1,121 @@
+"""Substrate builders for the two evaluation environments.
+
+Chapter 3 runs on a 792-router transit-stub graph with overlay hosts
+attached at random stub routers; Chapter 5 runs on a synthesized PlanetLab
+pool filtered down to working nodes, with the source at a Colorado-like
+site.  These builders package that setup (and its seeding discipline) so
+experiments and tests share one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.network import MatrixUnderlay, RouterUnderlay
+from repro.topology.linkmodel import LinkErrorConfig, assign_link_errors
+from repro.topology.planetlab import PlanetLabNode, generate_planetlab_pool
+from repro.topology.transit_stub import (
+    TransitStubConfig,
+    generate_transit_stub,
+    stub_routers,
+)
+from repro.util.rngtools import spawn_rng
+
+__all__ = [
+    "build_transit_stub_underlay",
+    "build_planetlab_underlay",
+    "PlanetLabSubstrate",
+]
+
+
+def build_transit_stub_underlay(
+    *,
+    n_hosts: int,
+    seed: int,
+    ts_config: TransitStubConfig | None = None,
+    link_errors: LinkErrorConfig | None = None,
+    access_delay_ms: float = 0.5,
+) -> RouterUnderlay:
+    """Generate a transit-stub graph and attach ``n_hosts`` overlay hosts.
+
+    Hosts get ids ``0..n_hosts-1`` and are attached to stub routers chosen
+    uniformly *without* replacement while possible (the paper's 1000-node
+    sweep exceeds the stub-router count, at which point routers are
+    shared).  Pass ``link_errors`` to enable the Chapter 4 loss model.
+    """
+    if n_hosts < 2:
+        raise ValueError(f"need at least 2 hosts, got {n_hosts}")
+    config = ts_config or TransitStubConfig()
+    graph = generate_transit_stub(config, seed=spawn_rng(seed, "topology"))
+    if link_errors is not None:
+        assign_link_errors(graph, link_errors, seed=spawn_rng(seed, "errors"))
+    stubs = stub_routers(graph)
+    rng = spawn_rng(seed, "attach")
+    if n_hosts <= len(stubs):
+        routers = rng.choice(stubs, size=n_hosts, replace=False)
+    else:
+        routers = rng.choice(stubs, size=n_hosts, replace=True)
+    attachments = {host: int(r) for host, r in enumerate(routers)}
+    return RouterUnderlay(graph, attachments, access_delay_ms=access_delay_ms)
+
+
+@dataclass
+class PlanetLabSubstrate:
+    """A selected PlanetLab experiment slice: underlay + source + roster."""
+
+    underlay: MatrixUnderlay
+    source: int
+    nodes: list[PlanetLabNode]
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.nodes)
+
+
+def build_planetlab_underlay(
+    *,
+    n_select: int = 100,
+    seed: int = 0,
+    n_us: int = 140,
+    n_eu: int = 0,
+    loss_sigma: float | None = None,
+) -> PlanetLabSubstrate:
+    """Synthesize a PlanetLab pool, filter it, and select an experiment slice.
+
+    Mirrors the paper's Section 5.2.1/5.4.2 procedure: generate the ~140
+    node US pool, drop unhealthy nodes (Fig. 5.2's three filter stages),
+    select ``n_select`` of the survivors, and fix the source at the node
+    nearest Colorado.  Host ids are 0..n_select-1; the source is included
+    in the selection (so sessions should use ``n_nodes = n_select - 1``).
+
+    ``loss_sigma``, when set, attaches a pairwise loss matrix whose rates
+    are lognormal around 0.5% — used by loss-metric experiments on this
+    substrate.
+    """
+    pool = generate_planetlab_pool(
+        n_us=n_us, n_eu=n_eu, seed=int(spawn_rng(seed, "pool").integers(2**31))
+    )
+    working = pool.filter_working()
+    if len(working) < n_select:
+        raise ValueError(
+            f"only {len(working)} working nodes after filtering; "
+            f"cannot select {n_select} (increase n_us)"
+        )
+    rng = spawn_rng(seed, "select")
+    idx = rng.choice(len(working), size=n_select, replace=False)
+    selected = [working[int(i)] for i in sorted(idx)]
+    rtt = pool.rtt_matrix(selected)
+    loss = None
+    if loss_sigma is not None:
+        loss_rng = spawn_rng(seed, "loss")
+        n = len(selected)
+        loss = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                rate = min(0.2, float(loss_rng.lognormal(np.log(0.005), loss_sigma)))
+                loss[i, j] = loss[j, i] = rate
+    underlay = MatrixUnderlay(rtt, host_ids=list(range(len(selected))), loss=loss)
+    source = pool.colorado_like_index(selected)
+    return PlanetLabSubstrate(underlay=underlay, source=source, nodes=selected)

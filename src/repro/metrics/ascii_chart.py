@@ -1,0 +1,108 @@
+"""ASCII line charts for series tables.
+
+The benchmark harness prints numeric tables; for eyeballing *shapes* —
+which is exactly what this reproduction validates — a rough plot beats a
+number grid.  This renderer draws a :class:`SeriesTable` as a fixed-size
+character canvas with one glyph per series, no plotting dependencies.
+
+>>> # print(ascii_chart(table, height=12))
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.metrics.report import SeriesTable
+
+__all__ = ["ascii_chart"]
+
+GLYPHS = "ox+*#@%&"
+
+
+def ascii_chart(
+    table: SeriesTable,
+    *,
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Render the table's series as an ASCII chart.
+
+    The x-axis spans the table's x range; each series is drawn with its
+    own glyph, linearly interpolated between grid points.  Returns a
+    multi-line string including a legend and axis labels.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("chart needs width >= 16 and height >= 4")
+    if not table.series or not table.x_values:
+        return f"{table.title}\n(no data)"
+
+    xs = table.x_values
+    all_ys = [v for s in table.series for v in s.means() if math.isfinite(v)]
+    if not all_ys:
+        return f"{table.title}\n(no finite data)"
+    y_lo, y_hi = min(all_ys), max(all_ys)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+
+    def to_row(y: float) -> int:
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    for si, series in enumerate(table.series):
+        glyph = GLYPHS[si % len(GLYPHS)]
+        points = [
+            (to_col(x), to_row(y))
+            for x, y in zip(xs, series.means())
+            if math.isfinite(y)
+        ]
+        # Connect consecutive grid points with interpolated marks.
+        for (c0, r0), (c1, r1) in zip(points[:-1], points[1:]):
+            steps = max(abs(c1 - c0), 1)
+            for step in range(steps + 1):
+                c = c0 + round((c1 - c0) * step / steps)
+                r = r0 + round((r1 - r0) * step / steps)
+                canvas[r][c] = glyph
+        for c, r in points:  # grid points overwrite interpolation
+            canvas[r][c] = glyph
+
+    lines = [table.title]
+    if table.expected_shape:
+        lines.append(f"(paper shape: {table.expected_shape})")
+    y_hi_label = f"{y_hi:.3g}"
+    y_lo_label = f"{y_lo:.3g}"
+    # Narrow ranges can round both labels to the same string; add digits
+    # until they separate (or the range truly is degenerate).
+    digits = 4
+    while y_hi_label == y_lo_label and digits <= 10 and y_hi != y_lo:
+        y_hi_label = f"{y_hi:.{digits}g}"
+        y_lo_label = f"{y_lo:.{digits}g}"
+        digits += 1
+    margin = max(len(y_hi_label), len(y_lo_label))
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = y_hi_label.rjust(margin)
+        elif i == height - 1:
+            label = y_lo_label.rjust(margin)
+        else:
+            label = " " * margin
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * margin + " +" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append(" " * margin + "  " + x_axis)
+    lines.append(
+        "legend: "
+        + "  ".join(
+            f"{GLYPHS[i % len(GLYPHS)]}={s.name}"
+            for i, s in enumerate(table.series)
+        )
+        + f"   x={table.x_label}"
+    )
+    return "\n".join(lines)

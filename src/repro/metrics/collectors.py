@@ -1,0 +1,217 @@
+"""Instantaneous tree metrics.
+
+All collectors take the ground-truth :class:`TreeRegistry` and the
+underlay, and evaluate only the *reachable* part of the tree (orphaned
+subtrees carry no data, so they do not stress links or count toward
+stretch — matching how the paper measures after its settle period).
+
+Definitions (paper section 3.6.3 / 5.3):
+
+* **stress** — identical copies of a packet crossing the same physical
+  link; averaged over the distinct links used (eq. 3.4).  IP multicast
+  would score 1 everywhere.
+* **stretch** — per node, overlay path delay from the source divided by
+  the unicast delay (eq. 3.5).  Unicast scores 1.
+* **hopcount** — overlay hops from the source; a shape proxy for the tree.
+* **resource usage** — summed latency of the overlay links in use
+  (Section 5.3's PlanetLab substitute for stress), plus a normalized form
+  (divided by the unicast-star cost, so values < 1 beat per-receiver
+  unicast).
+* **MST ratio** — tree cost over the cost of the exact MST on the same
+  members (Fig. 5.31).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.protocols.base import TreeRegistry
+from repro.protocols.mst import mst_parent_map, tree_cost
+from repro.sim.network import Underlay
+
+__all__ = [
+    "StressStats",
+    "StretchStats",
+    "HopcountStats",
+    "ResourceUsage",
+    "stress_stats",
+    "stretch_stats",
+    "hopcount_stats",
+    "resource_usage",
+    "mst_ratio",
+]
+
+
+def _reachable_edges(tree: TreeRegistry) -> list[tuple[int, int]]:
+    """(parent, child) edges on paths that reach the source."""
+    return [
+        (parent, child)
+        for parent, child in tree.edges()
+        if tree.is_reachable(child)
+    ]
+
+
+def _reachable_receivers(tree: TreeRegistry) -> list[int]:
+    return [n for n in tree.attached_nodes() if n != tree.source]
+
+
+@dataclass(frozen=True)
+class StressStats:
+    """Link stress distribution over the distinct physical links in use."""
+
+    average: float
+    maximum: int
+    links_used: int
+    total_transmissions: int
+
+    @staticmethod
+    def empty() -> "StressStats":
+        return StressStats(0.0, 0, 0, 0)
+
+
+def stress_stats(tree: TreeRegistry, underlay: Underlay) -> StressStats:
+    """Average and max physical-link stress of the current tree (eq. 3.4)."""
+    usage: Counter = Counter()
+    for parent, child in _reachable_edges(tree):
+        for link in underlay.path_links(parent, child):
+            usage[link] += 1
+    if not usage:
+        return StressStats.empty()
+    total = sum(usage.values())
+    return StressStats(
+        average=total / len(usage),
+        maximum=max(usage.values()),
+        links_used=len(usage),
+        total_transmissions=total,
+    )
+
+
+@dataclass(frozen=True)
+class StretchStats:
+    """Per-node stretch distribution (eq. 3.5)."""
+
+    average: float
+    minimum: float
+    maximum: float
+    leaf_average: float
+    count: int
+
+    @staticmethod
+    def empty() -> "StretchStats":
+        return StretchStats(0.0, 0.0, 0.0, 0.0, 0)
+
+
+def stretch_stats(tree: TreeRegistry, underlay: Underlay) -> StretchStats:
+    """Stretch over all reachable receivers.
+
+    Nodes whose unicast delay to the source is zero are skipped (they
+    cannot define a ratio); overlay routing *can* beat the "unicast" RTT
+    estimate on PlanetLab-style underlays, so minima below 1 are real
+    (the paper observes exactly this in Fig. 5.16).
+    """
+    values: list[float] = []
+    leaf_values: list[float] = []
+    for node in _reachable_receivers(tree):
+        unicast = underlay.delay_ms(tree.source, node)
+        if unicast <= 0:
+            continue
+        path = tree.path_to_source(node)
+        overlay = sum(
+            underlay.delay_ms(a, b) for a, b in zip(path[:-1], path[1:])
+        )
+        ratio = overlay / unicast
+        values.append(ratio)
+        if not tree.children.get(node):
+            leaf_values.append(ratio)
+    if not values:
+        return StretchStats.empty()
+    return StretchStats(
+        average=sum(values) / len(values),
+        minimum=min(values),
+        maximum=max(values),
+        leaf_average=(sum(leaf_values) / len(leaf_values)) if leaf_values else 0.0,
+        count=len(values),
+    )
+
+
+@dataclass(frozen=True)
+class HopcountStats:
+    """Overlay-depth distribution."""
+
+    average: float
+    maximum: int
+    leaf_average: float
+    count: int
+
+    @staticmethod
+    def empty() -> "HopcountStats":
+        return HopcountStats(0.0, 0, 0.0, 0)
+
+
+def hopcount_stats(tree: TreeRegistry) -> HopcountStats:
+    depths: list[int] = []
+    leaf_depths: list[int] = []
+    for node in _reachable_receivers(tree):
+        d = tree.depth(node)
+        depths.append(d)
+        if not tree.children.get(node):
+            leaf_depths.append(d)
+    if not depths:
+        return HopcountStats.empty()
+    return HopcountStats(
+        average=sum(depths) / len(depths),
+        maximum=max(depths),
+        leaf_average=(sum(leaf_depths) / len(leaf_depths)) if leaf_depths else 0.0,
+        count=len(depths),
+    )
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Total latency of overlay links in use (Section 5.3)."""
+
+    total_ms: float
+    normalized: float  # total / unicast-star total
+    edges: int
+
+    @staticmethod
+    def empty() -> "ResourceUsage":
+        return ResourceUsage(0.0, 0.0, 0)
+
+
+def resource_usage(tree: TreeRegistry, underlay: Underlay) -> ResourceUsage:
+    edges = _reachable_edges(tree)
+    if not edges:
+        return ResourceUsage.empty()
+    total = sum(underlay.delay_ms(p, c) for p, c in edges)
+    star = sum(
+        underlay.delay_ms(tree.source, n) for n in _reachable_receivers(tree)
+    )
+    return ResourceUsage(
+        total_ms=total,
+        normalized=total / star if star > 0 else 0.0,
+        edges=len(edges),
+    )
+
+
+def mst_ratio(
+    tree: TreeRegistry,
+    metric: Callable[[int, int], float],
+) -> float:
+    """Tree cost / exact-MST cost on the same reachable members (Fig 5.31).
+
+    Returns 1.0 for trivial trees (fewer than two members).
+    """
+    members = tree.attached_nodes()
+    if len(members) < 2:
+        return 1.0
+    overlay_cost = sum(
+        metric(p, c) for p, c in _reachable_edges(tree)
+    )
+    reference = mst_parent_map(members, tree.source, metric)
+    ref_cost = tree_cost(reference, metric)
+    if ref_cost <= 0:
+        return 1.0
+    return overlay_cost / ref_cost

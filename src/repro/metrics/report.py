@@ -1,0 +1,123 @@
+"""Measurement records and experiment series.
+
+:class:`MeasurementRecord` is one snapshot of a running session (one of
+the paper's per-slot measurements).  :class:`Series` / :class:`SeriesTable`
+hold a figure's worth of data — one y-series per protocol against a swept
+x-axis — and render the plain-text tables the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Mapping, Sequence
+
+from repro.metrics.collectors import (
+    HopcountStats,
+    ResourceUsage,
+    StressStats,
+    StretchStats,
+)
+from repro.metrics.stats import SummaryStats
+
+__all__ = ["MeasurementRecord", "Series", "SeriesTable"]
+
+
+@dataclass(frozen=True)
+class MeasurementRecord:
+    """One measurement instant of one session."""
+
+    time: float
+    n_members: int
+    n_reachable: int
+    stress: StressStats
+    stretch: StretchStats
+    hopcount: HopcountStats
+    usage: ResourceUsage
+    window_loss: float
+    window_mean_node_loss: float
+    window_overhead: float
+    cumulative_control_messages: int
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class Series:
+    """One named y-series over a shared x-axis (one curve of a figure)."""
+
+    name: str
+    values: list[SummaryStats]
+
+    def means(self) -> list[float]:
+        return [v.mean for v in self.values]
+
+
+@dataclass
+class SeriesTable:
+    """A figure's data: x-axis plus one or more series, with rendering.
+
+    ``expected_shape`` carries the paper's qualitative expectation for the
+    figure, printed alongside measured values so benchmark output is
+    self-describing.
+    """
+
+    title: str
+    x_label: str
+    x_values: list[float]
+    series: list[Series] = field(default_factory=list)
+    expected_shape: str = ""
+
+    def add_series(self, name: str, values: Sequence[SummaryStats]) -> None:
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for "
+                f"{len(self.x_values)} x values"
+            )
+        self.series.append(Series(name, list(values)))
+
+    def get(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"no series named {name!r} in {self.title!r}")
+
+    def render(self) -> str:
+        """Plain-text table: one row per x value, one column per series."""
+        headers = [self.x_label] + [s.name for s in self.series]
+        rows = []
+        for i, x in enumerate(self.x_values):
+            row = [f"{x:g}"]
+            for s in self.series:
+                row.append(str(s.values[i]))
+            rows.append(row)
+        widths = [
+            max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+            for c in range(len(headers))
+        ]
+        lines = [self.title]
+        if self.expected_shape:
+            lines.append(f"(paper shape: {self.expected_shape})")
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "title": self.title,
+            "x_label": self.x_label,
+            "x_values": self.x_values,
+            "expected_shape": self.expected_shape,
+            "series": {
+                s.name: {
+                    "mean": [v.mean for v in s.values],
+                    "ci": [v.ci_halfwidth for v in s.values],
+                    "n": [v.n for v in s.values],
+                }
+                for s in self.series
+            },
+        }
+        return json.dumps(payload, indent=2)

@@ -1,0 +1,36 @@
+"""Overlay multicast protocols.
+
+* :mod:`repro.protocols.base` — the agent framework and runtime all
+  protocols share (message transport, timeouts, tree registry, counters).
+* :mod:`repro.protocols.messages` — the control-message vocabulary
+  (Section 5.2.2 of the paper).
+* :mod:`repro.protocols.hmtp` — Host Multicast Tree Protocol, the paper's
+  primary comparator.
+* :mod:`repro.protocols.btp` — Banana Tree Protocol (related-work extra).
+* :mod:`repro.protocols.mst` — centralized (degree-constrained) minimum
+  spanning trees, the reference of Fig. 5.31.
+
+The paper's own contribution, VDM, lives in :mod:`repro.core`.
+"""
+
+from repro.protocols.base import OverlayAgent, ProtocolRuntime, TreeRegistry
+from repro.protocols.hmtp import HMTPAgent, HMTPConfig
+from repro.protocols.btp import BTPAgent, BTPConfig
+from repro.protocols.mst import (
+    mst_parent_map,
+    degree_constrained_mst,
+    tree_cost,
+)
+
+__all__ = [
+    "OverlayAgent",
+    "ProtocolRuntime",
+    "TreeRegistry",
+    "HMTPAgent",
+    "HMTPConfig",
+    "BTPAgent",
+    "BTPConfig",
+    "mst_parent_map",
+    "degree_constrained_mst",
+    "tree_cost",
+]

@@ -1,0 +1,1058 @@
+"""Agent framework and protocol runtime.
+
+Everything the overlay protocols share lives here:
+
+* :class:`ProtocolRuntime` — binds agents to the simulator and the
+  underlay; delivers control messages with real propagation delay, handles
+  timeouts to departed peers, counts every control message (the numerator
+  of the paper's overhead metric, eq. 3.6), and records join/reconnect
+  durations (the startup-time and reconnection-time metrics of Chapter 5).
+* :class:`TreeRegistry` — the ground-truth overlay tree, updated at the
+  instant a parent commits a connection.  Metrics and the data-plane
+  accountant observe the registry; agents keep their own (slightly lagged)
+  local views, exactly as real peers would.
+* :class:`OverlayAgent` — per-node protocol state and default handlers for
+  the shared message vocabulary.
+* :class:`JoinProcess` — the iterative query/probe/decide loop that VDM,
+  HMTP, and BTP all follow; each protocol plugs in its own decision rule
+  (:meth:`OverlayAgent.join_decision`).
+
+Design note: the joining peer's "don't attach inside my own subtree" guard
+is implemented as a parent-chain walk on the registry
+(:meth:`TreeRegistry.is_descendant`).  In a deployed system each node keeps
+its root path for exactly this check (as HMTP and BTP do); consulting the
+registry is the simulation-local equivalent and costs no messages, matching
+how the paper's implementation treats root-path state.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.protocols.messages import (
+    ChildInfo,
+    ChildRemove,
+    ConnRequest,
+    ConnResponse,
+    GrandparentChange,
+    InfoRequest,
+    InfoResponse,
+    LeaveNotice,
+    Message,
+    ParentChange,
+)
+from repro.sim.engine import Event, Simulator
+from repro.sim.network import Underlay
+
+__all__ = [
+    "ProtocolRuntime",
+    "TreeRegistry",
+    "OverlayAgent",
+    "JoinProcess",
+    "JoinRecord",
+    "Descend",
+    "Attach",
+    "Insert",
+]
+
+
+# --------------------------------------------------------------------------
+# Tree registry (ground truth)
+# --------------------------------------------------------------------------
+
+
+class TreeRegistry:
+    """Authoritative view of the overlay tree.
+
+    Nodes are in one of three states: *attached* (has a parent, or is the
+    source), *orphan* (present with a dangling subtree, waiting to
+    reconnect), or *absent*.  Mutations fire listener callbacks with the
+    simulation timestamp, which drives the data-plane accountant.
+
+    Listener signature: ``listener(kind, node, parent, time)`` where kind is
+    one of ``"attach"``, ``"orphan"``, ``"depart"``, ``"reparent"``.
+    """
+
+    def __init__(self, source: int) -> None:
+        self.source = source
+        self.parent: dict[int, int | None] = {source: None}
+        self.children: dict[int, set[int]] = {source: set()}
+        self._listeners: list[Callable[[str, int, int | None, float], None]] = []
+
+    # -- listeners ----------------------------------------------------------
+
+    def add_listener(
+        self, listener: Callable[[str, int, int | None, float], None]
+    ) -> None:
+        self._listeners.append(listener)
+
+    def _emit(self, kind: str, node: int, parent: int | None, time: float) -> None:
+        for listener in self._listeners:
+            listener(kind, node, parent, time)
+
+    # -- queries -------------------------------------------------------------
+
+    def is_present(self, node: int) -> bool:
+        return node in self.parent
+
+    def is_attached(self, node: int) -> bool:
+        return node == self.source or self.parent.get(node) is not None
+
+    def is_orphan(self, node: int) -> bool:
+        return node != self.source and node in self.parent and self.parent[node] is None
+
+    def members(self) -> list[int]:
+        """All present nodes (attached or orphan), source included."""
+        return list(self.parent)
+
+    def attached_nodes(self) -> list[int]:
+        """Nodes with an unbroken parent chain to the source."""
+        return [n for n in self.parent if self.is_reachable(n)]
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All (parent, child) edges currently committed."""
+        return [
+            (p, c) for c, p in self.parent.items() if p is not None
+        ]
+
+    def is_reachable(self, node: int) -> bool:
+        """Whether ``node`` has an unbroken parent chain to the source."""
+        seen = set()
+        while True:
+            if node == self.source:
+                return True
+            if node in seen or node not in self.parent:
+                return False
+            seen.add(node)
+            up = self.parent[node]
+            if up is None:
+                return False
+            node = up
+
+    def path_to_source(self, node: int) -> list[int]:
+        """Node ids from ``node`` up to the source, inclusive.
+
+        Raises ``ValueError`` if the chain is broken (orphaned subtree).
+        """
+        path = [node]
+        seen = {node}
+        while path[-1] != self.source:
+            up = self.parent.get(path[-1])
+            if up is None:
+                raise ValueError(f"node {node} has no path to source")
+            if up in seen:
+                raise ValueError(f"parent cycle detected at {up}")
+            seen.add(up)
+            path.append(up)
+        return path
+
+    def depth(self, node: int) -> int:
+        """Overlay hops from the source (source depth is 0)."""
+        return len(self.path_to_source(node)) - 1
+
+    def is_descendant(self, node: int, ancestor: int) -> bool:
+        """Whether ``node`` lies strictly below ``ancestor``."""
+        if node == ancestor:
+            return False
+        cur = self.parent.get(node)
+        seen = set()
+        while cur is not None and cur not in seen:
+            if cur == ancestor:
+                return True
+            seen.add(cur)
+            cur = self.parent.get(cur)
+        return False
+
+    def subtree(self, node: int) -> list[int]:
+        """``node`` and everything below it (committed edges only)."""
+        out = [node]
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            for child in self.children.get(cur, ()):
+                out.append(child)
+                stack.append(child)
+        return out
+
+    # -- mutations ------------------------------------------------------------
+
+    def attach(self, node: int, parent: int, time: float) -> None:
+        """Commit ``node`` under ``parent`` (fresh join or orphan rejoin)."""
+        if node == self.source:
+            raise ValueError("cannot attach the source")
+        if parent not in self.parent:
+            raise ValueError(f"parent {parent} is not present")
+        if self.parent.get(node) is not None:
+            raise ValueError(f"node {node} already attached; use reparent")
+        if self.is_descendant(parent, node):
+            raise ValueError(f"attaching {node} under its own descendant {parent}")
+        self.parent[node] = parent
+        self.children.setdefault(node, set())
+        self.children[parent].add(node)
+        self._emit("attach", node, parent, time)
+
+    def reparent(self, node: int, new_parent: int, time: float) -> None:
+        """Atomically move an attached node (and its subtree) to a new parent."""
+        if node == self.source:
+            raise ValueError("cannot reparent the source")
+        old = self.parent.get(node)
+        if old is None:
+            raise ValueError(f"node {node} is not attached; use attach")
+        if new_parent not in self.parent:
+            raise ValueError(f"parent {new_parent} is not present")
+        if new_parent == node or self.is_descendant(new_parent, node):
+            raise ValueError(f"reparenting {node} under its own subtree")
+        if new_parent == old:
+            return
+        self.children[old].discard(node)
+        self.parent[node] = new_parent
+        self.children[new_parent].add(node)
+        self._emit("reparent", node, new_parent, time)
+
+    def depart(self, node: int, time: float) -> None:
+        """Remove a departing node; its children become orphans."""
+        if node == self.source:
+            raise ValueError("the source cannot depart")
+        if node not in self.parent:
+            raise ValueError(f"node {node} is not present")
+        up = self.parent.pop(node)
+        if up is not None:
+            self.children[up].discard(node)
+        for child in sorted(self.children.pop(node, set())):
+            self.parent[child] = None
+            self._emit("orphan", child, None, time)
+        self._emit("depart", node, up, time)
+
+
+# --------------------------------------------------------------------------
+# Join/reconnect bookkeeping
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JoinRecord:
+    """One completed (or failed) join/reconnect/refine attempt."""
+
+    node: int
+    kind: str  # "join" | "reconnect" | "refine"
+    started_at: float
+    completed_at: float
+    succeeded: bool
+    iterations: int
+
+    @property
+    def duration(self) -> float:
+        return self.completed_at - self.started_at
+
+
+# --------------------------------------------------------------------------
+# Runtime
+# --------------------------------------------------------------------------
+
+
+class ProtocolRuntime:
+    """Shared services for all agents of one multicast session.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator driving this session.
+    underlay:
+        Physical substrate: message latency between hosts.
+    source:
+        Host id of the stream source (root of the tree).
+    metric:
+        Virtual-distance function ``f(a, b) -> float`` used by the join
+        logic.  Defaults to RTT (VDM-D / HMTP behaviour); Chapter 4's
+        generalized metrics plug in here.
+    timeout_ms:
+        How long a requester waits for a reply before treating the target
+        as dead.
+    measurement_noise_sigma:
+        Lognormal sigma applied independently to every distance
+        measurement, modelling probe noise (background traffic, scheduler
+        jitter) on a real testbed.  0 (the default) gives exact
+        measurements — the NS-2 regime; the PlanetLab emulation uses a
+        nonzero value.
+    noise_rng:
+        Generator for measurement noise (required when sigma > 0).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        underlay: Underlay,
+        source: int,
+        *,
+        metric: Callable[[int, int], float] | None = None,
+        timeout_ms: float = 3000.0,
+        measurement_noise_sigma: float = 0.0,
+        noise_rng=None,
+    ) -> None:
+        if timeout_ms <= 0:
+            raise ValueError(f"timeout_ms must be > 0, got {timeout_ms}")
+        if measurement_noise_sigma < 0:
+            raise ValueError(
+                f"measurement_noise_sigma must be >= 0, got {measurement_noise_sigma}"
+            )
+        if measurement_noise_sigma > 0 and noise_rng is None:
+            raise ValueError("noise_rng is required when measurement noise is on")
+        underlay.validate_host(source)
+        self.sim = sim
+        self.underlay = underlay
+        self.source = source
+        self.metric = metric or underlay.rtt_ms
+        self.timeout_ms = timeout_ms
+        self.measurement_noise_sigma = measurement_noise_sigma
+        self._noise_rng = noise_rng
+        self.tree = TreeRegistry(source)
+        self.agents: dict[int, OverlayAgent] = {}
+        self._alive: set[int] = set()
+        self.message_counts: Counter[str] = Counter()
+        self.join_records: list[JoinRecord] = []
+
+    # -- agent lifecycle ------------------------------------------------------
+
+    def register(self, agent: "OverlayAgent") -> None:
+        if agent.node_id in self.agents and self.is_alive(agent.node_id):
+            raise ValueError(f"agent {agent.node_id} already registered and alive")
+        self.underlay.validate_host(agent.node_id)
+        self.agents[agent.node_id] = agent
+        self._alive.add(agent.node_id)
+
+    def mark_dead(self, node: int) -> None:
+        self._alive.discard(node)
+
+    def is_alive(self, node: int) -> bool:
+        return node in self._alive
+
+    def alive_nodes(self) -> list[int]:
+        return sorted(self._alive)
+
+    # -- distances -------------------------------------------------------------
+
+    def virtual_distance(self, a: int, b: int, *, samples: int = 1) -> float:
+        """A *measurement* of the virtual distance between two hosts.
+
+        With measurement noise enabled, repeated calls return different
+        samples around the true metric value — exactly what repeated RTT
+        probes on a shared testbed do.  ``samples`` > 1 averages several
+        probes (refinement passes do this: they are not on the join-time
+        critical path, so they can afford a less noisy estimate).
+        """
+        if samples < 1:
+            raise ValueError(f"samples must be >= 1, got {samples}")
+        base = float(self.metric(a, b))
+        if self.measurement_noise_sigma > 0 and a != b:
+            noise = np.mean(
+                self._noise_rng.lognormal(
+                    0.0, self.measurement_noise_sigma, size=samples
+                )
+            )
+            base *= float(noise)
+        return base
+
+    # -- messaging ---------------------------------------------------------------
+
+    @property
+    def total_control_messages(self) -> int:
+        return sum(self.message_counts.values())
+
+    def _count(self, msg: Message) -> None:
+        self.message_counts[type(msg).__name__] += 1
+
+    def tell(self, src: int, dst: int, msg: Message) -> None:
+        """Fire-and-forget control message."""
+        self._count(msg)
+        if not self.is_alive(dst):
+            return
+        delay = self.underlay.delay_ms(src, dst) / 1000.0
+
+        def deliver() -> None:
+            if self.is_alive(dst):
+                self.agents[dst].handle_tell(src, msg)
+
+        self.sim.schedule_in(delay, deliver, label=f"tell:{type(msg).__name__}")
+
+    def request(
+        self,
+        src: int,
+        dst: int,
+        msg: Message,
+        on_reply: Callable[[Message], None],
+        on_timeout: Callable[[], None],
+    ) -> None:
+        """Request/response exchange with a timeout.
+
+        The reply is produced synchronously by the target's
+        :meth:`OverlayAgent.handle_request` and travels back with the same
+        one-way latency.  If the target is (or dies) unreachable, the
+        requester's ``on_timeout`` fires after ``timeout_ms``.
+        """
+        self._count(msg)
+        timeout_event = self.sim.schedule_in(
+            self.timeout_ms / 1000.0,
+            lambda: self._fire_timeout(src, on_timeout),
+            label="timeout",
+        )
+        if not self.is_alive(dst):
+            return  # request lost; timeout will fire
+        delay = self.underlay.delay_ms(src, dst) / 1000.0
+
+        def deliver_request() -> None:
+            if not self.is_alive(dst):
+                return
+            reply = self.agents[dst].handle_request(src, msg)
+            if reply is None:
+                return
+            self._count(reply)
+
+            def deliver_reply() -> None:
+                if not self.is_alive(src):
+                    return
+                timeout_event.cancel()
+                on_reply(reply)
+
+            self.sim.schedule_in(
+                delay, deliver_reply, label=f"reply:{type(reply).__name__}"
+            )
+
+        self.sim.schedule_in(
+            delay, deliver_request, label=f"req:{type(msg).__name__}"
+        )
+
+    def _fire_timeout(self, src: int, on_timeout: Callable[[], None]) -> None:
+        if self.is_alive(src):
+            on_timeout()
+
+    # -- join bookkeeping ----------------------------------------------------------
+
+    def record_join(self, record: JoinRecord) -> None:
+        self.join_records.append(record)
+
+
+# --------------------------------------------------------------------------
+# Join decisions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Descend:
+    """Continue the join iteration from ``child``."""
+
+    child: int
+
+
+@dataclass(frozen=True)
+class Attach:
+    """Terminal decision: request to become a child of ``target``."""
+
+    target: int
+
+
+@dataclass(frozen=True)
+class Insert:
+    """Terminal decision (VDM Case II): slot in between ``target`` and
+    the children in ``adopt``."""
+
+    target: int
+    adopt: tuple[int, ...]
+
+
+Decision = Descend | Attach | Insert
+
+
+# --------------------------------------------------------------------------
+# Agents
+# --------------------------------------------------------------------------
+
+
+class OverlayAgent:
+    """Per-node protocol state plus default handlers for shared messages.
+
+    Subclasses implement :meth:`join_decision` (the protocol's brain) and
+    may override :meth:`on_parent_lost` (reconnection policy; the default
+    is VDM's grandparent restart).
+
+    ``degree_limit`` is the maximum number of children this node will
+    accept — the paper's "degree limit", derived from uplink bandwidth.
+    """
+
+    #: subclass marker used in reports, e.g. "vdm", "hmtp".
+    protocol_name = "base"
+
+    def __init__(
+        self,
+        node_id: int,
+        env: ProtocolRuntime,
+        *,
+        degree_limit: int = 4,
+    ) -> None:
+        if degree_limit < 1:
+            raise ValueError(f"degree_limit must be >= 1, got {degree_limit}")
+        self.node_id = node_id
+        self.env = env
+        self.degree_limit = int(degree_limit)
+        self.parent: int | None = None
+        self.grandparent: int | None = None
+        #: child id -> virtual distance measured when the child connected.
+        self.children: dict[int, float] = {}
+        self.active_process: JoinProcess | None = None
+        self._refine_event: Event | None = None
+
+    # -- basic state -----------------------------------------------------------
+
+    @property
+    def is_source(self) -> bool:
+        return self.node_id == self.env.source
+
+    @property
+    def free_degree(self) -> int:
+        return self.degree_limit - len(self.children)
+
+    def child_info(self) -> tuple[ChildInfo, ...]:
+        env = self.env
+        infos = []
+        for child, dist in sorted(self.children.items()):
+            agent = env.agents.get(child)
+            free = agent.free_degree if agent is not None and env.is_alive(child) else 0
+            infos.append(ChildInfo(node_id=child, distance=dist, free_degree=free))
+        return tuple(infos)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start_join(self, *, kind: str = "join", at: int | None = None) -> None:
+        """Begin the iterative join process (from the source by default).
+
+        With foster-child mode enabled (HMTP's quick-start concept,
+        Section 2.4.7: "A node connects root at the beginning to start
+        stream immediately.  Then, it jumps to ideal parent when it is
+        found."), a fresh join first grabs any free slot at the source
+        and then optimizes its placement in the background.
+        """
+        if self.is_source:
+            raise ValueError("the source does not join")
+        self.cancel_active_process()
+        start = at if at is not None else self.env.source
+        if kind == "join" and self.parent is None and self.foster_join_enabled():
+            self._foster_attach(start)
+            return
+        self.active_process = JoinProcess(self, start_node=start, kind=kind)
+        self.active_process.start()
+
+    def foster_join_enabled(self) -> bool:
+        """Whether fresh joins use the foster-child quick start."""
+        return False
+
+    def _foster_attach(self, start: int) -> None:
+        """Foster-child quick start: attach at the source immediately,
+        then run the regular join as a background parent switch."""
+        me = self.node_id
+        src = self.env.source
+        started_at = self.env.sim.now
+
+        def begin_real_join(*, as_switch: bool) -> None:
+            # "switch" runs the protocol's *full* join logic but commits
+            # as an atomic parent change (the foster node already has a
+            # stream); plain "refine" would trigger HMTP's one-level rule.
+            kind = "switch" if as_switch else "join"
+            process = JoinProcess(self, start_node=start, kind=kind)
+            if not as_switch:
+                process.started_at = started_at
+            self.active_process = process
+            process.start()
+
+        def on_reply(reply: Message) -> None:
+            if not isinstance(reply, ConnResponse) or not reply.accepted:
+                begin_real_join(as_switch=False)
+                return
+            self.parent = src
+            self.grandparent = reply.parent
+            self.env.record_join(
+                JoinRecord(
+                    node=me,
+                    kind="join",
+                    started_at=started_at,
+                    completed_at=self.env.sim.now,
+                    succeeded=True,
+                    iterations=1,
+                )
+            )
+            self.on_connected()
+            begin_real_join(as_switch=True)
+
+        def on_timeout() -> None:
+            begin_real_join(as_switch=False)
+
+        self.env.request(me, src, ConnRequest(kind="attach"), on_reply, on_timeout)
+
+    def leave(self) -> None:
+        """Gracefully leave: notify children and parent, then go dark."""
+        if self.is_source:
+            raise ValueError("the source cannot leave")
+        self.cancel_active_process()
+        self.stop_refinement()
+        for child in sorted(self.children):
+            self.env.tell(self.node_id, child, LeaveNotice())
+        if self.parent is not None:
+            self.env.tell(self.node_id, self.parent, ChildRemove())
+        if self.env.tree.is_present(self.node_id):
+            self.env.tree.depart(self.node_id, self.env.sim.now)
+        self.env.mark_dead(self.node_id)
+        self.parent = None
+        self.grandparent = None
+        self.children.clear()
+
+    def cancel_active_process(self) -> None:
+        if self.active_process is not None:
+            self.active_process.cancel()
+            self.active_process = None
+
+    # -- protocol hooks ------------------------------------------------------------
+
+    def join_decision(
+        self,
+        pivot: int,
+        dist_to_pivot: float,
+        pivot_info: InfoResponse,
+        probes: dict[int, tuple[float, ChildInfo]],
+    ) -> Decision:
+        """Protocol-specific decision for one join iteration.
+
+        Parameters
+        ----------
+        pivot:
+            The node currently being queried.
+        dist_to_pivot:
+            Virtual distance from this node to the pivot.
+        pivot_info:
+            The pivot's information response (children, free degree).
+        probes:
+            Probed children: child id -> (distance from this node to the
+            child, the pivot's :class:`ChildInfo` for the child).  Children
+            that timed out or were filtered (self, own descendants) are
+            absent.
+        """
+        raise NotImplementedError
+
+    def on_parent_lost(self) -> None:
+        """Reconnection policy.  Default: restart join at the grandparent
+        (Section 3.3), falling back to the source when unknown."""
+        target = self.grandparent if self.grandparent is not None else self.env.source
+        if target == self.node_id:
+            target = self.env.source
+        self.start_join(kind="reconnect", at=target)
+
+    def on_connected(self) -> None:
+        """Hook called after a (re)connection commits.  Default: no-op."""
+
+    def accept_refine_target(self, target: int) -> bool:
+        """Whether a refinement pass should switch to ``target``.
+
+        VDM's rule (the default): switch whenever the rejoin finds any
+        parent different from the current one.  HMTP overrides this to
+        require the new parent to be strictly closer.
+        """
+        return True
+
+    def auto_refine_period(self) -> float | None:
+        """Default refinement period for this protocol, or ``None``.
+
+        Sessions arm refinement with this period unless overridden.  VDM
+        runs without refinement by default (Section 3.4: "In our regular
+        experiments, we don't use refinement"); HMTP depends on its
+        periodic refinement and always returns one.
+        """
+        return None
+
+    # -- refinement ------------------------------------------------------------------
+
+    def start_refinement(self, period_s: float, *, jitter_rng=None) -> None:
+        """Arm the periodic refinement timer (Section 3.4)."""
+        if period_s <= 0:
+            raise ValueError(f"period_s must be > 0, got {period_s}")
+        self.stop_refinement()
+        first = period_s
+        if jitter_rng is not None:
+            first = float(jitter_rng.uniform(0.5, 1.5)) * period_s
+        self._refine_period = period_s
+        self._refine_event = self.env.sim.schedule_in(
+            first, self._refine_tick, label="refine"
+        )
+
+    def stop_refinement(self) -> None:
+        if self._refine_event is not None:
+            self._refine_event.cancel()
+            self._refine_event = None
+
+    def _refine_tick(self) -> None:
+        if not self.env.is_alive(self.node_id):
+            return
+        self._refine_event = self.env.sim.schedule_in(
+            self._refine_period, self._refine_tick, label="refine"
+        )
+        # Only refine while attached and idle; a node mid-reconnect must
+        # not preempt its recovery with a refinement probe.
+        if self.parent is None or self.active_process is not None:
+            return
+        self.active_process = JoinProcess(
+            self, start_node=self.refinement_start_node(), kind="refine"
+        )
+        self.active_process.start()
+
+    def refinement_start_node(self) -> int:
+        """Where a refinement rejoin starts.  VDM restarts at the source."""
+        return self.env.source
+
+    # -- message handlers -----------------------------------------------------------
+
+    def handle_request(self, sender: int, msg: Message) -> Message | None:
+        if isinstance(msg, InfoRequest):
+            return InfoResponse(
+                node_id=self.node_id,
+                free_degree=self.free_degree,
+                parent=self.parent,
+                children=self.child_info() if msg.want_children else (),
+            )
+        if isinstance(msg, ConnRequest):
+            return self._handle_conn_request(sender, msg)
+        raise TypeError(f"unexpected request {type(msg).__name__}")
+
+    def _handle_conn_request(self, sender: int, msg: ConnRequest) -> ConnResponse:
+        env = self.env
+        tree = env.tree
+        reject = ConnResponse(
+            accepted=False,
+            node_id=self.node_id,
+            parent=self.parent,
+            children=self.child_info(),
+        )
+        # A peer that is itself dangling cannot serve as a parent.
+        if not self.is_source and not tree.is_reachable(self.node_id):
+            return reject
+        # Never accept our own ancestor as a child: that would loop.
+        if tree.is_descendant(self.node_id, sender):
+            return reject
+
+        if msg.kind == "insert":
+            transferable = [
+                c
+                for c in msg.adopt
+                if c in self.children and env.is_alive(c) and c != sender
+            ]
+            if not transferable and self.free_degree <= 0:
+                # The directional children vanished and no slot is free, so
+                # neither the insert nor an attach fallback can proceed.
+                return reject
+            dist = env.virtual_distance(self.node_id, sender)
+            now = env.sim.now
+            # Commit the sender first so it exists in the tree before its
+            # adopted children are reparented under it.
+            self.children[sender] = dist
+            self._commit_child(sender, now)
+            for child in transferable:
+                del self.children[child]
+                tree.reparent(child, sender, now)
+            return ConnResponse(
+                accepted=True,
+                node_id=self.node_id,
+                parent=self.parent,
+                transferred=tuple(transferable),
+            )
+
+        # attach
+        if self.free_degree <= 0:
+            return reject
+        dist = env.virtual_distance(self.node_id, sender)
+        now = env.sim.now
+        self.children[sender] = dist
+        self._commit_child(sender, now)
+        return ConnResponse(
+            accepted=True, node_id=self.node_id, parent=self.parent
+        )
+
+    def _commit_child(self, child: int, now: float) -> None:
+        """Record the new edge in the ground-truth tree."""
+        tree = self.env.tree
+        if tree.is_present(child) and tree.is_attached(child):
+            tree.reparent(child, self.node_id, now)
+        else:
+            tree.attach(child, self.node_id, now)
+
+    def handle_tell(self, sender: int, msg: Message) -> None:
+        if isinstance(msg, LeaveNotice):
+            if sender == self.parent:
+                self.parent = None
+                self.on_parent_lost()
+            return
+        if isinstance(msg, ParentChange):
+            self.parent = msg.new_parent
+            self.grandparent = msg.new_grandparent
+            for child in sorted(self.children):
+                self.env.tell(
+                    self.node_id, child, GrandparentChange(new_grandparent=msg.new_parent)
+                )
+            return
+        if isinstance(msg, GrandparentChange):
+            self.grandparent = msg.new_grandparent
+            return
+        if isinstance(msg, ChildRemove):
+            self.children.pop(sender, None)
+            return
+        raise TypeError(f"unexpected tell {type(msg).__name__}")
+
+
+# --------------------------------------------------------------------------
+# The shared join loop
+# --------------------------------------------------------------------------
+
+
+class JoinProcess:
+    """One iterative join/reconnect/refinement attempt.
+
+    Implements the query-pivot -> probe-children -> decide loop shared by
+    all tree-based protocols here.  The protocol's brain is
+    :meth:`OverlayAgent.join_decision`; this class supplies the plumbing:
+    sequential iterations, parallel child probes, timeout recovery
+    (restart at the source), rejection redirects, and commit semantics
+    (fresh attach vs atomic parent switch for refinement).
+    """
+
+    MAX_ITERATIONS = 64
+    MAX_RESTARTS = 3
+    #: probes averaged per distance estimate during refinement (off the
+    #: critical path, so a steadier estimate is affordable and prevents
+    #: noise-driven parent thrashing).
+    REFINE_PROBE_SAMPLES = 3
+
+    def __init__(self, agent: OverlayAgent, start_node: int, *, kind: str) -> None:
+        if kind not in ("join", "reconnect", "refine", "switch"):
+            raise ValueError(f"unknown join kind {kind!r}")
+        self.agent = agent
+        self.env = agent.env
+        self.kind = kind
+        self.probe_samples = (
+            self.REFINE_PROBE_SAMPLES if kind == "refine" else 1
+        )
+        self.start_node = start_node
+        self.started_at = self.env.sim.now
+        self.iterations = 0
+        self.restarts = 0
+        self.cancelled = False
+        self.finished = False
+
+    # -- control ---------------------------------------------------------------
+
+    def start(self) -> None:
+        self._iterate(self.start_node)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def _done(self, succeeded: bool) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self.env.record_join(
+            JoinRecord(
+                node=self.agent.node_id,
+                kind=self.kind,
+                started_at=self.started_at,
+                completed_at=self.env.sim.now,
+                succeeded=succeeded,
+                iterations=self.iterations,
+            )
+        )
+        if self.agent.active_process is self:
+            self.agent.active_process = None
+        if succeeded:
+            self.agent.on_connected()
+
+    def _restart_at_source(self) -> None:
+        self.restarts += 1
+        if self.restarts > self.MAX_RESTARTS:
+            self._done(False)
+            return
+        self._iterate(self.env.source)
+
+    # -- the loop ------------------------------------------------------------------
+
+    def _iterate(self, pivot: int) -> None:
+        if self.cancelled or self.finished:
+            return
+        self.iterations += 1
+        if self.iterations > self.MAX_ITERATIONS:
+            self._done(False)
+            return
+        me = self.agent.node_id
+        if pivot == me:
+            self._restart_at_source()
+            return
+
+        def on_reply(reply: Message) -> None:
+            if self.cancelled or self.finished:
+                return
+            assert isinstance(reply, InfoResponse)
+            self._probe_children(pivot, reply)
+
+        def on_timeout() -> None:
+            if self.cancelled or self.finished:
+                return
+            self._restart_at_source()
+
+        self.env.request(
+            me, pivot, InfoRequest(want_children=True), on_reply, on_timeout
+        )
+
+    def _probe_children(self, pivot: int, info: InfoResponse) -> None:
+        me = self.agent.node_id
+        tree = self.env.tree
+        candidates = [
+            ci
+            for ci in info.children
+            if ci.node_id != me and not tree.is_descendant(ci.node_id, me)
+        ]
+        if not candidates:
+            self._decide(pivot, info, {})
+            return
+
+        results: dict[int, tuple[float, ChildInfo]] = {}
+        outstanding = {ci.node_id for ci in candidates}
+
+        def finish_one(child_info: ChildInfo, reply: Message | None) -> None:
+            if self.cancelled or self.finished:
+                return
+            child = child_info.node_id
+            if child not in outstanding:
+                return
+            outstanding.discard(child)
+            if reply is not None:
+                assert isinstance(reply, InfoResponse)
+                dist = self.env.virtual_distance(
+                    me, child, samples=self.probe_samples
+                )
+                # The probe reply carries the child's own free degree,
+                # fresher than the parent's cached view.
+                results[child] = (
+                    dist,
+                    ChildInfo(
+                        node_id=child,
+                        distance=child_info.distance,
+                        free_degree=reply.free_degree,
+                    ),
+                )
+            if not outstanding:
+                self._decide(pivot, info, results)
+
+        for ci in candidates:
+            self.env.request(
+                me,
+                ci.node_id,
+                InfoRequest(want_children=False),
+                lambda reply, ci=ci: finish_one(ci, reply),
+                lambda ci=ci: finish_one(ci, None),
+            )
+
+    def _decide(
+        self,
+        pivot: int,
+        info: InfoResponse,
+        probes: dict[int, tuple[float, ChildInfo]],
+    ) -> None:
+        me = self.agent.node_id
+        dist_to_pivot = self.env.virtual_distance(
+            me, pivot, samples=self.probe_samples
+        )
+        decision = self.agent.join_decision(pivot, dist_to_pivot, info, probes)
+        if isinstance(decision, Descend):
+            self._iterate(decision.child)
+        elif isinstance(decision, Attach):
+            self._request_connection(ConnRequest(kind="attach"), decision.target)
+        elif isinstance(decision, Insert):
+            self._request_connection(
+                ConnRequest(kind="insert", adopt=decision.adopt), decision.target
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"bad decision {decision!r}")
+
+    # -- commit -------------------------------------------------------------------
+
+    def _request_connection(self, msg: ConnRequest, target: int) -> None:
+        me = self.agent.node_id
+        if self.kind in ("refine", "switch"):
+            if target == self.agent.parent:
+                # Refinement found the current parent again: nothing to do.
+                self._done(True)
+                return
+            if not self.agent.accept_refine_target(target):
+                self._done(True)
+                return
+        if target == me or self.env.tree.is_descendant(target, me):
+            self._restart_at_source()
+            return
+
+        def on_reply(reply: Message) -> None:
+            if self.cancelled or self.finished:
+                return
+            assert isinstance(reply, ConnResponse)
+            if reply.accepted:
+                self._commit(target, reply)
+            else:
+                self._redirect_after_reject(target, reply)
+
+        def on_timeout() -> None:
+            if self.cancelled or self.finished:
+                return
+            self._restart_at_source()
+
+        self.env.request(me, target, msg, on_reply, on_timeout)
+
+    def _commit(self, new_parent: int, resp: ConnResponse) -> None:
+        agent = self.agent
+        old_parent = agent.parent
+        if old_parent is not None and old_parent != new_parent:
+            # Refinement/adoption switch: make-before-break, so tell the
+            # old parent we are gone (the registry edge was already moved
+            # by the accepting parent).
+            self.env.tell(agent.node_id, old_parent, ChildRemove())
+        agent.parent = new_parent
+        agent.grandparent = resp.parent
+        for child in resp.transferred:
+            agent.children[child] = self.env.virtual_distance(agent.node_id, child)
+            self.env.tell(
+                agent.node_id,
+                child,
+                ParentChange(new_parent=agent.node_id, new_grandparent=new_parent),
+            )
+        # Our surviving children now have a new grandparent; keep their
+        # reconnection state fresh (Section 3.2: grandparent information
+        # "should be updated" on parent changes).
+        for child in sorted(agent.children):
+            if child not in resp.transferred:
+                self.env.tell(
+                    agent.node_id,
+                    child,
+                    GrandparentChange(new_grandparent=new_parent),
+                )
+        self._done(True)
+
+    def _redirect_after_reject(self, target: int, resp: ConnResponse) -> None:
+        """Degree race: pick the closest free child, else descend."""
+        me = self.agent.node_id
+        tree = self.env.tree
+        candidates = [
+            ci
+            for ci in resp.children
+            if ci.node_id != me and not tree.is_descendant(ci.node_id, me)
+        ]
+        free = [ci for ci in candidates if ci.free_degree > 0]
+        pool = free or candidates
+        if not pool:
+            self._restart_at_source()
+            return
+        nxt = min(pool, key=lambda ci: (ci.distance, ci.node_id))
+        self._iterate(nxt.node_id)

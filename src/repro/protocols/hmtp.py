@@ -1,0 +1,184 @@
+"""Host Multicast Tree Protocol (HMTP) — the paper's primary comparator.
+
+HMTP (Zhang, Jamin, Zhang, INFOCOM 2002) builds its tree by *closeness*:
+
+* **Join** — iterative descent from the root: at each node, probe its
+  children; if the closest child is closer to the newcomer than the
+  current node is, descend into that child; otherwise attach here (the
+  newcomer found its local minimum).  A full node redirects to its
+  children ("H flags F and goes back ... looks for next available
+  child").
+* **Refinement** — periodically each member picks a *random node on its
+  root path* and re-runs the join from there, switching parents only when
+  the discovered parent is strictly closer than the current one.  Unlike
+  VDM, HMTP *needs* this to converge: its greedy join cannot insert a new
+  node between an existing parent-child pair, so improvements arrive only
+  through periodic probing (Section 3.5 of the dissertation).
+* **Recovery** — orphans rejoin from the root.  (Real HMTP caches its
+  root path and retries members of it; when that state is stale — the
+  common case under churn — it degenerates to a root rejoin, which is the
+  behaviour modelled here and the one the dissertation's loss comparison
+  reflects.)
+
+The root-path lookup for refinement uses the ground-truth registry, the
+simulation-local stand-in for the root-path state every HMTP member keeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.protocols.base import (
+    Attach,
+    Decision,
+    Descend,
+    OverlayAgent,
+    ProtocolRuntime,
+)
+from repro.protocols.messages import ChildInfo, InfoResponse
+from repro.util.rngtools import rng_from_seed
+
+__all__ = ["HMTPAgent", "HMTPConfig"]
+
+
+@dataclass(frozen=True)
+class HMTPConfig:
+    """HMTP tunables.
+
+    ``refine_period_s`` — the periodic root-path refinement interval; the
+    dissertation's PlanetLab runs used 30 s.  Refinement is armed by the
+    session (like VDM-R), but HMTP is normally run *with* it because the
+    protocol depends on it to converge.
+
+    ``foster_child`` — HMTP's quick-start concept (Section 2.4.7): join
+    the root immediately for instant stream start, then switch to the
+    ideal parent once the real join finds it.
+    """
+
+    refine_period_s: float = 30.0
+    foster_child: bool = False
+
+    def __post_init__(self) -> None:
+        if self.refine_period_s <= 0:
+            raise ValueError(
+                f"refine_period_s must be > 0, got {self.refine_period_s}"
+            )
+
+
+class HMTPAgent(OverlayAgent):
+    """Host Multicast Tree Protocol peer."""
+
+    protocol_name = "hmtp"
+
+    def __init__(
+        self,
+        node_id: int,
+        env: ProtocolRuntime,
+        *,
+        degree_limit: int = 4,
+        config: HMTPConfig | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__(node_id, env, degree_limit=degree_limit)
+        self.config = config or HMTPConfig()
+        self.rng = rng_from_seed(rng)
+
+    def auto_refine_period(self) -> float | None:
+        """HMTP always refines; it needs it to converge."""
+        return self.config.refine_period_s
+
+    def foster_join_enabled(self) -> bool:
+        return self.config.foster_child
+
+    # -- join ------------------------------------------------------------------
+
+    def join_decision(
+        self,
+        pivot: int,
+        dist_to_pivot: float,
+        pivot_info: InfoResponse,
+        probes: dict[int, tuple[float, ChildInfo]],
+    ) -> Decision:
+        refining = (
+            self.active_process is not None and self.active_process.kind == "refine"
+        )
+        if refining:
+            # One-level refinement check (Section 3.4/3.5 of the
+            # dissertation: a node "selects one node on its root path and
+            # looks for if any closer peer than its parent connected in
+            # meantime") — probe the chosen root-path node and its
+            # children, switch to the closest candidate with a free slot
+            # if it beats the current parent (checked by
+            # :meth:`accept_refine_target`), otherwise stay put.
+            candidates: list[tuple[float, int]] = []
+            if pivot_info.free_degree > 0:
+                candidates.append((dist_to_pivot, pivot))
+            candidates.extend(
+                (dist, child)
+                for child, (dist, ci) in probes.items()
+                if ci.free_degree > 0
+            )
+            if not candidates:
+                return Attach(self.parent if self.parent is not None else pivot)
+            _, best = min(candidates)
+            return Attach(best)
+        if probes:
+            closest_child, (closest_dist, closest_info) = min(
+                probes.items(), key=lambda kv: (kv[1][0], kv[0])
+            )
+            if closest_dist < dist_to_pivot:
+                # U-turn check (dissertation Scenario II, Fig. 3.22): if the
+                # newcomer appears to lie *between* the pivot and its
+                # closest child — the pivot-child distance exceeds the
+                # newcomer-pivot distance — descending would hang the
+                # newcomer below the child and double the path back.  HMTP
+                # instead connects to the pivot and relies on the child's
+                # later refinement to re-hang it below the newcomer.
+                if closest_info.distance > dist_to_pivot and pivot_info.free_degree > 0:
+                    return Attach(pivot)
+                return Descend(closest_child)
+        # Local minimum reached: attach here if possible.
+        if pivot_info.free_degree > 0:
+            return Attach(pivot)
+        free_children = [
+            (dist, child)
+            for child, (dist, ci) in probes.items()
+            if ci.free_degree > 0
+        ]
+        if free_children:
+            _, child = min(free_children)
+            return Attach(child)
+        if probes:
+            _, child = min((dist, child) for child, (dist, _) in probes.items())
+            return Descend(child)
+        return Attach(pivot)
+
+    # -- refinement ---------------------------------------------------------------
+
+    def refinement_start_node(self) -> int:
+        """A uniformly random member of this node's root path."""
+        try:
+            path = self.env.tree.path_to_source(self.node_id)
+        except ValueError:
+            return self.env.source
+        # Exclude ourselves; the path still includes our parent and root.
+        candidates = path[1:]
+        if not candidates:
+            return self.env.source
+        return int(candidates[int(self.rng.integers(len(candidates)))])
+
+    def accept_refine_target(self, target: int) -> bool:
+        """Switch only to a strictly closer parent (HMTP's rule)."""
+        if self.parent is None:
+            return True
+        return self.env.virtual_distance(
+            self.node_id, target
+        ) < self.env.virtual_distance(self.node_id, self.parent)
+
+    # -- recovery ----------------------------------------------------------------
+
+    def on_parent_lost(self) -> None:
+        """HMTP orphans rejoin from the root."""
+        self.start_join(kind="reconnect", at=self.env.source)

@@ -1,0 +1,146 @@
+"""Control-message vocabulary.
+
+Section 5.2.2 of the paper defines the wire protocol between peers:
+``information request/response``, ``connection request/response``,
+``parent change``, and ``grandparent change``; a ``leave`` notification is
+required by the reconnection procedure (Section 3.3).  The dataclasses here
+are that vocabulary; they are shared by VDM, HMTP, and BTP (the baselines
+use the same request/response plumbing with protocol-specific join logic).
+
+Messages are immutable values.  Latency, loss, and timeouts are the
+runtime's business (:mod:`repro.protocols.base`), not the messages'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Message",
+    "ChildInfo",
+    "InfoRequest",
+    "InfoResponse",
+    "ConnRequest",
+    "ConnResponse",
+    "ParentChange",
+    "GrandparentChange",
+    "LeaveNotice",
+    "ChildRemove",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for every control message."""
+
+
+@dataclass(frozen=True)
+class ChildInfo:
+    """One entry of an information response's children list.
+
+    ``distance`` is the *parent's* virtual distance to this child, measured
+    when the child connected (the paper: nodes "store... children list and
+    distances to them").
+    """
+
+    node_id: int
+    distance: float
+    free_degree: int
+
+
+@dataclass(frozen=True)
+class InfoRequest(Message):
+    """Ping/probe.  Doubles as an RTT measurement (the reply echoes back).
+
+    ``want_children`` asks the target to include its children list — the
+    first message of every join iteration.  A bare probe (``False``) is the
+    per-child distance measurement.
+    """
+
+    want_children: bool = False
+
+
+@dataclass(frozen=True)
+class InfoResponse(Message):
+    """Reply to :class:`InfoRequest`."""
+
+    node_id: int
+    free_degree: int
+    parent: int | None
+    children: tuple[ChildInfo, ...] = ()
+
+
+@dataclass(frozen=True)
+class ConnRequest(Message):
+    """Ask the target to become our parent.
+
+    ``kind``:
+
+    * ``"attach"`` — Case I / Case III terminal attach (also used by the
+      baselines); requires a free degree slot at the target.
+    * ``"insert"`` — Case II: the requester slots in *between* the target
+      and the children listed in ``adopt`` (so no free slot is needed when
+      at least one adoption succeeds).
+
+    ``adopt`` lists the target's children the requester wants to take over.
+    """
+
+    kind: str = "attach"
+    adopt: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("attach", "insert"):
+            raise ValueError(f"unknown ConnRequest kind {self.kind!r}")
+        if self.kind == "attach" and self.adopt:
+            raise ValueError("attach requests cannot adopt children")
+        if self.kind == "insert" and not self.adopt:
+            raise ValueError("insert requests must adopt at least one child")
+
+
+@dataclass(frozen=True)
+class ConnResponse(Message):
+    """Reply to :class:`ConnRequest`.
+
+    On acceptance, carries the new parent's own parent (the joiner's
+    grandparent) and, for inserts, the children actually transferred (some
+    may have departed or reparented since the requester probed them).
+
+    On rejection (degree race), carries a fresh children list so the
+    requester can redirect without another information round-trip.
+    """
+
+    accepted: bool
+    node_id: int
+    parent: int | None = None
+    transferred: tuple[int, ...] = ()
+    children: tuple[ChildInfo, ...] = ()
+
+
+@dataclass(frozen=True)
+class ParentChange(Message):
+    """Sent to an adopted child: your parent is now the sender.
+
+    ``new_grandparent`` is the sender's parent.  The child must propagate a
+    :class:`GrandparentChange` to its own children (Section 3.2: "Update
+    grandparent of D(i)'s children").
+    """
+
+    new_parent: int
+    new_grandparent: int | None
+
+
+@dataclass(frozen=True)
+class GrandparentChange(Message):
+    """Grandparent update pushed down one level after a Case II insert."""
+
+    new_grandparent: int
+
+
+@dataclass(frozen=True)
+class LeaveNotice(Message):
+    """Graceful-leave notification from a departing parent to each child."""
+
+
+@dataclass(frozen=True)
+class ChildRemove(Message):
+    """A child informs its (old) parent that it has moved elsewhere."""

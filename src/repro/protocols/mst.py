@@ -1,0 +1,123 @@
+"""Minimum-spanning-tree references (Fig. 5.31 and Section 3.1.1).
+
+VDM's stated design goal is "converging to MST using simple, local
+methods".  This module provides the centralized references that goal is
+measured against:
+
+* :func:`mst_parent_map` — the exact (unconstrained) MST over the session
+  members' virtual distances, rooted at the source.  This is the
+  comparator of Fig. 5.31, which the paper runs *without* degree limits.
+* :func:`degree_constrained_mst` — a greedy Prim-style heuristic honouring
+  per-node degree limits.  Exact DCMST is NP-hard (Section 3.1.1 cites
+  Garey & Johnson), so as in all the related literature a heuristic stands
+  in when degree limits matter.
+* :func:`tree_cost` — summed edge weight of any parent map, the "network
+  usage" both are compared on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Mapping, Sequence
+
+import networkx as nx
+
+__all__ = ["mst_parent_map", "degree_constrained_mst", "tree_cost"]
+
+WeightFn = Callable[[int, int], float]
+
+
+def _check_members(members: Sequence[int], source: int) -> list[int]:
+    nodes = list(dict.fromkeys(members))  # preserve order, drop dupes
+    if source not in nodes:
+        raise ValueError(f"source {source} must be among the members")
+    if len(nodes) < 1:
+        raise ValueError("need at least one member")
+    return nodes
+
+
+def mst_parent_map(
+    members: Sequence[int],
+    source: int,
+    weight: WeightFn,
+) -> dict[int, int]:
+    """Exact MST over the complete member graph, rooted at ``source``.
+
+    Returns a parent map (child -> parent) covering every member except the
+    source.  Edge weights come from ``weight(a, b)``, typically the session
+    RTT metric.
+    """
+    nodes = _check_members(members, source)
+    graph = nx.Graph()
+    graph.add_nodes_from(nodes)
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1 :]:
+            graph.add_edge(a, b, weight=float(weight(a, b)))
+    mst = nx.minimum_spanning_tree(graph, weight="weight")
+    parents: dict[int, int] = {}
+    for parent, child in nx.bfs_edges(mst, source):
+        parents[child] = parent
+    return parents
+
+
+def degree_constrained_mst(
+    members: Sequence[int],
+    source: int,
+    weight: WeightFn,
+    degree_limit: int | Mapping[int, int],
+) -> dict[int, int]:
+    """Greedy Prim-style spanning tree honouring children-degree limits.
+
+    ``degree_limit`` caps the number of *children* per node (matching the
+    overlay protocols' semantics), given either as a scalar or per-node.
+    Grows the tree from the source, always committing the globally
+    cheapest edge from a non-saturated tree node to an outside node —
+    the standard DCMST heuristic.
+
+    Raises ``ValueError`` if the limits make spanning impossible.
+    """
+    nodes = _check_members(members, source)
+    if isinstance(degree_limit, Mapping):
+        limits = {n: int(degree_limit[n]) for n in nodes}
+    else:
+        limits = {n: int(degree_limit) for n in nodes}
+    for n, lim in limits.items():
+        if lim < 1:
+            raise ValueError(f"degree limit for {n} must be >= 1, got {lim}")
+
+    parents: dict[int, int] = {}
+    child_count = {n: 0 for n in nodes}
+    in_tree = {source}
+    outside = set(nodes) - in_tree
+
+    heap: list[tuple[float, int, int]] = []
+
+    def push_edges(tree_node: int) -> None:
+        for other in outside:
+            heapq.heappush(heap, (float(weight(tree_node, other)), tree_node, other))
+
+    push_edges(source)
+    while outside:
+        while heap:
+            w, parent, child = heapq.heappop(heap)
+            if child not in outside:
+                continue
+            if child_count[parent] >= limits[parent]:
+                continue
+            break
+        else:
+            raise ValueError(
+                "degree limits prevent spanning all members "
+                f"({len(outside)} left unattached)"
+            )
+        parents[child] = parent
+        child_count[parent] += 1
+        outside.discard(child)
+        in_tree.add(child)
+        push_edges(child)
+    return parents
+
+
+def tree_cost(parents: Mapping[int, int], weight: WeightFn) -> float:
+    """Total edge weight of a parent map."""
+    return sum(float(weight(child, parent)) for child, parent in parents.items())

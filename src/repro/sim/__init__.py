@@ -1,0 +1,33 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluated VDM inside NS-2; this package is the equivalent
+substrate built from scratch:
+
+* :mod:`repro.sim.engine` — the event queue and simulation clock.
+* :mod:`repro.sim.network` — the underlay: message delivery with latency,
+  shortest-path routing, and per-physical-link accounting.
+* :mod:`repro.sim.delivery` — analytical data-plane accounting (chunk loss
+  from churn outages and path error rates, data-message counting).
+* :mod:`repro.sim.churn` — the paper's slotted churn process.
+* :mod:`repro.sim.session` — end-to-end multicast session orchestration.
+"""
+
+from repro.sim.engine import Simulator, Event
+from repro.sim.network import Underlay, RouterUnderlay, MatrixUnderlay
+from repro.sim.delivery import DeliveryAccountant
+from repro.sim.churn import ChurnSchedule, SlottedChurnModel
+from repro.sim.session import MulticastSession, SessionConfig, SessionResult
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Underlay",
+    "RouterUnderlay",
+    "MatrixUnderlay",
+    "DeliveryAccountant",
+    "ChurnSchedule",
+    "SlottedChurnModel",
+    "MulticastSession",
+    "SessionConfig",
+    "SessionResult",
+]

@@ -1,0 +1,130 @@
+"""The paper's slotted churn process (Section 3.6.2).
+
+The evaluation defines churn over fixed 400 s slots: at a churn rate of
+``r``, ``round(r * N)`` members leave and the same number of fresh nodes
+join during each slot, keeping the population at ``N``.  The tree then
+gets ``settle_s`` (100 s) of quiet before the slot's measurement.  "Some
+nodes may join and leave several times while some never join" — joiners
+are drawn from the whole inactive pool, including past leavers.
+
+:class:`SlottedChurnModel` draws the per-slot leave/join node sets;
+:class:`ChurnSchedule` is the materialized list of timed events the
+session executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.rngtools import rng_from_seed
+from repro.util.validation import check_non_negative, check_positive, check_probability
+
+__all__ = ["ChurnEvent", "ChurnSchedule", "SlottedChurnModel"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One churn action: a node joins or leaves at an absolute time."""
+
+    time: float
+    action: str  # "join" | "leave"
+    node: int
+
+    def __post_init__(self) -> None:
+        if self.action not in ("join", "leave"):
+            raise ValueError(f"unknown churn action {self.action!r}")
+        check_non_negative("time", self.time)
+
+
+@dataclass
+class ChurnSchedule:
+    """A time-sorted list of churn events plus the slot measurement times."""
+
+    events: list[ChurnEvent] = field(default_factory=list)
+    measure_times: list[float] = field(default_factory=list)
+
+    def sorted_events(self) -> list[ChurnEvent]:
+        return sorted(self.events, key=lambda e: (e.time, e.action, e.node))
+
+
+class SlottedChurnModel:
+    """Draws slotted churn against a live membership view.
+
+    The session calls :meth:`plan_slot` at each slot boundary with the
+    currently active member set; the model returns the leave/join events
+    for that slot.  Events land uniformly inside the slot's churn window
+    (everything before the settle period), so the measurement always sees
+    a tree that had ``settle_s`` to stabilize — the paper's methodology.
+    """
+
+    def __init__(
+        self,
+        churn_rate: float,
+        target_population: int,
+        *,
+        slot_s: float = 400.0,
+        settle_s: float = 100.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        check_probability("churn_rate", churn_rate)
+        check_positive("target_population", target_population)
+        check_positive("slot_s", slot_s)
+        check_non_negative("settle_s", settle_s)
+        if settle_s >= slot_s:
+            raise ValueError(
+                f"settle_s ({settle_s}) must be shorter than slot_s ({slot_s})"
+            )
+        self.churn_rate = churn_rate
+        self.target_population = int(target_population)
+        self.slot_s = slot_s
+        self.settle_s = settle_s
+        self.rng = rng_from_seed(seed)
+
+    @property
+    def per_slot_count(self) -> int:
+        """How many nodes leave (and join) per slot."""
+        return round(self.churn_rate * self.target_population)
+
+    def plan_slot(
+        self,
+        slot_start: float,
+        active: Sequence[int],
+        inactive_pool: Sequence[int],
+    ) -> list[ChurnEvent]:
+        """Draw one slot's churn events.
+
+        ``active`` are current members eligible to leave (the session must
+        already exclude the source); ``inactive_pool`` are hosts eligible
+        to join.  If either side is smaller than the per-slot count, churn
+        is clipped to what is available.
+        """
+        k = self.per_slot_count
+        if k == 0:
+            return []
+        window = self.slot_s - self.settle_s
+        events: list[ChurnEvent] = []
+
+        leavers_n = min(k, len(active))
+        joiners_n = min(k, len(inactive_pool))
+
+        active_sorted = sorted(active)
+        pool_sorted = sorted(inactive_pool)
+        if leavers_n:
+            leavers = self.rng.choice(active_sorted, size=leavers_n, replace=False)
+            times = self.rng.uniform(0.0, window, size=leavers_n)
+            events.extend(
+                ChurnEvent(slot_start + float(t), "leave", int(n))
+                for n, t in zip(leavers, times)
+            )
+        if joiners_n:
+            joiners = self.rng.choice(pool_sorted, size=joiners_n, replace=False)
+            times = self.rng.uniform(0.0, window, size=joiners_n)
+            events.extend(
+                ChurnEvent(slot_start + float(t), "join", int(n))
+                for n, t in zip(joiners, times)
+            )
+        events.sort(key=lambda e: (e.time, e.action, e.node))
+        return events

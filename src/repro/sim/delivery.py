@@ -1,0 +1,250 @@
+"""Analytical data-plane accounting.
+
+The paper's NS-2 runs push a real packet stream through the overlay; the
+metrics it reports, though, are aggregates — loss rate (eq. 3.7) and the
+data-message denominator of overhead (eq. 3.6).  Both are determined by
+(a) when each node had an unbroken overlay path to the source and (b) the
+link error rates along that path.  This accountant tracks exactly that,
+per node, as piecewise-constant *segments* bounded by tree mutations:
+
+* while a node is reachable, it accrues a segment carrying the success
+  probability of its current overlay path;
+* any attach / orphan / reparent / depart event in its ancestry closes the
+  segment and (if still reachable) opens a fresh one with the recomputed
+  path probability.
+
+Expected chunks received over any window is then an exact integral — the
+same number a per-packet simulation converges to, without simulating
+``chunk_rate x duration x nodes`` events.
+
+A node's *lifetime* (the denominator of eq. 3.7, "packets supposed to be
+received in the peer's lifetime") starts when it first connects and pauses
+only when it departs; reconnection gaps count against it, which is what
+makes churn visible as loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.protocols.base import TreeRegistry
+from repro.sim.network import Underlay
+from repro.util.intervals import IntervalSet
+from repro.util.validation import check_positive
+
+__all__ = ["DeliveryAccountant", "NodeDeliveryStats"]
+
+
+@dataclass
+class _NodeLedger:
+    """Per-node accounting state."""
+
+    lifetime: IntervalSet = field(default_factory=IntervalSet)
+    reachable: IntervalSet = field(default_factory=IntervalSet)
+    #: closed segments: (start, end, path success probability)
+    segments: list[tuple[float, float, float]] = field(default_factory=list)
+    open_segment: tuple[float, float] | None = None  # (start, success)
+
+    def close_segment(self, t: float) -> None:
+        if self.open_segment is None:
+            return
+        start, success = self.open_segment
+        if t > start:
+            self.segments.append((start, t, success))
+        self.open_segment = None
+
+    def open_new(self, t: float, success: float) -> None:
+        self.close_segment(t)
+        self.open_segment = (t, success)
+
+    def expected_received(self, w0: float, w1: float, rate: float) -> float:
+        total = 0.0
+        for start, end, success in self.segments:
+            lo, hi = max(start, w0), min(end, w1)
+            if hi > lo:
+                total += (hi - lo) * success
+        if self.open_segment is not None:
+            start, success = self.open_segment
+            lo = max(start, w0)
+            if w1 > lo:
+                total += (w1 - lo) * success
+        return total * rate
+
+
+@dataclass(frozen=True)
+class NodeDeliveryStats:
+    """Delivery summary for one node over one window."""
+
+    node: int
+    expected_chunks: float  # what a loss-free peer would have received
+    received_chunks: float  # expectation under churn outages + link errors
+
+    @property
+    def loss_rate(self) -> float:
+        if self.expected_chunks <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.received_chunks / self.expected_chunks)
+
+
+class DeliveryAccountant:
+    """Tracks per-node reachability segments off the tree registry."""
+
+    def __init__(
+        self,
+        tree: TreeRegistry,
+        underlay: Underlay,
+        *,
+        chunk_rate: float = 10.0,
+    ) -> None:
+        check_positive("chunk_rate", chunk_rate)
+        self.tree = tree
+        self.underlay = underlay
+        self.chunk_rate = float(chunk_rate)
+        self._ledger: dict[int, _NodeLedger] = {}
+        tree.add_listener(self._on_tree_event)
+
+    # -- event handling ---------------------------------------------------------
+
+    def _on_tree_event(
+        self, kind: str, node: int, parent: int | None, time: float
+    ) -> None:
+        if kind == "depart":
+            ledger = self._ledger.get(node)
+            if ledger is not None:
+                ledger.close_segment(time)
+                ledger.reachable.close(time)
+                ledger.lifetime.close(time)
+            return
+        # attach / orphan / reparent: the whole subtree's paths changed.
+        for member in self.tree.subtree(node):
+            if member == self.tree.source:
+                continue
+            self._refresh(member, time)
+
+    def _refresh(self, node: int, time: float) -> None:
+        ledger = self._ledger.setdefault(node, _NodeLedger())
+        if self.tree.is_reachable(node):
+            if not ledger.lifetime.is_open:
+                ledger.lifetime.open(time)
+            ledger.reachable.open(time)
+            ledger.open_new(time, self._path_success(node))
+        else:
+            ledger.close_segment(time)
+            ledger.reachable.close(time)
+
+    def _path_success(self, node: int) -> float:
+        """Probability a chunk survives the overlay path source -> node."""
+        success = 1.0
+        path = self.tree.path_to_source(node)
+        for child, parent in zip(path[:-1], path[1:]):
+            success *= 1.0 - self.underlay.path_error(parent, child)
+        return success
+
+    # -- queries --------------------------------------------------------------------
+
+    def tracked_nodes(self) -> list[int]:
+        return sorted(self._ledger)
+
+    def reception_segments(
+        self, node: int, until: float
+    ) -> list[tuple[float, float, float]]:
+        """Reception timeline of ``node``: (start, end, path success) triples.
+
+        An open segment is closed at ``until``.  This is the input the
+        playout-buffer model (:mod:`repro.streaming`) consumes.
+        """
+        ledger = self._ledger.get(node)
+        if ledger is None:
+            return []
+        segments = [
+            (start, min(end, until), success)
+            for start, end, success in ledger.segments
+            if start < until
+        ]
+        if ledger.open_segment is not None:
+            start, success = ledger.open_segment
+            if start < until:
+                segments.append((start, until, success))
+        return segments
+
+    def lifetime_start(self, node: int) -> float | None:
+        """When the node first connected (its lifetime began), if ever."""
+        ledger = self._ledger.get(node)
+        if ledger is None:
+            return None
+        start = ledger.lifetime.first_open_time()
+        return None if start == float("inf") else start
+
+    def lifetime_intervals(
+        self, node: int, until: float
+    ) -> list[tuple[float, float]]:
+        """The node's presence stints: one interval per join...depart span.
+
+        An open stint is closed at ``until``.
+        """
+        ledger = self._ledger.get(node)
+        if ledger is None:
+            return []
+        out = [
+            (start, min(end, until))
+            for start, end in ledger.lifetime.intervals
+            if start < until
+        ]
+        if ledger.lifetime.open_start is not None and ledger.lifetime.open_start < until:
+            out.append((ledger.lifetime.open_start, until))
+        return out
+
+    def node_stats(self, node: int, w0: float, w1: float) -> NodeDeliveryStats:
+        """Delivery stats for ``node`` over window ``[w0, w1)``.
+
+        The "expected" denominator covers the node's lifetime inside the
+        window; reconnection outages therefore count as loss while periods
+        after a graceful depart do not.
+        """
+        if w1 < w0:
+            raise ValueError(f"bad window [{w0}, {w1})")
+        ledger = self._ledger.get(node)
+        if ledger is None:
+            return NodeDeliveryStats(node, 0.0, 0.0)
+        expected = ledger.lifetime.covered_within(w0, w1) * self.chunk_rate
+        received = ledger.expected_received(w0, w1, self.chunk_rate)
+        return NodeDeliveryStats(node, expected, min(received, expected))
+
+    def loss_rate(self, w0: float, w1: float) -> float:
+        """Aggregate loss over all tracked nodes in the window (eq. 3.7)."""
+        expected = 0.0
+        received = 0.0
+        for node in self._ledger:
+            stats = self.node_stats(node, w0, w1)
+            expected += stats.expected_chunks
+            received += stats.received_chunks
+        if expected <= 0:
+            return 0.0
+        return max(0.0, 1.0 - received / expected)
+
+    def mean_node_loss(self, w0: float, w1: float) -> float:
+        """Unweighted mean of per-node loss rates (the paper's 'average
+        loss rate for all nodes')."""
+        rates = [
+            stats.loss_rate
+            for node in self._ledger
+            if (stats := self.node_stats(node, w0, w1)).expected_chunks > 0
+        ]
+        if not rates:
+            return 0.0
+        return sum(rates) / len(rates)
+
+    def data_messages(self, w0: float, w1: float) -> float:
+        """Expected data transmissions on overlay links during the window.
+
+        Each reachable node receives ``chunk_rate`` transmissions per
+        second from its parent (sent regardless of en-route loss), so the
+        total is the rate times the summed reachable time.
+        """
+        if w1 < w0:
+            raise ValueError(f"bad window [{w0}, {w1})")
+        total_time = sum(
+            ledger.reachable.covered_within(w0, w1)
+            for ledger in self._ledger.values()
+        )
+        return total_time * self.chunk_rate

@@ -1,0 +1,371 @@
+"""End-to-end multicast session orchestration.
+
+A :class:`MulticastSession` reproduces the paper's experimental procedure
+(Section 3.6.2):
+
+1. a source is chosen and stays alive throughout;
+2. ``n_nodes`` randomly chosen hosts join during an initial join phase
+   (the paper gives 2 000 s of a 10 000 s run);
+3. churn then proceeds in fixed slots: per slot, ``churn_rate * n_nodes``
+   members leave and as many fresh hosts join, the tree gets a settle
+   period, and a measurement snapshot is taken;
+4. at the end, per-node join/reconnect records and per-slot measurements
+   are folded into a :class:`SessionResult`.
+
+The same class drives the Chapter 4 time-series runs (no churn, measure
+every interval while nodes keep joining) and, underneath the PlanetLab
+controller, the Chapter 5 emulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.metrics.collectors import (
+    hopcount_stats,
+    resource_usage,
+    stress_stats,
+    stretch_stats,
+)
+from repro.metrics.report import MeasurementRecord
+from repro.protocols.base import JoinRecord, OverlayAgent, ProtocolRuntime
+from repro.sim.churn import SlottedChurnModel
+from repro.sim.delivery import DeliveryAccountant
+from repro.sim.engine import Simulator
+from repro.sim.network import Underlay
+from repro.util.rngtools import spawn_rng
+from repro.util.validation import check_non_negative, check_positive, check_probability
+
+__all__ = ["SessionConfig", "SessionResult", "MulticastSession", "draw_degree"]
+
+AgentFactory = Callable[..., OverlayAgent]
+MetricFactory = Callable[[Underlay], Callable[[int, int], float]]
+
+DegreeSpec = int | float | tuple[int, int] | Callable[[np.random.Generator], int]
+
+
+def draw_degree(spec: DegreeSpec, rng: np.random.Generator) -> int:
+    """Draw one node's degree limit from a degree specification.
+
+    * ``int`` — constant limit;
+    * ``(lo, hi)`` — uniform integer in [lo, hi] (the paper's Chapter 3
+      setup draws limits from 2..5);
+    * ``float`` — *average* degree: a mix of ``floor`` and ``ceil`` values
+      hitting that mean (how the paper's fractional sweep points such as
+      an average degree of 1.25 must be realized);
+    * callable — custom draw.
+    """
+    if callable(spec):
+        value = int(spec(rng))
+    elif isinstance(spec, tuple):
+        lo, hi = spec
+        if not (1 <= lo <= hi):
+            raise ValueError(f"bad degree range {spec}")
+        value = int(rng.integers(lo, hi + 1))
+    elif isinstance(spec, bool):  # bool is an int subclass; reject it
+        raise TypeError("degree spec cannot be a bool")
+    elif isinstance(spec, int):
+        value = spec
+    elif isinstance(spec, float):
+        if spec < 1.0:
+            raise ValueError(f"average degree must be >= 1, got {spec}")
+        base = int(spec)
+        frac = spec - base
+        value = base + (1 if rng.random() < frac else 0)
+    else:
+        raise TypeError(f"unsupported degree spec {spec!r}")
+    if value < 1:
+        raise ValueError(f"drawn degree {value} < 1 from spec {spec!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Parameters of one multicast session run."""
+
+    n_nodes: int = 200
+    degree: DegreeSpec = (2, 5)
+    join_phase_s: float = 2000.0
+    total_s: float = 10000.0
+    slot_s: float = 400.0
+    settle_s: float = 100.0
+    churn_rate: float = 0.0
+    chunk_rate: float = 10.0
+    timeout_ms: float = 3000.0
+    seed: int = 0
+    source_host: int | None = None
+    source_degree: int | None = None
+    #: measurement cadence during the join phase (Chapter 4's time series);
+    #: ``None`` means measure only at churn-slot boundaries.
+    join_measure_interval_s: float | None = None
+    #: override the agents' own refinement period; ``None`` keeps each
+    #: protocol's default (:meth:`OverlayAgent.auto_refine_period`).
+    refine_period_s: float | None = None
+    #: lognormal sigma on every distance measurement (testbed probe noise;
+    #: keep 0 for the NS-2-style runs, nonzero for PlanetLab emulation).
+    measurement_noise_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("n_nodes", self.n_nodes)
+        check_positive("join_phase_s", self.join_phase_s)
+        check_positive("total_s", self.total_s)
+        check_positive("slot_s", self.slot_s)
+        check_non_negative("settle_s", self.settle_s)
+        check_probability("churn_rate", self.churn_rate)
+        check_positive("chunk_rate", self.chunk_rate)
+        check_positive("timeout_ms", self.timeout_ms)
+        if self.total_s < self.join_phase_s:
+            raise ValueError("total_s must cover the join phase")
+        if self.settle_s >= self.slot_s:
+            raise ValueError("settle_s must be shorter than slot_s")
+
+
+@dataclass
+class SessionResult:
+    """Everything a finished session produced."""
+
+    config: SessionConfig
+    records: list[MeasurementRecord]
+    join_records: list[JoinRecord]
+    runtime: ProtocolRuntime
+    accountant: DeliveryAccountant
+
+    # -- join/reconnect timing ----------------------------------------------------
+
+    def durations(self, kind: str, *, succeeded: bool = True) -> list[float]:
+        """Durations (seconds) of join attempts of the given kind."""
+        return [
+            r.duration
+            for r in self.join_records
+            if r.kind == kind and r.succeeded == succeeded
+        ]
+
+    def startup_times(self) -> list[float]:
+        return self.durations("join")
+
+    def reconnection_times(self) -> list[float]:
+        return self.durations("reconnect")
+
+    # -- measurement aggregation ------------------------------------------------------
+
+    def churn_phase_records(self) -> list[MeasurementRecord]:
+        """Measurements taken at churn-slot boundaries (after the join phase)."""
+        return [r for r in self.records if r.time > self.config.join_phase_s]
+
+    def steady_records(self) -> list[MeasurementRecord]:
+        """Churn-phase records if any, else every record (no-churn runs)."""
+        churn = self.churn_phase_records()
+        return churn if churn else list(self.records)
+
+    def mean_metric(self, extract: Callable[[MeasurementRecord], float]) -> float:
+        """Average an extracted scalar over the steady-phase measurements."""
+        records = self.steady_records()
+        if not records:
+            raise ValueError("session produced no measurements")
+        return sum(extract(r) for r in records) / len(records)
+
+    @property
+    def final(self) -> MeasurementRecord:
+        if not self.records:
+            raise ValueError("session produced no measurements")
+        return self.records[-1]
+
+
+class MulticastSession:
+    """One simulated multicast session (one replication of an experiment)."""
+
+    def __init__(
+        self,
+        underlay: Underlay,
+        agent_factory: AgentFactory,
+        config: SessionConfig,
+        *,
+        metric_factory: MetricFactory | None = None,
+    ) -> None:
+        self.underlay = underlay
+        self.agent_factory = agent_factory
+        self.config = config
+        hosts = list(underlay.hosts)
+        if len(hosts) < config.n_nodes + 1:
+            raise ValueError(
+                f"underlay has {len(hosts)} hosts; need at least "
+                f"{config.n_nodes + 1} (members + source)"
+            )
+        self._rng_membership = spawn_rng(config.seed, "membership")
+        self._rng_degrees = spawn_rng(config.seed, "degrees")
+        if config.source_host is not None:
+            underlay.validate_host(config.source_host)
+            self.source = config.source_host
+        else:
+            self.source = int(
+                hosts[int(self._rng_membership.integers(len(hosts)))]
+            )
+        self.sim = Simulator()
+        metric = metric_factory(underlay) if metric_factory else None
+        self.env = ProtocolRuntime(
+            self.sim,
+            underlay,
+            self.source,
+            metric=metric,
+            timeout_ms=config.timeout_ms,
+            measurement_noise_sigma=config.measurement_noise_sigma,
+            noise_rng=spawn_rng(config.seed, "noise"),
+        )
+        self.accountant = DeliveryAccountant(
+            self.env.tree, underlay, chunk_rate=config.chunk_rate
+        )
+        self._pool = [h for h in hosts if h != self.source]
+        self._active: set[int] = set()
+        self._records: list[MeasurementRecord] = []
+        self._last_measure_time = 0.0
+        self._last_control_count = 0
+        self._churn = SlottedChurnModel(
+            config.churn_rate,
+            config.n_nodes,
+            slot_s=config.slot_s,
+            settle_s=config.settle_s,
+            seed=spawn_rng(config.seed, "churn"),
+        )
+        self._register_source()
+
+    # -- setup --------------------------------------------------------------------
+
+    def _register_source(self) -> None:
+        cfg = self.config
+        degree = cfg.source_degree
+        if degree is None:
+            degree = draw_degree(cfg.degree, self._rng_degrees)
+        agent = self.agent_factory(
+            self.source,
+            self.env,
+            degree_limit=degree,
+            rng=spawn_rng(cfg.seed, "agent", self.source),
+        )
+        self.env.register(agent)
+
+    # -- membership actions -------------------------------------------------------------
+
+    def _do_join(self, node: int) -> None:
+        if node in self._active or node == self.source:
+            return
+        degree = draw_degree(self.config.degree, self._rng_degrees)
+        agent = self.agent_factory(
+            node,
+            self.env,
+            degree_limit=degree,
+            rng=spawn_rng(self.config.seed, "agent", node, self.sim.events_processed),
+        )
+        self.env.register(agent)
+        self._active.add(node)
+        agent.start_join()
+        period = self.config.refine_period_s
+        if period is None:
+            period = agent.auto_refine_period()
+        if period is not None:
+            agent.start_refinement(
+                period, jitter_rng=spawn_rng(self.config.seed, "refine", node)
+            )
+
+    def _do_leave(self, node: int) -> None:
+        if node not in self._active:
+            return
+        self._active.discard(node)
+        agent = self.env.agents.get(node)
+        if agent is not None and self.env.is_alive(node):
+            agent.leave()
+
+    # -- measurement ----------------------------------------------------------------------
+
+    def _measure(self) -> None:
+        now = self.sim.now
+        tree = self.env.tree
+        control_now = self.env.total_control_messages
+        window = (self._last_measure_time, now)
+        data_msgs = self.accountant.data_messages(*window)
+        control_delta = control_now - self._last_control_count
+        overhead = control_delta / data_msgs if data_msgs > 0 else 0.0
+        record = MeasurementRecord(
+            time=now,
+            n_members=len(tree.members()),
+            n_reachable=len(tree.attached_nodes()),
+            stress=stress_stats(tree, self.underlay),
+            stretch=stretch_stats(tree, self.underlay),
+            hopcount=hopcount_stats(tree),
+            usage=resource_usage(tree, self.underlay),
+            window_loss=self.accountant.loss_rate(*window),
+            window_mean_node_loss=self.accountant.mean_node_loss(*window),
+            window_overhead=overhead,
+            cumulative_control_messages=control_now,
+        )
+        self._records.append(record)
+        self._last_measure_time = now
+        self._last_control_count = control_now
+
+    # -- run -------------------------------------------------------------------------------
+
+    def run(self) -> SessionResult:
+        cfg = self.config
+        rng = self._rng_membership
+
+        # Initial joiners: spread over the first 90% of the join phase so
+        # the tree is quiet when the churn phase starts.
+        pool_arr = sorted(self._pool)
+        initial = rng.choice(pool_arr, size=cfg.n_nodes, replace=False)
+        join_window = 0.9 * cfg.join_phase_s
+        times = np.sort(rng.uniform(0.0, join_window, size=cfg.n_nodes))
+        for node, t in zip(initial, times):
+            self.sim.schedule(
+                float(t), lambda n=int(node): self._do_join(n), label="join"
+            )
+
+        # Optional join-phase measurement cadence (Chapter 4 time series).
+        if cfg.join_measure_interval_s is not None:
+            t = cfg.join_measure_interval_s
+            while t <= cfg.join_phase_s:
+                self.sim.schedule(t, self._measure, priority=10, label="measure")
+                t += cfg.join_measure_interval_s
+
+        # Churn slots.
+        slot_start = cfg.join_phase_s
+        while slot_start + cfg.slot_s <= cfg.total_s + 1e-9:
+            self.sim.schedule(
+                slot_start,
+                lambda t=slot_start: self._run_slot(t),
+                priority=5,
+                label="slot",
+            )
+            self.sim.schedule(
+                slot_start + cfg.slot_s,
+                self._measure,
+                priority=10,
+                label="measure",
+            )
+            slot_start += cfg.slot_s
+
+        self.sim.run_until(cfg.total_s)
+        if not self._records or self._records[-1].time < cfg.total_s:
+            self._measure()
+        return SessionResult(
+            config=cfg,
+            records=self._records,
+            join_records=list(self.env.join_records),
+            runtime=self.env,
+            accountant=self.accountant,
+        )
+
+    def _run_slot(self, slot_start: float) -> None:
+        active = sorted(self._active & set(self.env.alive_nodes()))
+        inactive = sorted(set(self._pool) - self._active)
+        events = self._churn.plan_slot(slot_start, active, inactive)
+        for ev in events:
+            if ev.action == "join":
+                self.sim.schedule(
+                    ev.time, lambda n=ev.node: self._do_join(n), label="churn-join"
+                )
+            else:
+                self.sim.schedule(
+                    ev.time, lambda n=ev.node: self._do_leave(n), label="churn-leave"
+                )

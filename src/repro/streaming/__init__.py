@@ -1,0 +1,33 @@
+"""Viewer-experience modelling (the paper's first future-work item).
+
+The dissertation closes with: "so far, we didn't send real video stream
+and watch it" — the missing piece between the network-level metrics
+(loss, outage) and what a viewer sees (startup wait, playback stalls).
+This package adds that layer on top of the delivery accountant:
+
+* :mod:`repro.streaming.buffer` — a playout-buffer model: given the
+  chunk-arrival timeline a node experienced, when does playback start,
+  and where does it stall?
+* :mod:`repro.streaming.viewer` — per-viewer quality-of-experience
+  derived from a finished session: startup delay (join + buffer fill),
+  stall count/duration, and delivered-bitrate ratio.
+
+The arrival timeline comes straight from the accountant's reachability
+segments, so QoE needs no extra simulation.
+"""
+
+from repro.streaming.buffer import PlayoutBuffer, PlaybackTrace, StallEvent
+from repro.streaming.viewer import (
+    ViewerExperience,
+    session_experience,
+    summarize_experience,
+)
+
+__all__ = [
+    "PlayoutBuffer",
+    "PlaybackTrace",
+    "StallEvent",
+    "ViewerExperience",
+    "session_experience",
+    "summarize_experience",
+]

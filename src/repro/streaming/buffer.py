@@ -1,0 +1,178 @@
+"""Playout-buffer simulation.
+
+Models the client-side buffer every P2P-TV application puts between the
+network and the screen (the dissertation: "if there is usually a couple
+of second buffer to tolerate these interruptions").  The network side is
+a piecewise-constant *fill rate* — media-seconds received per wallclock
+second, taken from the delivery accountant's reachability segments (1.0
+while connected on a clean path, the path success probability on a lossy
+one, 0 during reconnection outages).  The player side:
+
+* playback starts once ``startup_target_s`` of media is buffered;
+* while playing, the buffer drains at ``1 - fill``;
+* hitting empty stalls playback until ``rebuffer_target_s`` re-
+  accumulates.
+
+The sweep is exact for piecewise-constant fill (no time stepping).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["StallEvent", "PlaybackTrace", "PlayoutBuffer"]
+
+
+@dataclass(frozen=True)
+class StallEvent:
+    """One playback interruption: [start, end)."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class PlaybackTrace:
+    """What one viewer's player did over the session."""
+
+    playback_start: float | None  # None: never buffered enough to start
+    stalls: list[StallEvent] = field(default_factory=list)
+    played_s: float = 0.0
+    session_end: float = 0.0
+
+    @property
+    def stall_count(self) -> int:
+        return len(self.stalls)
+
+    @property
+    def stall_time_s(self) -> float:
+        return sum(s.duration for s in self.stalls)
+
+    @property
+    def stall_ratio(self) -> float:
+        """Stalled time over (played + stalled) time; 0 for a clean run."""
+        denom = self.played_s + self.stall_time_s
+        return self.stall_time_s / denom if denom > 0 else 0.0
+
+
+class PlayoutBuffer:
+    """Exact playout sweep over piecewise-constant fill segments."""
+
+    def __init__(
+        self,
+        *,
+        startup_target_s: float = 2.0,
+        rebuffer_target_s: float = 1.0,
+    ) -> None:
+        check_positive("startup_target_s", startup_target_s)
+        check_positive("rebuffer_target_s", rebuffer_target_s)
+        self.startup_target_s = float(startup_target_s)
+        self.rebuffer_target_s = float(rebuffer_target_s)
+
+    def simulate(
+        self,
+        segments: list[tuple[float, float, float]],
+        session_end: float,
+    ) -> PlaybackTrace:
+        """Run the player over reception ``segments``.
+
+        ``segments`` are ``(start, end, fill_rate)`` with ``0 <= fill``;
+        they must be non-overlapping and time-ordered.  Gaps between them
+        are zero-fill (outages).  Returns the playback trace up to
+        ``session_end``.
+        """
+        self._validate(segments, session_end)
+        timeline = self._with_gaps(segments, session_end)
+
+        buffer_level = 0.0
+        state = "waiting"  # waiting | playing | stalled
+        target = self.startup_target_s
+        trace = PlaybackTrace(playback_start=None, session_end=session_end)
+        stall_started: float | None = None
+
+        for seg_start, seg_end, fill in timeline:
+            t = seg_start
+            while t < seg_end - 1e-12:
+                if state in ("waiting", "stalled"):
+                    if fill <= 0:
+                        t = seg_end
+                        break
+                    time_to_target = (target - buffer_level) / fill
+                    if t + time_to_target <= seg_end:
+                        t += time_to_target
+                        buffer_level = target
+                        if state == "waiting":
+                            trace.playback_start = t
+                        else:
+                            assert stall_started is not None
+                            trace.stalls.append(StallEvent(stall_started, t))
+                            stall_started = None
+                        state = "playing"
+                    else:
+                        buffer_level += fill * (seg_end - t)
+                        t = seg_end
+                else:  # playing
+                    drain = 1.0 - fill
+                    if drain <= 0:
+                        # Buffer grows or holds: play through the segment.
+                        buffer_level += (fill - 1.0) * (seg_end - t)
+                        trace.played_s += seg_end - t
+                        t = seg_end
+                    else:
+                        time_to_empty = buffer_level / drain
+                        if t + time_to_empty < seg_end - 1e-12:
+                            t += time_to_empty
+                            trace.played_s += time_to_empty
+                            buffer_level = 0.0
+                            state = "stalled"
+                            stall_started = t
+                            target = self.rebuffer_target_s
+                        else:
+                            buffer_level -= drain * (seg_end - t)
+                            trace.played_s += seg_end - t
+                            t = seg_end
+
+        if state == "stalled" and stall_started is not None:
+            trace.stalls.append(StallEvent(stall_started, session_end))
+        return trace
+
+    @staticmethod
+    def _validate(
+        segments: list[tuple[float, float, float]], session_end: float
+    ) -> None:
+        check_non_negative("session_end", session_end)
+        prev_end = -math.inf
+        for start, end, fill in segments:
+            if end < start:
+                raise ValueError(f"segment ends before it starts: ({start}, {end})")
+            if start < prev_end - 1e-12:
+                raise ValueError("segments overlap or are out of order")
+            if fill < 0:
+                raise ValueError(f"fill rate must be >= 0, got {fill}")
+            prev_end = end
+
+    @staticmethod
+    def _with_gaps(
+        segments: list[tuple[float, float, float]], session_end: float
+    ) -> list[tuple[float, float, float]]:
+        """Insert zero-fill gap segments and clamp to the session end."""
+        out: list[tuple[float, float, float]] = []
+        cursor = 0.0
+        for start, end, fill in segments:
+            start = min(start, session_end)
+            end = min(end, session_end)
+            if start > cursor:
+                out.append((cursor, start, 0.0))
+            if end > start:
+                out.append((start, end, fill))
+            cursor = max(cursor, end)
+        if cursor < session_end:
+            out.append((cursor, session_end, 0.0))
+        return out

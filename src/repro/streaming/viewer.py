@@ -1,0 +1,153 @@
+"""Per-viewer quality of experience from a finished session.
+
+Bridges network metrics to what the paper's motivating user sees:
+
+* **startup delay** — from the viewer's join command to first frame
+  (join protocol latency + initial buffer fill);
+* **stalls** — playback interruptions caused by churn outages that
+  outlast the buffer;
+* **delivered ratio** — media seconds played over media seconds the
+  viewer was present for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.session import SessionResult
+from repro.streaming.buffer import PlaybackTrace, PlayoutBuffer
+
+__all__ = ["ViewerExperience", "session_experience"]
+
+
+@dataclass(frozen=True)
+class ViewerExperience:
+    """QoE summary for one viewer."""
+
+    node: int
+    join_wait_s: float  # protocol join latency
+    startup_delay_s: float | None  # join wait + buffer fill; None = never played
+    stall_count: int
+    stall_time_s: float
+    played_s: float
+    present_s: float  # wallclock the viewer spent in the session
+
+    @property
+    def delivered_ratio(self) -> float:
+        """Played media over presence time (1.0 = perfect)."""
+        return self.played_s / self.present_s if self.present_s > 0 else 0.0
+
+    @property
+    def clean(self) -> bool:
+        """Played something and never stalled."""
+        return self.startup_delay_s is not None and self.stall_count == 0
+
+
+def session_experience(
+    result: SessionResult,
+    *,
+    startup_target_s: float = 2.0,
+    rebuffer_target_s: float = 1.0,
+) -> dict[int, ViewerExperience]:
+    """Compute QoE for every viewer of a finished session.
+
+    Only nodes that connected at least once appear; a viewer's presence
+    window runs from its first join *command* to its departure (or the
+    session end).
+    """
+    player = PlayoutBuffer(
+        startup_target_s=startup_target_s, rebuffer_target_s=rebuffer_target_s
+    )
+    end = result.config.total_s
+    accountant = result.accountant
+
+    # First join-command time per node, from the join records.
+    first_command: dict[int, float] = {}
+    for record in result.join_records:
+        if record.kind == "join":
+            first_command.setdefault(record.node, record.started_at)
+
+    out: dict[int, ViewerExperience] = {}
+    for node in accountant.tracked_nodes():
+        connected_at = accountant.lifetime_start(node)
+        if connected_at is None:
+            continue
+        command_at = first_command.get(node, connected_at)
+        segments = accountant.reception_segments(node, end)
+        stints = accountant.lifetime_intervals(node, end)
+        if not segments or not stints:
+            continue
+
+        # A viewer who left and rejoined watched in several *stints*;
+        # each gets its own player run (the time between stints is spent
+        # away from the screen, not stalled).
+        startup_delay: float | None = None
+        stall_count = 0
+        stall_time = 0.0
+        played = 0.0
+        present = 0.0
+        for i, (stint_start, stint_end) in enumerate(stints):
+            # The first stint's player starts at the join command (the
+            # viewer is waiting from the moment they click); later stints
+            # start at reconnection.
+            t0 = command_at if i == 0 else stint_start
+            stint_segments = [
+                (max(s, t0) - t0, min(e, stint_end) - t0, f)
+                for s, e, f in segments
+                if e > max(s, t0) and s < stint_end and min(e, stint_end) > max(s, t0)
+            ]
+            trace: PlaybackTrace = player.simulate(
+                stint_segments, stint_end - t0
+            )
+            if i == 0:
+                startup_delay = trace.playback_start
+            stall_count += trace.stall_count
+            stall_time += trace.stall_time_s
+            played += trace.played_s
+            present += stint_end - t0
+        out[node] = ViewerExperience(
+            node=node,
+            join_wait_s=connected_at - command_at,
+            startup_delay_s=startup_delay,
+            stall_count=stall_count,
+            stall_time_s=stall_time,
+            played_s=played,
+            present_s=present,
+        )
+    return out
+
+
+def summarize_experience(
+    experiences: dict[int, ViewerExperience],
+) -> dict[str, float]:
+    """Aggregate QoE across viewers (means; startup over started viewers)."""
+    if not experiences:
+        return {
+            "viewers": 0.0,
+            "startup_delay_s": 0.0,
+            "stall_count": 0.0,
+            "stall_time_s": 0.0,
+            "delivered_ratio": 0.0,
+            "clean_fraction": 0.0,
+        }
+    started = [e for e in experiences.values() if e.startup_delay_s is not None]
+    return {
+        "viewers": float(len(experiences)),
+        "startup_delay_s": (
+            float(np.mean([e.startup_delay_s for e in started])) if started else 0.0
+        ),
+        "stall_count": float(
+            np.mean([e.stall_count for e in experiences.values()])
+        ),
+        "stall_time_s": float(
+            np.mean([e.stall_time_s for e in experiences.values()])
+        ),
+        "delivered_ratio": float(
+            np.mean([e.delivered_ratio for e in experiences.values()])
+        ),
+        "clean_fraction": float(
+            np.mean([e.clean for e in experiences.values()])
+        ),
+    }

@@ -1,0 +1,245 @@
+"""GT-ITM-style transit-stub topology generation.
+
+Chapter 3 of the paper evaluates VDM on a 792-router transit-stub topology
+produced by GT-ITM.  GT-ITM's transit-stub model (Zegura, Calvert, and
+Bhattacharjee, 1996) builds a three-level hierarchy:
+
+1. a small number of *transit domains* (backbone ASes), each a connected
+   random graph of transit routers, with the domains themselves connected;
+2. per transit router, several *stub domains* (edge networks), each a
+   connected random graph of stub routers, attached to its transit router;
+3. optional extra stub-to-transit and stub-to-stub shortcut edges.
+
+This module regenerates statistically equivalent graphs: the same hierarchy,
+with link one-way delays drawn per hierarchy level (long inter-domain links,
+medium intra-transit and stub-transit links, short intra-stub links), so the
+stress/stretch behaviour of overlay trees on top of it is comparable to the
+paper's substrate.
+
+Nodes carry a ``level`` attribute (``"transit"`` or ``"stub"``) and a
+``domain`` attribute; edges carry ``delay`` (one-way, milliseconds) and
+``kind`` attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.util.rngtools import rng_from_seed
+from repro.util.validation import check_positive, check_probability
+
+__all__ = ["TransitStubConfig", "generate_transit_stub"]
+
+
+@dataclass(frozen=True)
+class TransitStubConfig:
+    """Parameters of the transit-stub generator.
+
+    The defaults reproduce the scale of the paper's substrate: 4 transit
+    domains x 6 routers with 3 stub domains per transit router sized to hit
+    ``total_nodes`` = 792 routers overall.
+
+    Delay ranges are one-way link delays in milliseconds, chosen to mirror
+    GT-ITM's convention that inter-domain links are an order of magnitude
+    longer than intra-stub links.
+    """
+
+    total_nodes: int = 792
+    transit_domains: int = 4
+    transit_nodes_per_domain: int = 6
+    stub_domains_per_transit: int = 3
+    intra_transit_edge_prob: float = 0.6
+    intra_stub_edge_prob: float = 0.4
+    extra_transit_transit_links: int = 2
+    delay_inter_transit: tuple[float, float] = (20.0, 50.0)
+    delay_intra_transit: tuple[float, float] = (5.0, 20.0)
+    delay_stub_transit: tuple[float, float] = (2.0, 10.0)
+    delay_intra_stub: tuple[float, float] = (0.5, 3.0)
+
+    def __post_init__(self) -> None:
+        check_positive("total_nodes", self.total_nodes)
+        check_positive("transit_domains", self.transit_domains)
+        check_positive("transit_nodes_per_domain", self.transit_nodes_per_domain)
+        check_positive("stub_domains_per_transit", self.stub_domains_per_transit)
+        check_probability("intra_transit_edge_prob", self.intra_transit_edge_prob)
+        check_probability("intra_stub_edge_prob", self.intra_stub_edge_prob)
+        for name in (
+            "delay_inter_transit",
+            "delay_intra_transit",
+            "delay_stub_transit",
+            "delay_intra_stub",
+        ):
+            lo, hi = getattr(self, name)
+            if not 0 < lo <= hi:
+                raise ValueError(f"{name} must satisfy 0 < lo <= hi, got ({lo}, {hi})")
+        n_transit = self.transit_domains * self.transit_nodes_per_domain
+        if self.total_nodes <= n_transit:
+            raise ValueError(
+                f"total_nodes={self.total_nodes} must exceed the "
+                f"{n_transit} transit routers"
+            )
+
+    @property
+    def n_transit(self) -> int:
+        return self.transit_domains * self.transit_nodes_per_domain
+
+    @property
+    def n_stub_domains(self) -> int:
+        return self.n_transit * self.stub_domains_per_transit
+
+
+def _connected_random_graph(
+    n: int, p: float, rng: np.random.Generator
+) -> list[tuple[int, int]]:
+    """Edges of a connected Erdos-Renyi-style graph on nodes 0..n-1.
+
+    Connectivity is guaranteed by first threading a random spanning chain
+    (a random permutation path), then adding each remaining pair with
+    probability ``p`` — GT-ITM uses the same trick.
+    """
+    if n <= 0:
+        return []
+    order = rng.permutation(n)
+    edges = {(min(a, b), max(a, b)) for a, b in zip(order[:-1], order[1:])}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if (i, j) not in edges and rng.random() < p:
+                edges.add((i, j))
+    return sorted(edges)
+
+
+def _draw_delay(rng: np.random.Generator, bounds: tuple[float, float]) -> float:
+    lo, hi = bounds
+    return float(rng.uniform(lo, hi))
+
+
+def _stub_domain_sizes(config: TransitStubConfig, rng: np.random.Generator) -> list[int]:
+    """Split the stub-router budget across stub domains, each >= 1 node.
+
+    Sizes vary around the mean (GT-ITM draws sizes from a distribution);
+    the sum is exact so the generated graph always has ``total_nodes``.
+    """
+    n_stub_nodes = config.total_nodes - config.n_transit
+    n_domains = config.n_stub_domains
+    if n_stub_nodes < n_domains:
+        raise ValueError(
+            f"not enough stub routers ({n_stub_nodes}) for "
+            f"{n_domains} stub domains"
+        )
+    mean = n_stub_nodes / n_domains
+    # Draw jittered sizes, then repair the total by rounding residuals.
+    raw = rng.uniform(0.5 * mean, 1.5 * mean, size=n_domains)
+    sizes = np.maximum(1, np.floor(raw * n_stub_nodes / raw.sum()).astype(int))
+    deficit = n_stub_nodes - int(sizes.sum())
+    idx = rng.permutation(n_domains)
+    i = 0
+    while deficit != 0:
+        j = idx[i % n_domains]
+        if deficit > 0:
+            sizes[j] += 1
+            deficit -= 1
+        elif sizes[j] > 1:
+            sizes[j] -= 1
+            deficit += 1
+        i += 1
+    return [int(s) for s in sizes]
+
+
+def generate_transit_stub(
+    config: TransitStubConfig | None = None,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> nx.Graph:
+    """Generate a transit-stub router topology.
+
+    Returns an undirected :class:`networkx.Graph` whose nodes are integer
+    router ids.  Node attributes: ``level`` in {"transit", "stub"},
+    ``domain`` (a ``(kind, index)`` tuple).  Edge attributes: ``delay``
+    (one-way ms) and ``kind`` in {"inter_transit", "intra_transit",
+    "stub_transit", "intra_stub"}.
+
+    The graph is guaranteed connected.
+    """
+    config = config or TransitStubConfig()
+    rng = rng_from_seed(seed)
+    graph = nx.Graph()
+    next_id = 0
+
+    # --- transit level -----------------------------------------------------
+    transit_ids: list[list[int]] = []  # per domain
+    for dom in range(config.transit_domains):
+        ids = list(range(next_id, next_id + config.transit_nodes_per_domain))
+        next_id += config.transit_nodes_per_domain
+        for node in ids:
+            graph.add_node(node, level="transit", domain=("transit", dom))
+        for a, b in _connected_random_graph(
+            len(ids), config.intra_transit_edge_prob, rng
+        ):
+            graph.add_edge(
+                ids[a],
+                ids[b],
+                delay=_draw_delay(rng, config.delay_intra_transit),
+                kind="intra_transit",
+            )
+        transit_ids.append(ids)
+
+    # Connect transit domains: a random chain plus extra random pairs
+    # (a single-domain topology has no inter-domain links at all).
+    dom_order = rng.permutation(config.transit_domains)
+    inter_pairs: list[tuple[int, int]] = list(zip(dom_order[:-1], dom_order[1:]))
+    if config.transit_domains >= 2:
+        for _ in range(config.extra_transit_transit_links):
+            a, b = rng.choice(config.transit_domains, size=2, replace=False)
+            inter_pairs.append((int(a), int(b)))
+    for dom_a, dom_b in inter_pairs:
+        u = int(rng.choice(transit_ids[int(dom_a)]))
+        v = int(rng.choice(transit_ids[int(dom_b)]))
+        if not graph.has_edge(u, v):
+            graph.add_edge(
+                u,
+                v,
+                delay=_draw_delay(rng, config.delay_inter_transit),
+                kind="inter_transit",
+            )
+
+    # --- stub level ---------------------------------------------------------
+    sizes = _stub_domain_sizes(config, rng)
+    all_transit = [t for dom in transit_ids for t in dom]
+    stub_index = 0
+    for transit_node in all_transit:
+        for _ in range(config.stub_domains_per_transit):
+            size = sizes[stub_index]
+            ids = list(range(next_id, next_id + size))
+            next_id += size
+            for node in ids:
+                graph.add_node(node, level="stub", domain=("stub", stub_index))
+            for a, b in _connected_random_graph(
+                size, config.intra_stub_edge_prob, rng
+            ):
+                graph.add_edge(
+                    ids[a],
+                    ids[b],
+                    delay=_draw_delay(rng, config.delay_intra_stub),
+                    kind="intra_stub",
+                )
+            # Gateway: one stub router uplinks to the transit router.
+            gateway = int(rng.choice(ids))
+            graph.add_edge(
+                gateway,
+                transit_node,
+                delay=_draw_delay(rng, config.delay_stub_transit),
+                kind="stub_transit",
+            )
+            stub_index += 1
+
+    assert graph.number_of_nodes() == config.total_nodes
+    assert nx.is_connected(graph)
+    return graph
+
+
+def stub_routers(graph: nx.Graph) -> list[int]:
+    """All stub-level router ids (hosts attach at stub routers)."""
+    return [n for n, data in graph.nodes(data=True) if data["level"] == "stub"]

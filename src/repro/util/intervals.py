@@ -1,0 +1,113 @@
+"""Half-open time-interval bookkeeping.
+
+The data-plane accountant (:mod:`repro.sim.delivery`) tracks, for every
+overlay node, the periods during which the node had an unbroken path to the
+source.  Those periods are represented here as a set of disjoint half-open
+intervals ``[start, end)``.  The set supports an *open* interval (started but
+not yet closed) so that accounting can run incrementally while the simulation
+is still in flight.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IntervalSet:
+    """A set of disjoint, chronologically appended half-open intervals.
+
+    Intervals must be appended in non-decreasing start order (which is how a
+    simulation naturally produces them).  Adjacent or overlapping appends are
+    merged.
+
+    Attributes
+    ----------
+    intervals:
+        Closed intervals recorded so far, as ``(start, end)`` pairs.
+    open_start:
+        Start time of the currently open interval, or ``None`` when closed.
+    """
+
+    intervals: list[tuple[float, float]] = field(default_factory=list)
+    open_start: float | None = None
+
+    def open(self, t: float) -> None:
+        """Begin an interval at time ``t``.  No-op if one is already open."""
+        if self.open_start is not None:
+            return
+        if self.intervals and t < self.intervals[-1][1]:
+            raise ValueError(
+                f"interval opened at {t} before previous close "
+                f"{self.intervals[-1][1]}"
+            )
+        self.open_start = t
+
+    def close(self, t: float) -> None:
+        """End the currently open interval at time ``t``.  No-op if closed."""
+        if self.open_start is None:
+            return
+        if t < self.open_start:
+            raise ValueError(f"interval closed at {t} before open {self.open_start}")
+        self._append(self.open_start, t)
+        self.open_start = None
+
+    def _append(self, start: float, end: float) -> None:
+        if end <= start:
+            return
+        if self.intervals and start <= self.intervals[-1][1]:
+            # Merge with the previous interval (contiguous or overlapping).
+            prev_start, prev_end = self.intervals[-1]
+            self.intervals[-1] = (prev_start, max(prev_end, end))
+        else:
+            self.intervals.append((start, end))
+
+    @property
+    def is_open(self) -> bool:
+        return self.open_start is not None
+
+    def total(self, until: float | None = None) -> float:
+        """Total covered duration, counting an open interval up to ``until``."""
+        tot = sum(end - start for start, end in self.intervals)
+        if self.open_start is not None:
+            if until is None:
+                raise ValueError("interval still open; pass `until`")
+            tot += max(0.0, until - self.open_start)
+        return tot
+
+    def covered_within(self, window_start: float, window_end: float) -> float:
+        """Covered duration intersected with ``[window_start, window_end)``."""
+        if window_end <= window_start:
+            return 0.0
+        tot = 0.0
+        for start, end in self.intervals:
+            lo = max(start, window_start)
+            hi = min(end, window_end)
+            if hi > lo:
+                tot += hi - lo
+        if self.open_start is not None:
+            lo = max(self.open_start, window_start)
+            if window_end > lo:
+                tot += window_end - lo
+        return tot
+
+    def contains(self, t: float) -> bool:
+        """Whether time ``t`` falls inside any recorded or open interval."""
+        if self.open_start is not None and t >= self.open_start:
+            return True
+        # Linear scan is fine: per-node churn event counts are small.
+        return any(start <= t < end for start, end in self.intervals)
+
+    def gap_count(self) -> int:
+        """Number of gaps between consecutive closed intervals."""
+        n = len(self.intervals) + (1 if self.open_start is not None else 0)
+        return max(0, n - 1)
+
+    def first_open_time(self) -> float:
+        """Start of the earliest interval (closed or open); inf if empty."""
+        if self.intervals:
+            return self.intervals[0][0]
+        if self.open_start is not None:
+            return self.open_start
+        return math.inf

@@ -1,0 +1,59 @@
+"""Shared fixtures: small substrates and runtime builders.
+
+Everything here is deliberately tiny (tens of routers/hosts) so the whole
+suite stays fast; the benchmark harness covers paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.network import MatrixUnderlay, RouterUnderlay
+from repro.protocols.base import ProtocolRuntime
+from repro.topology.transit_stub import (
+    TransitStubConfig,
+    generate_transit_stub,
+    stub_routers,
+)
+
+SMALL_TS = TransitStubConfig(
+    total_nodes=80,
+    transit_domains=2,
+    transit_nodes_per_domain=3,
+    stub_domains_per_transit=2,
+)
+
+
+@pytest.fixture(scope="session")
+def small_graph():
+    return generate_transit_stub(SMALL_TS, seed=42)
+
+
+@pytest.fixture(scope="session")
+def router_underlay(small_graph):
+    stubs = stub_routers(small_graph)
+    rng = np.random.default_rng(7)
+    routers = rng.choice(stubs, size=30, replace=False)
+    return RouterUnderlay(small_graph, {i: int(r) for i, r in enumerate(routers)})
+
+
+from tests.helpers import line_matrix
+
+
+@pytest.fixture
+def line_underlay():
+    """Five hosts on a line at positions 0, 10, 20, 40, 80 (RTT ms)."""
+    return MatrixUnderlay(line_matrix([0.0, 10.0, 20.0, 40.0, 80.0]))
+
+
+def make_runtime(underlay, source=0, **kwargs):
+    sim = Simulator()
+    env = ProtocolRuntime(sim, underlay, source, **kwargs)
+    return sim, env
+
+
+@pytest.fixture
+def runtime(line_underlay):
+    return make_runtime(line_underlay)

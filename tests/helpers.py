@@ -1,0 +1,16 @@
+"""Shared test helpers (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def line_matrix(positions: list[float]) -> np.ndarray:
+    """RTT matrix for hosts placed on a 1-D line.
+
+    Pairwise RTT equals the absolute coordinate difference, so the
+    directionality cases are fully controlled: a host strictly between two
+    others is exactly 'on the way'.
+    """
+    pos = np.asarray(positions, dtype=float)
+    return np.abs(pos[:, None] - pos[None, :])

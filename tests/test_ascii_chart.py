@@ -1,0 +1,69 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.metrics.ascii_chart import ascii_chart
+from repro.metrics.report import SeriesTable
+from repro.metrics.stats import mean_ci
+
+
+def make_table():
+    t = SeriesTable(
+        title="demo", x_label="churn", x_values=[1.0, 5.0, 10.0],
+        expected_shape="rising",
+    )
+    t.add_series("VDM", [mean_ci([1.0]), mean_ci([2.0]), mean_ci([3.0])])
+    t.add_series("HMTP", [mean_ci([2.0]), mean_ci([4.0]), mean_ci([6.0])])
+    return t
+
+
+class TestAsciiChart:
+    def test_contains_title_and_legend(self):
+        out = ascii_chart(make_table())
+        assert "demo" in out
+        assert "o=VDM" in out
+        assert "x=HMTP" in out
+        assert "x=churn" in out
+
+    def test_axis_labels(self):
+        out = ascii_chart(make_table())
+        assert "6" in out  # y max
+        assert "1" in out  # y min / x min
+        assert "10" in out  # x max
+
+    def test_dimensions(self):
+        out = ascii_chart(make_table(), width=40, height=8)
+        plot_rows = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_rows) == 8
+        assert all(len(l.split("|", 1)[1]) <= 40 for l in plot_rows)
+
+    def test_monotone_series_orientation(self):
+        """The max of a rising series must be drawn right of its min."""
+        out = ascii_chart(make_table(), width=40, height=8)
+        rows = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        top_row = rows[0]
+        bottom_row = rows[-1]
+        # Highest values (top row) should appear toward the right edge.
+        assert max(
+            (i for i, ch in enumerate(top_row) if ch != " "), default=0
+        ) > len(top_row) // 2
+
+    def test_flat_series_supported(self):
+        t = SeriesTable(title="flat", x_label="x", x_values=[0.0, 1.0])
+        t.add_series("A", [mean_ci([5.0]), mean_ci([5.0])])
+        out = ascii_chart(t)
+        assert "flat" in out
+
+    def test_empty_table(self):
+        t = SeriesTable(title="void", x_label="x", x_values=[])
+        assert "(no data)" in ascii_chart(t)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError, match="width"):
+            ascii_chart(make_table(), width=4)
+
+    def test_single_x_point(self):
+        t = SeriesTable(title="pt", x_label="x", x_values=[3.0])
+        t.add_series("A", [mean_ci([2.0])])
+        out = ascii_chart(t)
+        assert "pt" in out

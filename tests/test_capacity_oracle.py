@@ -1,0 +1,153 @@
+"""Tests for bandwidth-derived degrees and the measurement oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.capacity import UplinkPopulation, admission_check, degree_from_uplink
+from repro.core.distance import DelayDistance, LossDistance
+from repro.core.oracle import CachedMetricOracle
+from repro.sim.network import MatrixUnderlay
+from repro.sim.session import draw_degree
+
+from tests.helpers import line_matrix
+
+
+class TestDegreeFromUplink:
+    def test_basic_division(self):
+        # 2 Mbps uplink, 500 kbps stream, 10% headroom -> 3 children.
+        assert degree_from_uplink(2000, 500) == 3
+
+    def test_headroom_zero(self):
+        assert degree_from_uplink(2000, 500, headroom=0.0) == 4
+
+    def test_min_degree_floor(self):
+        assert degree_from_uplink(100, 500) == 1
+        assert degree_from_uplink(100, 500, min_degree=0) == 0
+
+    def test_max_degree_cap(self):
+        assert degree_from_uplink(100_000, 500, max_degree=8) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            degree_from_uplink(0, 500)
+        with pytest.raises(ValueError):
+            degree_from_uplink(1000, 500, headroom=1.0)
+        with pytest.raises(ValueError):
+            degree_from_uplink(1000, 500, min_degree=-1)
+
+
+class TestUplinkPopulation:
+    def test_usable_as_degree_spec(self):
+        spec = UplinkPopulation(median_uplink_kbps=2000, stream_kbps=500)
+        rng = np.random.default_rng(1)
+        values = [draw_degree(spec, rng) for _ in range(100)]
+        assert all(1 <= v <= 20 for v in values)
+        assert len(set(values)) > 1  # actually stochastic
+
+    def test_median_scales_degrees(self):
+        rng1, rng2 = np.random.default_rng(3), np.random.default_rng(3)
+        slow = UplinkPopulation(median_uplink_kbps=600, stream_kbps=500)
+        fast = UplinkPopulation(median_uplink_kbps=6000, stream_kbps=500)
+        slow_mean = np.mean([slow(rng1) for _ in range(300)])
+        fast_mean = np.mean([fast(rng2) for _ in range(300)])
+        assert fast_mean > 2 * slow_mean
+
+    def test_free_riders_get_one_slot(self):
+        pop = UplinkPopulation(
+            median_uplink_kbps=50_000, stream_kbps=500, free_rider_fraction=1.0
+        )
+        rng = np.random.default_rng(0)
+        assert all(pop(rng) == 1 for _ in range(20))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UplinkPopulation(median_uplink_kbps=0)
+        with pytest.raises(ValueError):
+            UplinkPopulation(free_rider_fraction=1.5)
+        with pytest.raises(ValueError):
+            UplinkPopulation(max_degree=0)
+
+
+class TestAdmissionCheck:
+    def test_accepts_within_capacity(self):
+        assert admission_check(2000, current_children=2, stream_kbps=500)
+
+    def test_rejects_at_capacity(self):
+        assert not admission_check(2000, current_children=3, stream_kbps=500)
+
+    def test_bottleneck_rejects(self):
+        assert not admission_check(
+            10_000, 0, 500, path_bottleneck_kbps=400
+        )
+        assert admission_check(10_000, 0, 500, path_bottleneck_kbps=600)
+
+
+class TestCachedMetricOracle:
+    def make_underlay(self):
+        n = 4
+        loss = np.zeros((n, n))
+        loss[0, 1] = loss[1, 0] = 0.02
+        loss[1, 2] = loss[2, 1] = 0.05
+        loss[0, 2] = loss[2, 0] = 0.01
+        loss[0, 3] = loss[3, 0] = 0.03
+        return MatrixUnderlay(line_matrix([0.0, 10.0, 20.0, 30.0]), loss=loss)
+
+    def test_stable_within_epoch(self):
+        truth = LossDistance(self.make_underlay())
+        oracle = CachedMetricOracle(truth, error_sigma=0.5, seed=1)
+        first = oracle(0, 1)
+        assert all(oracle(0, 1) == first for _ in range(5))
+        assert oracle(1, 0) == first  # symmetric caching
+
+    def test_refreshes_at_epoch_boundary(self):
+        clock = {"now": 0.0}
+        truth = LossDistance(self.make_underlay())
+        oracle = CachedMetricOracle(
+            truth,
+            clock=lambda: clock["now"],
+            refresh_period_s=100.0,
+            error_sigma=0.5,
+            seed=2,
+        )
+        v1 = oracle(0, 1)
+        clock["now"] = 150.0
+        v2 = oracle(0, 1)
+        assert v1 != v2  # re-estimated with fresh error draw
+        assert oracle.refreshes == 2
+
+    def test_zero_error_matches_truth(self):
+        truth = LossDistance(self.make_underlay())
+        oracle = CachedMetricOracle(truth, error_sigma=0.0, seed=3)
+        assert oracle(0, 1) == pytest.approx(truth(0, 1))
+
+    def test_self_distance_zero(self):
+        oracle = CachedMetricOracle(
+            DelayDistance(self.make_underlay()), seed=0
+        )
+        assert oracle(2, 2) == 0.0
+
+    def test_uncovered_pairs_use_fallback(self):
+        truth = DelayDistance(self.make_underlay())
+        oracle = CachedMetricOracle(
+            truth, coverage=0.0, fallback=lambda a, b: 42.0, seed=4
+        )
+        assert oracle(0, 1) == 42.0
+        assert oracle.refreshes == 0
+
+    def test_cache_hit_rate(self):
+        truth = DelayDistance(self.make_underlay())
+        oracle = CachedMetricOracle(truth, seed=5)
+        assert oracle.cache_hit_rate == 0.0
+        oracle(0, 1)
+        oracle(0, 1)
+        oracle(0, 1)
+        assert oracle.cache_hit_rate == pytest.approx(2.0 / 3.0)
+
+    def test_validation(self):
+        truth = DelayDistance(self.make_underlay())
+        with pytest.raises(ValueError):
+            CachedMetricOracle(truth, refresh_period_s=0)
+        with pytest.raises(ValueError):
+            CachedMetricOracle(truth, error_sigma=-1)
+        with pytest.raises(ValueError):
+            CachedMetricOracle(truth, coverage=2.0)

@@ -1,0 +1,68 @@
+"""Tests for the protocol-comparison helper."""
+
+import numpy as np
+import pytest
+
+from repro.factories import hmtp, vdm
+from repro.harness.compare import COMPARISON_METRICS, compare_protocols
+from repro.sim.network import MatrixUnderlay
+from repro.sim.session import SessionConfig
+
+from tests.helpers import line_matrix
+
+
+@pytest.fixture
+def underlay():
+    rng = np.random.default_rng(6)
+    return MatrixUnderlay(
+        line_matrix(list(np.sort(rng.uniform(0, 400, size=25))))
+    )
+
+
+CFG = SessionConfig(
+    n_nodes=15,
+    degree=(2, 4),
+    join_phase_s=300.0,
+    total_s=1500.0,
+    churn_rate=0.1,
+    seed=4,
+)
+
+
+class TestCompare:
+    def test_one_series_per_protocol(self, underlay):
+        table = compare_protocols(
+            underlay, {"VDM": vdm(), "HMTP": hmtp()}, CFG, replications=2
+        )
+        assert {s.name for s in table.series} == {"VDM", "HMTP"}
+        assert len(table.x_values) == len(COMPARISON_METRICS)
+
+    def test_metric_subset(self, underlay):
+        metrics = {
+            "stretch": COMPARISON_METRICS["stretch"],
+            "loss_pct": COMPARISON_METRICS["loss_pct"],
+        }
+        table = compare_protocols(
+            underlay, {"VDM": vdm()}, CFG, replications=2, metrics=metrics
+        )
+        assert len(table.x_values) == 2
+        assert "stretch" in table.title
+
+    def test_deterministic(self, underlay):
+        t1 = compare_protocols(underlay, {"VDM": vdm()}, CFG, replications=2)
+        t2 = compare_protocols(underlay, {"VDM": vdm()}, CFG, replications=2)
+        assert t1.get("VDM").means() == t2.get("VDM").means()
+
+    def test_validation(self, underlay):
+        with pytest.raises(ValueError, match="replications"):
+            compare_protocols(underlay, {"VDM": vdm()}, CFG, replications=0)
+        with pytest.raises(ValueError, match="factory"):
+            compare_protocols(underlay, {}, CFG)
+
+    def test_renders(self, underlay):
+        table = compare_protocols(
+            underlay, {"VDM": vdm()}, CFG, replications=1
+        )
+        text = table.render()
+        assert "Protocol comparison" in text
+        assert "VDM" in text

@@ -1,0 +1,163 @@
+"""Tests for the data-plane accountant."""
+
+import numpy as np
+import pytest
+
+from repro.protocols.base import TreeRegistry
+from repro.sim.delivery import DeliveryAccountant
+from repro.sim.network import MatrixUnderlay
+
+from tests.helpers import line_matrix
+
+
+def make_world(loss_pairs=None):
+    """3-host matrix underlay + registry + accountant at 10 chunks/s."""
+    n = 4
+    rtt = line_matrix([0.0, 10.0, 20.0, 30.0])
+    loss = None
+    if loss_pairs:
+        loss = np.zeros((n, n))
+        for (a, b), p in loss_pairs.items():
+            loss[a, b] = loss[b, a] = p
+    ul = MatrixUnderlay(rtt, loss=loss)
+    tree = TreeRegistry(source=0)
+    acct = DeliveryAccountant(tree, ul, chunk_rate=10.0)
+    return ul, tree, acct
+
+
+class TestPerfectDelivery:
+    def test_continuously_connected_node_loses_nothing(self):
+        _, tree, acct = make_world()
+        tree.attach(1, 0, time=0.0)
+        stats = acct.node_stats(1, 0.0, 100.0)
+        assert stats.expected_chunks == pytest.approx(1000.0)
+        assert stats.received_chunks == pytest.approx(1000.0)
+        assert stats.loss_rate == 0.0
+
+    def test_lifetime_starts_at_first_attach(self):
+        _, tree, acct = make_world()
+        tree.attach(1, 0, time=40.0)
+        stats = acct.node_stats(1, 0.0, 100.0)
+        assert stats.expected_chunks == pytest.approx(600.0)
+
+    def test_untracked_node_zero(self):
+        _, tree, acct = make_world()
+        stats = acct.node_stats(9, 0.0, 100.0)
+        assert stats.expected_chunks == 0.0
+        assert stats.loss_rate == 0.0
+
+
+class TestChurnOutage:
+    def test_orphan_gap_counts_as_loss(self):
+        _, tree, acct = make_world()
+        tree.attach(1, 0, 0.0)
+        tree.attach(2, 1, 0.0)
+        tree.depart(1, 50.0)  # 2 orphaned
+        tree.attach(2, 0, 60.0)  # reconnects after 10 s
+        stats = acct.node_stats(2, 0.0, 100.0)
+        assert stats.expected_chunks == pytest.approx(1000.0)
+        assert stats.received_chunks == pytest.approx(900.0)
+        assert stats.loss_rate == pytest.approx(0.1)
+
+    def test_departed_node_stops_expecting(self):
+        _, tree, acct = make_world()
+        tree.attach(1, 0, 0.0)
+        tree.depart(1, 30.0)
+        stats = acct.node_stats(1, 0.0, 100.0)
+        assert stats.expected_chunks == pytest.approx(300.0)
+        assert stats.loss_rate == 0.0
+
+    def test_deep_subtree_outage(self):
+        _, tree, acct = make_world()
+        tree.attach(1, 0, 0.0)
+        tree.attach(2, 1, 0.0)
+        tree.attach(3, 2, 0.0)
+        tree.depart(1, 50.0)
+        tree.attach(2, 0, 70.0)  # orphan root reconnects; 3 comes along
+        stats3 = acct.node_stats(3, 0.0, 100.0)
+        assert stats3.received_chunks == pytest.approx(800.0)
+
+    def test_aggregate_loss_rate(self):
+        _, tree, acct = make_world()
+        tree.attach(1, 0, 0.0)
+        tree.attach(2, 1, 0.0)
+        tree.depart(1, 90.0)
+        # 2 stays orphaned to the end of the window.
+        assert acct.loss_rate(0.0, 100.0) > 0.0
+        assert acct.mean_node_loss(0.0, 100.0) > 0.0
+
+
+class TestLinkErrors:
+    def test_path_error_reduces_received(self):
+        _, tree, acct = make_world(loss_pairs={(0, 1): 0.1})
+        tree.attach(1, 0, 0.0)
+        stats = acct.node_stats(1, 0.0, 100.0)
+        assert stats.received_chunks == pytest.approx(900.0)
+        assert stats.loss_rate == pytest.approx(0.1)
+
+    def test_errors_compound_along_overlay_path(self):
+        _, tree, acct = make_world(loss_pairs={(0, 1): 0.1, (1, 2): 0.2})
+        tree.attach(1, 0, 0.0)
+        tree.attach(2, 1, 0.0)
+        stats = acct.node_stats(2, 0.0, 100.0)
+        assert stats.loss_rate == pytest.approx(1 - 0.9 * 0.8)
+
+    def test_reparent_onto_cleaner_path_improves(self):
+        _, tree, acct = make_world(loss_pairs={(0, 1): 0.5})
+        tree.attach(1, 0, 0.0)
+        tree.attach(2, 1, 0.0)  # path error 0.5 via node 1
+        tree.reparent(2, 0, 50.0)  # direct, clean
+        stats = acct.node_stats(2, 0.0, 100.0)
+        # 50 s at 50% + 50 s at 100%
+        assert stats.received_chunks == pytest.approx(250.0 + 500.0)
+
+    def test_received_never_exceeds_expected(self):
+        _, tree, acct = make_world()
+        tree.attach(1, 0, 0.0)
+        stats = acct.node_stats(1, 0.0, 1.0)
+        assert stats.received_chunks <= stats.expected_chunks
+
+
+class TestDataMessages:
+    def test_counts_reachable_node_seconds(self):
+        _, tree, acct = make_world()
+        tree.attach(1, 0, 0.0)
+        tree.attach(2, 1, 50.0)
+        assert acct.data_messages(0.0, 100.0) == pytest.approx(
+            10.0 * (100.0 + 50.0)
+        )
+
+    def test_orphan_time_not_counted(self):
+        _, tree, acct = make_world()
+        tree.attach(1, 0, 0.0)
+        tree.attach(2, 1, 0.0)
+        tree.depart(1, 50.0)
+        tree.attach(2, 0, 80.0)
+        # node 2: 50 s + 20 s reachable; node 1: 50 s
+        assert acct.data_messages(0.0, 100.0) == pytest.approx(10.0 * 120.0)
+
+    def test_bad_window_rejected(self):
+        _, tree, acct = make_world()
+        with pytest.raises(ValueError, match="bad window"):
+            acct.data_messages(10.0, 5.0)
+        with pytest.raises(ValueError, match="bad window"):
+            acct.node_stats(1, 10.0, 5.0)
+
+
+class TestWindowing:
+    def test_windowed_loss_isolates_churn_burst(self):
+        _, tree, acct = make_world()
+        tree.attach(1, 0, 0.0)
+        tree.attach(2, 1, 0.0)
+        tree.depart(1, 50.0)
+        tree.attach(2, 0, 60.0)
+        # Quiet window after recovery: no loss.
+        assert acct.loss_rate(60.0, 100.0) == 0.0
+        # The burst window contains all of it.
+        assert acct.loss_rate(40.0, 60.0) > 0.0
+
+    def test_chunk_rate_validation(self):
+        _, tree, _ = make_world()
+        ul = MatrixUnderlay(line_matrix([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            DeliveryAccountant(TreeRegistry(0), ul, chunk_rate=0.0)

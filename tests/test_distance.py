@@ -1,0 +1,114 @@
+"""Tests for the generalized virtual-distance metrics (Chapter 4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.distance import CompositeDistance, DelayDistance, LossDistance
+from repro.sim.network import MatrixUnderlay
+
+
+def make_underlay(loss_01=0.02, loss_12=0.05):
+    rtt = np.array(
+        [
+            [0.0, 20.0, 100.0],
+            [20.0, 0.0, 50.0],
+            [100.0, 50.0, 0.0],
+        ]
+    )
+    n = 3
+    loss = np.zeros((n, n))
+    loss[0, 1] = loss[1, 0] = loss_01
+    loss[1, 2] = loss[2, 1] = loss_12
+    return MatrixUnderlay(rtt, loss=loss)
+
+
+class TestDelayDistance:
+    def test_equals_rtt(self):
+        ul = make_underlay()
+        d = DelayDistance(ul)
+        assert d(0, 2) == pytest.approx(100.0)
+        assert d(0, 0) == 0.0
+
+    def test_symmetric(self):
+        d = DelayDistance(make_underlay())
+        assert d(0, 1) == d(1, 0)
+
+
+class TestLossDistance:
+    def test_zero_for_self(self):
+        assert LossDistance(make_underlay())(1, 1) == 0.0
+
+    def test_log_scale_value(self):
+        ul = make_underlay(loss_01=0.02)
+        d = LossDistance(ul, rtt_tiebreak_weight=0.0)
+        assert d(0, 1) == pytest.approx(-100.0 * math.log(0.98))
+
+    def test_linear_scale_value(self):
+        ul = make_underlay(loss_01=0.02)
+        d = LossDistance(ul, log_scale=False, rtt_tiebreak_weight=0.0)
+        assert d(0, 1) == pytest.approx(2.0)
+
+    def test_orders_by_loss_not_delay(self):
+        # Pair (0,2) has the largest RTT but zero loss.
+        ul = make_underlay(loss_01=0.02, loss_12=0.05)
+        d = LossDistance(ul)
+        assert d(0, 2) < d(0, 1) < d(1, 2)
+
+    def test_rtt_tiebreak_orders_lossless_paths(self):
+        ul = make_underlay(loss_01=0.0, loss_12=0.0)
+        d = LossDistance(ul)
+        # Both lossless; nearer pair must be "closer".
+        assert d(0, 1) < d(0, 2)
+        assert d(0, 1) > 0.0
+
+    def test_total_loss_is_infinite(self):
+        ul = make_underlay(loss_01=1.0)
+        d = LossDistance(ul)
+        assert d(0, 1) == math.inf
+
+    def test_negative_tiebreak_rejected(self):
+        with pytest.raises(ValueError):
+            LossDistance(make_underlay(), rtt_tiebreak_weight=-1.0)
+
+    def test_log_additivity_along_concatenated_paths(self):
+        """-log(1-p) is additive: surviving links 0-1 then 1-2 equals the
+        sum of the two distances (the reason log_scale is the default)."""
+        ul = make_underlay(loss_01=0.02, loss_12=0.05)
+        d = LossDistance(ul, rtt_tiebreak_weight=0.0)
+        combined = 1.0 - (1.0 - 0.02) * (1.0 - 0.05)
+        assert d(0, 1) + d(1, 2) == pytest.approx(-100.0 * math.log1p(-combined))
+
+
+class TestCompositeDistance:
+    def test_alpha_one_is_delay_scaled(self):
+        ul = make_underlay()
+        d = CompositeDistance(ul, alpha=1.0, delay_scale_ms=100.0)
+        assert d(0, 2) == pytest.approx(1.0)
+
+    def test_alpha_zero_is_loss(self):
+        ul = make_underlay()
+        loss = LossDistance(ul)
+        d = CompositeDistance(ul, alpha=0.0, loss_metric=loss)
+        assert d(1, 2) == pytest.approx(loss(1, 2))
+
+    def test_self_zero(self):
+        assert CompositeDistance(make_underlay())(2, 2) == 0.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            CompositeDistance(make_underlay(), alpha=1.5)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="delay_scale_ms"):
+            CompositeDistance(make_underlay(), delay_scale_ms=0.0)
+
+    def test_monotone_in_alpha(self):
+        """For the far-but-clean pair, weight on delay raises the
+        distance; for the near-but-lossy pair it lowers it."""
+        ul = make_underlay(loss_01=0.10)
+        d_lo = CompositeDistance(ul, alpha=0.1)
+        d_hi = CompositeDistance(ul, alpha=0.9)
+        assert d_hi(0, 2) > d_lo(0, 2)  # (0,2): lossless, RTT 100
+        assert d_hi(0, 1) < d_lo(0, 1)  # (0,1): lossy, RTT 20

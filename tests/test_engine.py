@@ -1,0 +1,154 @@
+"""Tests for the discrete-event engine."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_same_time_fifo_within_priority(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_priority_orders_simultaneous_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("low"), priority=10)
+        sim.schedule(1.0, lambda: fired.append("high"), priority=0)
+        sim.run()
+        assert fired == ["high", "low"]
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError, match="before current time"):
+            sim.schedule(4.0, lambda: None)
+
+    def test_nan_time_raises(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="NaN"):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_schedule_in_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match=">= 0"):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule_in(1.0, lambda: chain(n + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        ev.cancel()
+        sim.run()
+        assert fired == ["b"]
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_peek_empty_is_inf(self):
+        assert Simulator().peek_time() == math.inf
+
+
+class TestRunUntil:
+    def test_clock_advances_to_horizon(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(10.0)
+        assert sim.now == 10.0
+
+    def test_events_at_horizon_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("x"))
+        sim.run_until(5.0)
+        assert fired == ["x"]
+
+    def test_events_after_horizon_wait(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(6.0, lambda: fired.append("x"))
+        sim.run_until(5.0)
+        assert fired == []
+        sim.run_until(7.0)
+        assert fired == ["x"]
+
+    def test_horizon_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError, match="precedes"):
+            sim.run_until(1.0)
+
+    def test_max_events_bounds_work(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        count = sim.run(max_events=4)
+        assert count == 4
+        assert sim.pending == 6
+
+
+class TestCounters:
+    def test_counts(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_scheduled == 3
+        assert sim.events_processed == 3
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_any_schedule_order_fires_sorted(times):
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.schedule(t, lambda t=t: fired.append(t))
+    sim.run()
+    assert fired == sorted(times)
+    assert sim.events_processed == len(times)

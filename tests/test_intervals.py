@@ -1,0 +1,158 @@
+"""Unit and property tests for IntervalSet."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.intervals import IntervalSet
+
+
+class TestBasicLifecycle:
+    def test_empty_total(self):
+        s = IntervalSet()
+        assert s.total() == 0.0
+
+    def test_single_interval(self):
+        s = IntervalSet()
+        s.open(1.0)
+        s.close(3.0)
+        assert s.total() == pytest.approx(2.0)
+        assert s.intervals == [(1.0, 3.0)]
+
+    def test_open_requires_until_for_total(self):
+        s = IntervalSet()
+        s.open(1.0)
+        with pytest.raises(ValueError, match="still open"):
+            s.total()
+        assert s.total(until=5.0) == pytest.approx(4.0)
+
+    def test_double_open_is_noop(self):
+        s = IntervalSet()
+        s.open(1.0)
+        s.open(2.0)
+        assert s.open_start == 1.0
+
+    def test_close_without_open_is_noop(self):
+        s = IntervalSet()
+        s.close(5.0)
+        assert s.total() == 0.0
+
+    def test_zero_length_interval_dropped(self):
+        s = IntervalSet()
+        s.open(2.0)
+        s.close(2.0)
+        assert s.intervals == []
+        assert not s.is_open
+
+    def test_close_before_open_raises(self):
+        s = IntervalSet()
+        s.open(3.0)
+        with pytest.raises(ValueError, match="before open"):
+            s.close(2.0)
+
+    def test_open_before_previous_close_raises(self):
+        s = IntervalSet()
+        s.open(0.0)
+        s.close(5.0)
+        with pytest.raises(ValueError, match="before previous close"):
+            s.open(4.0)
+
+    def test_adjacent_intervals_merge(self):
+        s = IntervalSet()
+        s.open(0.0)
+        s.close(2.0)
+        s.open(2.0)
+        s.close(4.0)
+        assert s.intervals == [(0.0, 4.0)]
+
+    def test_reopen_after_gap(self):
+        s = IntervalSet()
+        s.open(0.0)
+        s.close(2.0)
+        s.open(5.0)
+        s.close(6.0)
+        assert s.intervals == [(0.0, 2.0), (5.0, 6.0)]
+        assert s.gap_count() == 1
+
+
+class TestCoveredWithin:
+    def setup_method(self):
+        self.s = IntervalSet()
+        self.s.open(1.0)
+        self.s.close(3.0)
+        self.s.open(5.0)
+        self.s.close(9.0)
+
+    def test_full_window(self):
+        assert self.s.covered_within(0.0, 10.0) == pytest.approx(6.0)
+
+    def test_partial_overlap(self):
+        assert self.s.covered_within(2.0, 6.0) == pytest.approx(2.0)
+
+    def test_window_in_gap(self):
+        assert self.s.covered_within(3.0, 5.0) == 0.0
+
+    def test_empty_window(self):
+        assert self.s.covered_within(5.0, 5.0) == 0.0
+        assert self.s.covered_within(6.0, 5.0) == 0.0
+
+    def test_open_interval_counts_to_window_end(self):
+        self.s.open(12.0)
+        assert self.s.covered_within(11.0, 15.0) == pytest.approx(3.0)
+
+    def test_contains(self):
+        assert self.s.contains(2.0)
+        assert not self.s.contains(4.0)
+        assert self.s.contains(5.0)
+        assert not self.s.contains(9.0)  # half-open
+
+    def test_first_open_time(self):
+        assert self.s.first_open_time() == 1.0
+        assert IntervalSet().first_open_time() == math.inf
+
+
+# -- property-based -----------------------------------------------------------
+
+event_times = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=2,
+    max_size=40,
+).map(sorted)
+
+
+@given(times=event_times)
+def test_alternating_open_close_never_negative(times):
+    """Feeding any sorted alternating sequence keeps totals sane."""
+    s = IntervalSet()
+    for i, t in enumerate(times):
+        if i % 2 == 0:
+            s.open(t)
+        else:
+            s.close(t)
+    horizon = times[-1] + 1.0
+    total = s.total(until=horizon)
+    assert 0.0 <= total <= horizon
+
+
+@given(times=event_times, w0=st.floats(0, 1e6), w=st.floats(0, 1e6))
+def test_covered_within_bounded_by_window_and_total(times, w0, w):
+    s = IntervalSet()
+    for i, t in enumerate(times):
+        (s.open if i % 2 == 0 else s.close)(t)
+    w1 = w0 + w
+    covered = s.covered_within(w0, w1)
+    assert 0.0 <= covered <= w + 1e-6
+    assert covered <= s.total(until=max(w1, times[-1])) + 1e-6
+
+
+@given(times=event_times)
+def test_covered_within_is_additive_over_split_windows(times):
+    s = IntervalSet()
+    for i, t in enumerate(times):
+        (s.open if i % 2 == 0 else s.close)(t)
+    hi = times[-1]
+    mid = hi / 2
+    whole = s.covered_within(0.0, hi)
+    parts = s.covered_within(0.0, mid) + s.covered_within(mid, hi)
+    assert whole == pytest.approx(parts, abs=1e-6)

@@ -1,0 +1,79 @@
+"""Validation tests for the control-message vocabulary."""
+
+import dataclasses
+
+import pytest
+
+from repro.protocols.messages import (
+    ChildInfo,
+    ChildRemove,
+    ConnRequest,
+    ConnResponse,
+    GrandparentChange,
+    InfoRequest,
+    InfoResponse,
+    LeaveNotice,
+    ParentChange,
+)
+
+
+class TestConnRequest:
+    def test_attach_default(self):
+        req = ConnRequest()
+        assert req.kind == "attach"
+        assert req.adopt == ()
+
+    def test_insert_requires_adoptions(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ConnRequest(kind="insert")
+
+    def test_attach_cannot_adopt(self):
+        with pytest.raises(ValueError, match="cannot adopt"):
+            ConnRequest(kind="attach", adopt=(1,))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ConnRequest(kind="takeover")
+
+    def test_valid_insert(self):
+        req = ConnRequest(kind="insert", adopt=(3, 4))
+        assert req.adopt == (3, 4)
+
+
+class TestImmutability:
+    @pytest.mark.parametrize(
+        "msg",
+        [
+            InfoRequest(want_children=True),
+            InfoResponse(node_id=1, free_degree=2, parent=0),
+            ConnRequest(),
+            ConnResponse(accepted=True, node_id=1),
+            ParentChange(new_parent=1, new_grandparent=0),
+            GrandparentChange(new_grandparent=2),
+            LeaveNotice(),
+            ChildRemove(),
+            ChildInfo(node_id=1, distance=3.0, free_degree=1),
+        ],
+    )
+    def test_frozen(self, msg):
+        field = dataclasses.fields(msg)[0].name if dataclasses.fields(msg) else None
+        if field is None:
+            pytest.skip("no fields")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            setattr(msg, field, None)
+
+
+class TestDefaults:
+    def test_info_response_children_default_empty(self):
+        resp = InfoResponse(node_id=1, free_degree=0, parent=None)
+        assert resp.children == ()
+
+    def test_conn_response_rejection_payload(self):
+        resp = ConnResponse(
+            accepted=False,
+            node_id=5,
+            children=(ChildInfo(7, 2.0, 1),),
+        )
+        assert not resp.accepted
+        assert resp.transferred == ()
+        assert resp.children[0].node_id == 7

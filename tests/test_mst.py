@@ -1,0 +1,137 @@
+"""Tests for the MST references."""
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols.mst import degree_constrained_mst, mst_parent_map, tree_cost
+
+from tests.helpers import line_matrix
+
+
+def matrix_weight(rtt):
+    return lambda a, b: rtt[a][b]
+
+
+class TestExactMST:
+    def test_line_topology_chains(self):
+        rtt = line_matrix([0.0, 10.0, 20.0, 30.0])
+        parents = mst_parent_map([0, 1, 2, 3], 0, matrix_weight(rtt))
+        assert parents == {1: 0, 2: 1, 3: 2}
+
+    def test_cost_matches(self):
+        rtt = line_matrix([0.0, 10.0, 20.0, 30.0])
+        parents = mst_parent_map([0, 1, 2, 3], 0, matrix_weight(rtt))
+        assert tree_cost(parents, matrix_weight(rtt)) == pytest.approx(30.0)
+
+    def test_single_member(self):
+        assert mst_parent_map([0], 0, lambda a, b: 1.0) == {}
+
+    def test_source_must_be_member(self):
+        with pytest.raises(ValueError, match="source"):
+            mst_parent_map([1, 2], 0, lambda a, b: 1.0)
+
+    def test_matches_networkx_on_random_instances(self):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            n = 8
+            pts = rng.uniform(0, 100, size=(n, 2))
+            dist = np.linalg.norm(pts[:, None] - pts[None, :], axis=-1)
+            weight = lambda a, b: float(dist[a, b])
+            parents = mst_parent_map(list(range(n)), 0, weight)
+            got = tree_cost(parents, weight)
+            g = nx.Graph()
+            for i in range(n):
+                for j in range(i + 1, n):
+                    g.add_edge(i, j, weight=dist[i, j])
+            want = nx.minimum_spanning_tree(g).size(weight="weight")
+            assert got == pytest.approx(want)
+
+
+class TestDegreeConstrainedMST:
+    def test_respects_limits(self):
+        # Star-shaped instance: everything closest to the hub 0.
+        rtt = np.array(
+            [
+                [0, 1, 1, 1, 1],
+                [1, 0, 2, 2, 2],
+                [1, 2, 0, 2, 2],
+                [1, 2, 2, 0, 2],
+                [1, 2, 2, 2, 0],
+            ],
+            dtype=float,
+        )
+        parents = degree_constrained_mst(
+            list(range(5)), 0, matrix_weight(rtt), degree_limit=2
+        )
+        counts = {}
+        for child, parent in parents.items():
+            counts[parent] = counts.get(parent, 0) + 1
+        assert all(v <= 2 for v in counts.values())
+        assert len(parents) == 4  # spans
+
+    def test_unconstrained_matches_exact_on_unique_weights(self):
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(0, 100, size=(7, 2))
+        dist = np.linalg.norm(pts[:, None] - pts[None, :], axis=-1)
+        weight = lambda a, b: float(dist[a, b])
+        exact = tree_cost(mst_parent_map(list(range(7)), 0, weight), weight)
+        greedy = tree_cost(
+            degree_constrained_mst(list(range(7)), 0, weight, degree_limit=10),
+            weight,
+        )
+        assert greedy == pytest.approx(exact)
+
+    def test_constraint_increases_cost(self):
+        rtt = np.array(
+            [
+                [0, 1, 1, 1, 1],
+                [1, 0, 5, 5, 5],
+                [1, 5, 0, 5, 5],
+                [1, 5, 5, 0, 5],
+                [1, 5, 5, 5, 0],
+            ],
+            dtype=float,
+        )
+        w = matrix_weight(rtt)
+        free = tree_cost(degree_constrained_mst(list(range(5)), 0, w, 10), w)
+        tight = tree_cost(degree_constrained_mst(list(range(5)), 0, w, 1), w)
+        assert tight > free
+
+    def test_per_node_limits(self):
+        rtt = line_matrix([0.0, 1.0, 2.0, 3.0])
+        parents = degree_constrained_mst(
+            [0, 1, 2, 3], 0, matrix_weight(rtt), degree_limit={0: 3, 1: 1, 2: 1, 3: 1}
+        )
+        assert len(parents) == 3
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            degree_constrained_mst([0, 1], 0, lambda a, b: 1.0, degree_limit=0)
+
+    def test_duplicate_members_deduped(self):
+        rtt = line_matrix([0.0, 1.0])
+        parents = mst_parent_map([0, 1, 1, 0], 0, matrix_weight(rtt))
+        assert parents == {1: 0}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    coords=st.lists(
+        st.floats(min_value=0, max_value=1000, allow_nan=False),
+        min_size=2,
+        max_size=12,
+        unique=True,
+    )
+)
+def test_mst_cost_lower_bounds_dcmst(coords):
+    """The exact MST can never cost more than any degree-constrained tree."""
+    rtt = line_matrix(coords)
+    nodes = list(range(len(coords)))
+    w = matrix_weight(rtt)
+    exact = tree_cost(mst_parent_map(nodes, 0, w), w)
+    constrained = tree_cost(degree_constrained_mst(nodes, 0, w, 2), w)
+    assert exact <= constrained + 1e-9

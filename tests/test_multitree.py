@@ -1,0 +1,101 @@
+"""Tests for the multi-tree striping extension (SplitStream-over-VDM)."""
+
+import numpy as np
+import pytest
+
+from repro.factories import vdm
+from repro.protocols.multitree import StripedSession, StripeReport, _split_degree
+from repro.sim.network import MatrixUnderlay
+from repro.sim.session import SessionConfig
+
+from tests.helpers import line_matrix
+
+
+def make_underlay(n=24, seed=4):
+    rng = np.random.default_rng(seed)
+    return MatrixUnderlay(line_matrix(list(np.sort(rng.uniform(0, 400, size=n)))))
+
+
+BASE = dict(
+    n_nodes=14,
+    degree=(4, 8),
+    join_phase_s=300.0,
+    total_s=1500.0,
+    slot_s=400.0,
+    settle_s=100.0,
+    chunk_rate=12.0,
+    seed=7,
+)
+
+
+class TestDegreeSplit:
+    def test_even_split(self):
+        assert _split_degree(8, 4, favored=0) == [2, 2, 2, 2]
+
+    def test_remainder_to_favored(self):
+        assert _split_degree(9, 4, favored=2) == [2, 2, 3, 2]
+
+    def test_minimum_one_per_stripe(self):
+        assert _split_degree(2, 4, favored=0) == [1, 1, 1, 1]
+
+    def test_favored_rotation_wraps(self):
+        assert _split_degree(9, 4, favored=6) == [2, 2, 3, 2]
+
+
+class TestStripedSession:
+    def test_runs_k_stripes(self):
+        report = StripedSession(
+            make_underlay(), vdm(), SessionConfig(**BASE), stripes=3
+        ).run()
+        assert report.stripes == 3
+        assert len(report.results) == 3
+
+    def test_stripe_rate_split(self):
+        report = StripedSession(
+            make_underlay(), vdm(), SessionConfig(**BASE), stripes=3
+        ).run()
+        for result in report.results:
+            assert result.config.chunk_rate == pytest.approx(4.0)
+
+    def test_same_membership_across_stripes(self):
+        report = StripedSession(
+            make_underlay(), vdm(), SessionConfig(**BASE), stripes=2
+        ).run()
+        members = [
+            set(r.accountant.tracked_nodes()) for r in report.results
+        ]
+        assert members[0] == members[1]
+
+    def test_full_quality_without_churn(self):
+        cfg = SessionConfig(**{**BASE, "churn_rate": 0.0})
+        report = StripedSession(make_underlay(), vdm(), cfg, stripes=3).run()
+        quality = report.full_quality(300.0, cfg.total_s)
+        assert quality == pytest.approx(1.0, abs=1e-6)
+        assert report.continuity(300.0, cfg.total_s) == pytest.approx(1.0)
+
+    def test_availability_per_viewer_bounds(self):
+        cfg = SessionConfig(**{**BASE, "churn_rate": 0.15})
+        report = StripedSession(make_underlay(), vdm(), cfg, stripes=3).run()
+        availability = report.viewer_stripe_availability(300.0, cfg.total_s)
+        assert availability
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in availability.values())
+
+    def test_striping_improves_continuity_over_quality(self):
+        """The SplitStream tradeoff: under churn, continuity (>=1 stripe)
+        must be at least as good as full quality (all stripes)."""
+        cfg = SessionConfig(**{**BASE, "churn_rate": 0.2})
+        report = StripedSession(make_underlay(), vdm(), cfg, stripes=3).run()
+        w = (cfg.join_phase_s, cfg.total_s)
+        assert report.continuity(*w) >= report.full_quality(*w) - 1e-9
+
+    def test_single_stripe_degenerates_to_plain_session(self):
+        cfg = SessionConfig(**{**BASE, "churn_rate": 0.0})
+        report = StripedSession(make_underlay(), vdm(), cfg, stripes=1).run()
+        assert report.stripes == 1
+        assert report.results[0].final.n_reachable == cfg.n_nodes + 1
+
+    def test_invalid_stripes(self):
+        with pytest.raises(ValueError):
+            StripedSession(
+                make_underlay(), vdm(), SessionConfig(**BASE), stripes=0
+            )

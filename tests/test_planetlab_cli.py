@@ -1,0 +1,63 @@
+"""Tests for the PlanetLab CLI workflow."""
+
+import pytest
+
+from repro.planetlab.__main__ import main as pl_main
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    path = tmp_path / "scenario.txt"
+    rc = pl_main(
+        [
+            "generate",
+            "--nodes", "20",
+            "--churn", "0.1",
+            "--seed", "3",
+            "--join-phase", "300",
+            "--duration", "1100",
+            "--out", str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_file(self, scenario_file):
+        text = scenario_file.read_text()
+        assert "source" in text
+        assert "terminate" in text
+        assert "join" in text
+
+    def test_stdout_mode(self, capsys):
+        rc = pl_main(["generate", "--nodes", "15", "--seed", "1",
+                      "--join-phase", "200", "--duration", "400",
+                      "--churn", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# VDM PlanetLab scenario")
+
+
+class TestRun:
+    @pytest.mark.parametrize("protocol", ["vdm", "hmtp", "btp", "vdm-r"])
+    def test_runs_each_protocol(self, scenario_file, capsys, protocol):
+        rc = pl_main(
+            [
+                "run", str(scenario_file),
+                "--nodes", "20",
+                "--seed", "3",
+                "--protocol", protocol,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean startup" in out
+        assert "control messages" in out
+
+    def test_mismatched_pool_rejected(self, scenario_file, capsys):
+        rc = pl_main(
+            ["run", str(scenario_file), "--nodes", "20", "--seed", "99"]
+        )
+        assert rc == 2
+        assert "does not match" in capsys.readouterr().err

@@ -1,0 +1,198 @@
+"""Tests for the PlanetLab scenario format and main controller."""
+
+import pytest
+
+from repro.factories import hmtp, vdm
+from repro.harness.substrates import build_planetlab_underlay
+from repro.planetlab import (
+    MainController,
+    Scenario,
+    ScenarioEvent,
+    generate_scenario,
+    parse_scenario,
+    render_scenario,
+)
+
+
+class TestScenarioEvents:
+    def test_valid(self):
+        ScenarioEvent(1.0, "join", 4)
+
+    def test_bad_action(self):
+        with pytest.raises(ValueError):
+            ScenarioEvent(1.0, "restart", 4)
+
+    def test_negative_node(self):
+        with pytest.raises(ValueError):
+            ScenarioEvent(1.0, "join", -2)
+
+
+class TestScenario:
+    def test_events_sorted_on_init(self):
+        sc = Scenario(
+            events=[ScenarioEvent(5.0, "leave", 1), ScenarioEvent(1.0, "join", 1)],
+            terminate_at=10.0,
+            source=0,
+        )
+        assert [e.time for e in sc.events] == [1.0, 5.0]
+
+    def test_rejects_events_after_terminate(self):
+        with pytest.raises(ValueError, match="after terminate"):
+            Scenario(
+                events=[ScenarioEvent(50.0, "join", 1)],
+                terminate_at=10.0,
+                source=0,
+            )
+
+    def test_rejects_source_events(self):
+        with pytest.raises(ValueError, match="source"):
+            Scenario(
+                events=[ScenarioEvent(1.0, "leave", 0)],
+                terminate_at=10.0,
+                source=0,
+            )
+
+    def test_validate_unknown_nodes(self):
+        sc = Scenario(
+            events=[ScenarioEvent(1.0, "join", 99)], terminate_at=10.0, source=0
+        )
+        with pytest.raises(ValueError, match="unknown nodes"):
+            sc.validate([0, 1, 2])
+
+
+class TestGeneration:
+    def test_counts_and_structure(self):
+        sc = generate_scenario(
+            list(range(30)),
+            source=0,
+            n_initial=20,
+            join_phase_s=400.0,
+            total_s=2000.0,
+            churn_rate=0.1,
+            seed=4,
+        )
+        joins = [e for e in sc.events if e.action == "join"]
+        initial_joins = [e for e in joins if e.time < 400.0]
+        assert len(initial_joins) == 20
+        assert sc.terminate_at == 2000.0
+        # Churn slots: 400..2000 -> 4 slots of 2 leaves each.
+        leaves = [e for e in sc.events if e.action == "leave"]
+        assert len(leaves) == 8
+
+    def test_deterministic(self):
+        args = dict(
+            nodes=list(range(20)),
+            source=0,
+            n_initial=10,
+            join_phase_s=200.0,
+            total_s=1000.0,
+            churn_rate=0.2,
+            seed=7,
+        )
+        assert generate_scenario(**args).events == generate_scenario(**args).events
+
+    def test_too_small_roster_rejected(self):
+        with pytest.raises(ValueError, match="cannot join"):
+            generate_scenario(
+                [0, 1], 0, n_initial=5, join_phase_s=10.0, total_s=20.0
+            )
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        sc = generate_scenario(
+            list(range(15)),
+            source=2,
+            n_initial=8,
+            join_phase_s=100.0,
+            total_s=600.0,
+            churn_rate=0.25,
+            seed=1,
+        )
+        back = parse_scenario(render_scenario(sc))
+        assert back.source == 2
+        assert back.terminate_at == sc.terminate_at
+        assert len(back.events) == len(sc.events)
+        for a, b in zip(back.events, sc.events):
+            assert a.action == b.action and a.node == b.node
+            assert a.time == pytest.approx(b.time, abs=1e-3)
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# hi\n\nsource 0\njoin\t1\t2.5\nterminate\t10\n"
+        sc = parse_scenario(text)
+        assert len(sc.events) == 1
+
+    def test_missing_terminate_rejected(self):
+        with pytest.raises(ValueError, match="terminate"):
+            parse_scenario("source 0\njoin\t1\t2.0\n")
+
+    def test_missing_source_rejected(self):
+        with pytest.raises(ValueError, match="source"):
+            parse_scenario("join\t1\t2.0\nterminate\t10\n")
+
+    def test_garbage_line_reports_lineno(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_scenario("source 0\nfrobnicate\t3\t1.0\nterminate\t5\n")
+
+
+class TestMainController:
+    def make(self, factory=None, churn=0.1, seed=1):
+        sub = build_planetlab_underlay(n_select=20, seed=3, n_us=50)
+        sc = generate_scenario(
+            list(sub.underlay.hosts),
+            sub.source,
+            n_initial=15,
+            join_phase_s=300.0,
+            total_s=1200.0,
+            churn_rate=churn,
+            seed=seed,
+        )
+        ctl = MainController(
+            sub.underlay, sc, factory or vdm(), seed=seed, degree_limit=4
+        )
+        return ctl, sc
+
+    def test_full_run_produces_reports(self):
+        ctl, sc = self.make()
+        rep = ctl.run()
+        assert len(rep.nodes) == len(sc.joined_nodes())
+        assert rep.control_messages > 0
+        assert rep.data_messages > 0
+        assert rep.duration_s == sc.terminate_at
+
+    def test_aggregates(self):
+        ctl, _ = self.make()
+        rep = ctl.run()
+        assert rep.mean_startup > 0
+        assert 0 <= rep.mean_loss <= 1
+        assert rep.overhead > 0
+
+    def test_connected_nodes_have_depth_and_stretch(self):
+        ctl, _ = self.make(churn=0.0)
+        rep = ctl.run()
+        connected = [n for n in rep.nodes if n.final_depth is not None]
+        assert connected
+        assert all(n.final_depth >= 1 for n in connected)
+        assert all(
+            n.final_stretch is None or n.final_stretch > 0 for n in rep.nodes
+        )
+
+    def test_hmtp_controller_runs(self):
+        ctl, _ = self.make(factory=hmtp())
+        rep = ctl.run()
+        assert rep.control_messages > 0
+
+    def test_scenario_validated_against_roster(self):
+        sub = build_planetlab_underlay(n_select=10, seed=3, n_us=50)
+        sc = Scenario(
+            events=[ScenarioEvent(1.0, "join", 999)],
+            terminate_at=10.0,
+            source=sub.source,
+        )
+        with pytest.raises(ValueError, match="unknown nodes"):
+            MainController(sub.underlay, sc, vdm())
+
+    def test_node_report_loss_rate_bounds(self):
+        ctl, _ = self.make(churn=0.2)
+        rep = ctl.run()
+        assert all(0.0 <= n.loss_rate <= 1.0 for n in rep.nodes)

@@ -1,0 +1,103 @@
+"""Tests for the synthetic PlanetLab pool."""
+
+import numpy as np
+import pytest
+
+from repro.topology.planetlab import (
+    PlanetLabNode,
+    PlanetLabPool,
+    generate_planetlab_pool,
+)
+from repro.topology.geo import GeoSite
+
+
+class TestGeneration:
+    def test_pool_size(self):
+        pool = generate_planetlab_pool(n_us=50, n_eu=10, seed=1)
+        assert len(pool.nodes) == 60
+
+    def test_regions_assigned(self):
+        pool = generate_planetlab_pool(n_us=30, n_eu=10, seed=1)
+        regions = {n.site.region for n in pool.nodes}
+        assert regions == {"us", "eu"}
+
+    def test_deterministic(self):
+        p1 = generate_planetlab_pool(n_us=40, seed=9)
+        p2 = generate_planetlab_pool(n_us=40, seed=9)
+        for a, b in zip(p1.nodes, p2.nodes):
+            assert a.site.lat == b.site.lat
+            assert a.usable == b.usable
+
+    def test_flakiness_rates_roughly_observed(self):
+        pool = generate_planetlab_pool(n_us=2000, p_no_ping_reply=0.2, seed=3)
+        frac_bad = np.mean([not n.responds_to_ping for n in pool.nodes])
+        assert 0.15 < frac_bad < 0.25
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            generate_planetlab_pool(p_no_ping_reply=1.5)
+
+
+class TestFiltering:
+    def test_filter_drops_each_failure_mode(self):
+        site = GeoSite("x", "us", 40.0, -100.0)
+        nodes = [
+            PlanetLabNode(0, site),
+            PlanetLabNode(1, site, responds_to_ping=False),
+            PlanetLabNode(2, site, can_send_ping=False),
+            PlanetLabNode(3, site, agent_runs=False),
+        ]
+        pool = PlanetLabPool(nodes=nodes)
+        working = pool.filter_working()
+        assert [n.node_id for n in working] == [0]
+
+    def test_usable_property(self):
+        site = GeoSite("x", "us", 40.0, -100.0)
+        assert PlanetLabNode(0, site).usable
+        assert not PlanetLabNode(0, site, agent_runs=False).usable
+
+
+class TestRttMatrix:
+    def test_symmetric_zero_diagonal(self):
+        pool = generate_planetlab_pool(n_us=20, seed=4)
+        rtt = pool.rtt_matrix()
+        assert np.allclose(rtt, rtt.T)
+        assert np.all(np.diag(rtt) == 0)
+        off = rtt[~np.eye(len(pool.nodes), dtype=bool)]
+        assert np.all(off > 0)
+
+    def test_matrix_deterministic_for_pool_seed(self):
+        pool = generate_planetlab_pool(n_us=15, seed=4)
+        assert np.allclose(pool.rtt_matrix(), pool.rtt_matrix())
+
+    def test_subset_matrix_shape(self):
+        pool = generate_planetlab_pool(n_us=20, seed=4)
+        subset = pool.nodes[:7]
+        assert pool.rtt_matrix(subset).shape == (7, 7)
+
+    def test_geography_dominates(self):
+        """Co-located hosts must generally be closer than transcontinental
+        pairs despite jitter."""
+        pool = generate_planetlab_pool(n_us=60, n_eu=60, seed=4)
+        rtt = pool.rtt_matrix()
+        us = [i for i, n in enumerate(pool.nodes) if n.site.region == "us"]
+        eu = [i for i, n in enumerate(pool.nodes) if n.site.region == "eu"]
+        intra = np.mean([rtt[i, j] for i in us for j in us if i != j])
+        inter = np.mean([rtt[i, j] for i in us for j in eu])
+        assert inter > 1.5 * intra
+
+
+class TestColoradoIndex:
+    def test_picks_nearest_site(self):
+        nodes = [
+            PlanetLabNode(0, GeoSite("boston", "us", 42.36, -71.06)),
+            PlanetLabNode(1, GeoSite("boulder", "us", 40.01, -105.27)),
+            PlanetLabNode(2, GeoSite("la", "us", 34.05, -118.24)),
+        ]
+        pool = PlanetLabPool(nodes=nodes)
+        assert pool.colorado_like_index() == 1
+
+    def test_empty_raises(self):
+        pool = PlanetLabPool(nodes=[])
+        with pytest.raises(ValueError, match="empty"):
+            pool.colorado_like_index()

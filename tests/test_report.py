@@ -1,0 +1,62 @@
+"""Tests for measurement records and series tables."""
+
+import json
+
+import pytest
+
+from repro.metrics.report import Series, SeriesTable
+from repro.metrics.stats import mean_ci
+
+
+def make_table():
+    t = SeriesTable(
+        title="Test figure",
+        x_label="x",
+        x_values=[1.0, 2.0, 3.0],
+        expected_shape="flat",
+    )
+    t.add_series("A", [mean_ci([1.0, 2.0]), mean_ci([2.0, 3.0]), mean_ci([3.0, 4.0])])
+    t.add_series("B", [mean_ci([5.0, 5.0]), mean_ci([6.0, 6.0]), mean_ci([7.0, 7.0])])
+    return t
+
+
+class TestSeriesTable:
+    def test_add_series_length_checked(self):
+        t = SeriesTable("t", "x", [1.0, 2.0])
+        with pytest.raises(ValueError, match="points"):
+            t.add_series("A", [mean_ci([1.0])])
+
+    def test_get_series(self):
+        t = make_table()
+        assert t.get("A").means() == pytest.approx([1.5, 2.5, 3.5])
+        with pytest.raises(KeyError):
+            t.get("missing")
+
+    def test_render_contains_everything(self):
+        text = make_table().render()
+        assert "Test figure" in text
+        assert "paper shape: flat" in text
+        assert "A" in text and "B" in text
+        # One row per x value plus header lines.
+        assert len(text.splitlines()) == 3 + 4
+
+    def test_render_alignment(self):
+        lines = make_table().render().splitlines()
+        header, rows = lines[2], lines[4:]
+        assert all(len(r) <= max(len(header), len(r)) for r in rows)
+
+    def test_to_json_round_trips(self):
+        payload = json.loads(make_table().to_json())
+        assert payload["title"] == "Test figure"
+        assert payload["x_values"] == [1.0, 2.0, 3.0]
+        assert payload["series"]["A"]["mean"] == pytest.approx([1.5, 2.5, 3.5])
+        assert payload["series"]["B"]["ci"][0] == pytest.approx(0.0)
+        assert payload["series"]["A"]["n"] == [2, 2, 2]
+
+    def test_empty_table_renders(self):
+        t = SeriesTable("empty", "x", [])
+        assert "empty" in t.render()
+
+    def test_series_means(self):
+        s = Series("x", [mean_ci([2.0, 4.0])])
+        assert s.means() == [3.0]

@@ -1,0 +1,154 @@
+"""Tests for the ProtocolRuntime message layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.vdm import VDMAgent
+from repro.protocols.base import ProtocolRuntime
+from repro.protocols.messages import InfoRequest, InfoResponse
+from repro.sim.engine import Simulator
+from repro.sim.network import MatrixUnderlay
+
+from tests.helpers import line_matrix
+
+
+@pytest.fixture
+def setup():
+    ul = MatrixUnderlay(line_matrix([0.0, 10.0, 20.0]))
+    sim = Simulator()
+    env = ProtocolRuntime(sim, ul, source=0, timeout_ms=1000.0)
+    agents = {i: VDMAgent(i, env) for i in range(3)}
+    for a in agents.values():
+        env.register(a)
+    return sim, env, agents
+
+
+class TestRequestResponse:
+    def test_reply_arrives_after_rtt(self, setup):
+        sim, env, agents = setup
+        replies = []
+        env.request(0, 1, InfoRequest(), replies.append, lambda: replies.append("TO"))
+        sim.run()
+        assert len(replies) == 1
+        assert isinstance(replies[0], InfoResponse)
+        # one-way delay is rtt/2 = 5 ms; request + reply = 10 ms = 0.01 s;
+        # the cancelled timeout event must not advance the clock.
+        assert sim.now == pytest.approx(0.01)
+
+    def test_reply_timing(self, setup):
+        sim, env, agents = setup
+        seen_at = []
+        env.request(0, 1, InfoRequest(), lambda r: seen_at.append(sim.now), lambda: None)
+        sim.run_until(0.02)
+        assert seen_at == [pytest.approx(0.01)]
+
+    def test_timeout_on_dead_target(self, setup):
+        sim, env, agents = setup
+        outcome = []
+        env.mark_dead(1)
+        env.request(0, 1, InfoRequest(), outcome.append, lambda: outcome.append("TO"))
+        sim.run()
+        assert outcome == ["TO"]
+        assert sim.now == pytest.approx(1.0)
+
+    def test_timeout_when_target_dies_in_flight(self, setup):
+        sim, env, agents = setup
+        outcome = []
+        env.request(0, 1, InfoRequest(), outcome.append, lambda: outcome.append("TO"))
+        # Kill the target before the request lands (delivery at 5 ms).
+        sim.schedule(0.001, lambda: env.mark_dead(1))
+        sim.run()
+        assert outcome == ["TO"]
+
+    def test_no_reply_to_dead_requester(self, setup):
+        sim, env, agents = setup
+        outcome = []
+        env.request(0, 1, InfoRequest(), outcome.append, lambda: outcome.append("TO"))
+        sim.schedule(0.006, lambda: env.mark_dead(0))  # after delivery, before reply
+        sim.run()
+        assert outcome == []  # neither reply nor timeout for a dead node
+
+    def test_messages_counted(self, setup):
+        sim, env, agents = setup
+        env.request(0, 1, InfoRequest(), lambda r: None, lambda: None)
+        sim.run()
+        assert env.message_counts["InfoRequest"] == 1
+        assert env.message_counts["InfoResponse"] == 1
+        assert env.total_control_messages == 2
+
+    def test_request_to_dead_still_counted(self, setup):
+        sim, env, agents = setup
+        env.mark_dead(1)
+        env.request(0, 1, InfoRequest(), lambda r: None, lambda: None)
+        sim.run()
+        assert env.message_counts["InfoRequest"] == 1
+        assert env.message_counts.get("InfoResponse", 0) == 0
+
+
+class TestTell:
+    def test_tell_delivered(self, setup):
+        sim, env, agents = setup
+        received = []
+        agents[1].handle_tell = lambda sender, msg: received.append((sender, msg))
+        env.tell(0, 1, InfoRequest())
+        sim.run()
+        assert received and received[0][0] == 0
+
+    def test_tell_to_dead_dropped_but_counted(self, setup):
+        sim, env, agents = setup
+        env.mark_dead(1)
+        env.tell(0, 1, InfoRequest())
+        sim.run()
+        assert env.message_counts["InfoRequest"] == 1
+
+
+class TestConstruction:
+    def test_bad_timeout(self, setup):
+        _, env, _ = setup
+        with pytest.raises(ValueError, match="timeout_ms"):
+            ProtocolRuntime(Simulator(), env.underlay, 0, timeout_ms=0)
+
+    def test_unknown_source(self):
+        ul = MatrixUnderlay(line_matrix([0.0, 1.0]))
+        with pytest.raises(KeyError):
+            ProtocolRuntime(Simulator(), ul, source=99)
+
+    def test_noise_requires_rng(self):
+        ul = MatrixUnderlay(line_matrix([0.0, 1.0]))
+        with pytest.raises(ValueError, match="noise_rng"):
+            ProtocolRuntime(Simulator(), ul, 0, measurement_noise_sigma=0.1)
+
+    def test_noise_perturbs_measurements(self):
+        ul = MatrixUnderlay(line_matrix([0.0, 100.0]))
+        env = ProtocolRuntime(
+            Simulator(),
+            ul,
+            0,
+            measurement_noise_sigma=0.3,
+            noise_rng=np.random.default_rng(1),
+        )
+        samples = {env.virtual_distance(0, 1) for _ in range(10)}
+        assert len(samples) == 10
+        assert all(s > 0 for s in samples)
+
+    def test_noise_zero_for_self(self):
+        ul = MatrixUnderlay(line_matrix([0.0, 100.0]))
+        env = ProtocolRuntime(
+            Simulator(),
+            ul,
+            0,
+            measurement_noise_sigma=0.3,
+            noise_rng=np.random.default_rng(1),
+        )
+        assert env.virtual_distance(1, 1) == 0.0
+
+    def test_duplicate_registration_rejected(self, setup):
+        _, env, agents = setup
+        with pytest.raises(ValueError, match="already registered"):
+            env.register(VDMAgent(1, env))
+
+    def test_reregistration_after_death_allowed(self, setup):
+        _, env, agents = setup
+        env.mark_dead(1)
+        env.register(VDMAgent(1, env))
+        assert env.is_alive(1)

@@ -1,0 +1,200 @@
+"""Tests for the playout-buffer and viewer-experience models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.factories import vdm
+from repro.sim.network import MatrixUnderlay
+from repro.sim.session import MulticastSession, SessionConfig
+from repro.streaming import (
+    PlayoutBuffer,
+    session_experience,
+    summarize_experience,
+)
+
+from tests.helpers import line_matrix
+
+
+class TestPlayoutBuffer:
+    def make(self, startup=2.0, rebuffer=1.0):
+        return PlayoutBuffer(
+            startup_target_s=startup, rebuffer_target_s=rebuffer
+        )
+
+    def test_clean_stream_starts_after_buffer_fill(self):
+        trace = self.make().simulate([(0.0, 100.0, 1.0)], 100.0)
+        assert trace.playback_start == pytest.approx(2.0)
+        assert trace.stall_count == 0
+        assert trace.played_s == pytest.approx(98.0)
+        assert trace.stall_ratio == 0.0
+
+    def test_join_delay_shifts_start(self):
+        trace = self.make().simulate([(5.0, 100.0, 1.0)], 100.0)
+        assert trace.playback_start == pytest.approx(7.0)
+
+    def test_no_reception_never_starts(self):
+        trace = self.make().simulate([], 50.0)
+        assert trace.playback_start is None
+        assert trace.played_s == 0.0
+
+    def test_short_outage_absorbed_by_buffer(self):
+        # 1-second outage, 2-second buffer: no stall.
+        segments = [(0.0, 10.0, 1.0), (11.0, 100.0, 1.0)]
+        trace = self.make().simulate(segments, 100.0)
+        assert trace.stall_count == 0
+
+    def test_long_outage_stalls(self):
+        # 10-second outage drains the 2-second buffer: one stall.
+        segments = [(0.0, 10.0, 1.0), (20.0, 100.0, 1.0)]
+        trace = self.make().simulate(segments, 100.0)
+        assert trace.stall_count == 1
+        stall = trace.stalls[0]
+        # Stall starts when the buffer empties (outage start + 2 s of
+        # buffered media), ends once 1 s re-accumulates after recovery.
+        assert stall.start == pytest.approx(12.0)
+        assert stall.end == pytest.approx(21.0)
+
+    def test_stall_open_at_session_end(self):
+        segments = [(0.0, 10.0, 1.0)]
+        trace = self.make().simulate(segments, 50.0)
+        assert trace.stall_count == 1
+        assert trace.stalls[0].end == 50.0
+
+    def test_lossy_path_slows_fill(self):
+        # fill 0.5: 2 s of media needs 4 s of wallclock.
+        trace = self.make().simulate([(0.0, 4.0, 0.5)], 4.0)
+        assert trace.playback_start == pytest.approx(4.0)
+
+    def test_lossy_path_drains_while_playing(self):
+        # Fill 0.5 reaches the 2 s startup target at t=4; playback then
+        # drains the buffer at 0.5/s, emptying it 4 s later: stall at t=8.
+        trace = self.make().simulate([(0.0, 100.0, 0.5)], 100.0)
+        assert trace.stall_count >= 1
+        assert trace.stalls[0].start == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="overlap"):
+            self.make().simulate([(0.0, 5.0, 1.0), (4.0, 6.0, 1.0)], 10.0)
+        with pytest.raises(ValueError, match="fill"):
+            self.make().simulate([(0.0, 5.0, -0.1)], 10.0)
+        with pytest.raises(ValueError, match="ends before"):
+            self.make().simulate([(5.0, 4.0, 1.0)], 10.0)
+        with pytest.raises(ValueError):
+            PlayoutBuffer(startup_target_s=0.0)
+
+    def test_segments_clamped_to_session_end(self):
+        trace = self.make().simulate([(0.0, 500.0, 1.0)], 10.0)
+        assert trace.played_s == pytest.approx(8.0)
+
+    segments_strategy = st.lists(
+        st.tuples(
+            st.floats(0, 500, allow_nan=False),
+            st.floats(0, 100, allow_nan=False),
+            st.floats(0, 1, allow_nan=False),
+        ),
+        max_size=10,
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(raw=segments_strategy, end=st.floats(1, 1000, allow_nan=False))
+    def test_conservation_property(self, raw, end):
+        """Played media can never exceed received media or elapsed time."""
+        cursor = 0.0
+        segments = []
+        for offset, length, fill in raw:
+            start = cursor + offset
+            segments.append((start, start + length, fill))
+            cursor = start + length
+        trace = self.make().simulate(segments, end)
+        received = sum(
+            max(0.0, min(e, end) - min(s, end)) * f for s, e, f in segments
+        )
+        assert trace.played_s <= received + 1e-6
+        assert trace.played_s <= end + 1e-6
+        assert trace.stall_time_s <= end + 1e-6
+        for stall in trace.stalls:
+            assert stall.end >= stall.start
+
+
+class TestSessionExperience:
+    def run_session(self, churn):
+        rng = np.random.default_rng(8)
+        positions = np.sort(rng.uniform(0, 400, size=30))
+        ul = MatrixUnderlay(line_matrix(list(positions)))
+        cfg = SessionConfig(
+            n_nodes=15,
+            degree=(2, 4),
+            join_phase_s=300.0,
+            total_s=1800.0,
+            slot_s=400.0,
+            settle_s=100.0,
+            churn_rate=churn,
+            seed=5,
+        )
+        return MulticastSession(ul, vdm(), cfg).run()
+
+    def test_no_churn_all_clean(self):
+        result = self.run_session(0.0)
+        qoe = session_experience(result)
+        assert len(qoe) == 15
+        assert all(e.clean for e in qoe.values())
+        assert all(e.startup_delay_s >= 2.0 for e in qoe.values())
+        assert all(0.9 <= e.delivered_ratio <= 1.0 for e in qoe.values())
+
+    def test_startup_includes_join_wait(self):
+        result = self.run_session(0.0)
+        qoe = session_experience(result)
+        for e in qoe.values():
+            assert e.join_wait_s > 0
+            assert e.startup_delay_s >= e.join_wait_s + 2.0 - 1e-6
+
+    def test_churn_degrades_some_viewers(self):
+        result = self.run_session(0.2)
+        qoe = session_experience(result)
+        summary = summarize_experience(qoe)
+        assert summary["viewers"] > 0
+        assert 0 <= summary["delivered_ratio"] <= 1.0
+
+    def test_small_buffer_stalls_more(self):
+        result = self.run_session(0.2)
+        tight = summarize_experience(
+            session_experience(result, startup_target_s=0.1, rebuffer_target_s=0.1)
+        )
+        roomy = summarize_experience(
+            session_experience(result, startup_target_s=10.0, rebuffer_target_s=5.0)
+        )
+        assert tight["stall_count"] >= roomy["stall_count"]
+
+    def test_summary_empty(self):
+        assert summarize_experience({})["viewers"] == 0.0
+
+    def test_rejoining_viewer_absence_is_not_a_stall(self):
+        """Regression: a viewer who leaves and rejoins later must not have
+        the away-time counted as stalled playback."""
+        from repro.protocols.base import TreeRegistry
+        from repro.sim.delivery import DeliveryAccountant
+        from repro.streaming.viewer import session_experience as _  # noqa: F401
+        from repro.streaming import PlayoutBuffer
+
+        ul = MatrixUnderlay(line_matrix([0.0, 10.0]))
+        tree = TreeRegistry(0)
+        acct = DeliveryAccountant(tree, ul, chunk_rate=10.0)
+        tree.attach(1, 0, 0.0)
+        tree.depart(1, 100.0)  # watched 100 s, then left
+        tree.parent.setdefault(1, None)
+        tree.children.setdefault(1, set())
+        tree.attach(1, 0, 500.0)  # came back 400 s later
+
+        stints = acct.lifetime_intervals(1, 600.0)
+        assert stints == [(0.0, 100.0), (500.0, 600.0)]
+        player = PlayoutBuffer(startup_target_s=2.0, rebuffer_target_s=1.0)
+        total_stall = 0.0
+        for s0, s1 in stints:
+            segs = [
+                (max(a, s0) - s0, min(b, s1) - s0, f)
+                for a, b, f in acct.reception_segments(1, 600.0)
+                if b > s0 and a < s1
+            ]
+            total_stall += player.simulate(segs, s1 - s0).stall_time_s
+        assert total_stall == 0.0

@@ -1,0 +1,167 @@
+"""Tests for the ground-truth TreeRegistry."""
+
+import pytest
+
+from repro.protocols.base import TreeRegistry
+
+
+@pytest.fixture
+def tree():
+    return TreeRegistry(source=0)
+
+
+class TestAttach:
+    def test_attach_new_node(self, tree):
+        tree.attach(1, 0, time=1.0)
+        assert tree.parent[1] == 0
+        assert 1 in tree.children[0]
+        assert tree.is_attached(1)
+        assert tree.is_reachable(1)
+
+    def test_attach_chain(self, tree):
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 1, 2.0)
+        assert tree.depth(2) == 2
+        assert tree.path_to_source(2) == [2, 1, 0]
+
+    def test_cannot_attach_source(self, tree):
+        with pytest.raises(ValueError, match="source"):
+            tree.attach(0, 1, 1.0)
+
+    def test_cannot_attach_to_missing_parent(self, tree):
+        with pytest.raises(ValueError, match="not present"):
+            tree.attach(1, 42, 1.0)
+
+    def test_cannot_double_attach(self, tree):
+        tree.attach(1, 0, 1.0)
+        with pytest.raises(ValueError, match="already attached"):
+            tree.attach(1, 0, 2.0)
+
+    def test_cannot_attach_under_own_descendant(self, tree):
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 1, 2.0)
+        tree.depart(1, 3.0)  # 2 becomes an orphan rooted subtree? no: 2 orphan
+        # Reattach scenario: orphan 2 cannot become parent of... build cycle:
+        tree.attach(3, 2, 4.0)
+        with pytest.raises(ValueError, match="descendant"):
+            # 2 is orphan; try attaching 2 under its own child 3.
+            tree.parent[2] = None  # ensure orphan state
+            tree.attach(2, 3, 5.0)
+
+
+class TestReparent:
+    def test_reparent_moves_subtree(self, tree):
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 0, 1.5)
+        tree.attach(3, 1, 2.0)
+        tree.reparent(1, 2, 3.0)
+        assert tree.parent[1] == 2
+        assert tree.path_to_source(3) == [3, 1, 2, 0]
+
+    def test_reparent_to_same_parent_is_noop(self, tree):
+        events = []
+        tree.attach(1, 0, 1.0)
+        tree.add_listener(lambda *a: events.append(a))
+        tree.reparent(1, 0, 2.0)
+        assert events == []
+
+    def test_reparent_into_own_subtree_rejected(self, tree):
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 1, 2.0)
+        with pytest.raises(ValueError, match="own subtree"):
+            tree.reparent(1, 2, 3.0)
+
+    def test_reparent_detached_rejected(self, tree):
+        with pytest.raises(ValueError, match="not attached"):
+            tree.reparent(5, 0, 1.0)
+
+
+class TestDepart:
+    def test_depart_orphans_children(self, tree):
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 1, 2.0)
+        tree.attach(3, 2, 2.5)
+        tree.depart(1, 3.0)
+        assert not tree.is_present(1)
+        assert tree.is_orphan(2)
+        assert not tree.is_reachable(2)
+        assert not tree.is_reachable(3)  # below the orphan
+        assert tree.parent[3] == 2  # subtree below orphan intact
+
+    def test_orphan_rejoin(self, tree):
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 1, 2.0)
+        tree.depart(1, 3.0)
+        tree.attach(2, 0, 4.0)
+        assert tree.is_reachable(2)
+
+    def test_source_cannot_depart(self, tree):
+        with pytest.raises(ValueError, match="source"):
+            tree.depart(0, 1.0)
+
+    def test_depart_missing_raises(self, tree):
+        with pytest.raises(ValueError, match="not present"):
+            tree.depart(9, 1.0)
+
+
+class TestQueries:
+    def test_members_and_edges(self, tree):
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 1, 2.0)
+        assert sorted(tree.members()) == [0, 1, 2]
+        assert sorted(tree.edges()) == [(0, 1), (1, 2)]
+
+    def test_attached_nodes_excludes_orphan_subtrees(self, tree):
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 1, 2.0)
+        tree.depart(1, 3.0)
+        assert tree.attached_nodes() == [0]
+
+    def test_is_descendant(self, tree):
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 1, 2.0)
+        assert tree.is_descendant(2, 0)
+        assert tree.is_descendant(2, 1)
+        assert not tree.is_descendant(1, 2)
+        assert not tree.is_descendant(2, 2)
+
+    def test_subtree(self, tree):
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 1, 2.0)
+        tree.attach(3, 1, 2.5)
+        assert sorted(tree.subtree(1)) == [1, 2, 3]
+        assert tree.subtree(3) == [3]
+
+    def test_path_to_source_broken_chain_raises(self, tree):
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 1, 2.0)
+        tree.depart(1, 3.0)
+        with pytest.raises(ValueError, match="no path"):
+            tree.path_to_source(2)
+
+    def test_source_depth_zero(self, tree):
+        assert tree.depth(0) == 0
+
+
+class TestListeners:
+    def test_events_fire_in_order(self, tree):
+        events = []
+        tree.add_listener(lambda kind, node, parent, t: events.append((kind, node, parent, t)))
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 1, 2.0)
+        tree.reparent(2, 0, 3.0)
+        tree.depart(1, 4.0)
+        assert events == [
+            ("attach", 1, 0, 1.0),
+            ("attach", 2, 1, 2.0),
+            ("reparent", 2, 0, 3.0),
+            ("depart", 1, 0, 4.0),
+        ]
+
+    def test_depart_emits_orphans_before_depart(self, tree):
+        events = []
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 1, 2.0)
+        tree.add_listener(lambda kind, node, parent, t: events.append((kind, node)))
+        tree.depart(1, 3.0)
+        assert events == [("orphan", 2), ("depart", 1)]

@@ -1,0 +1,74 @@
+"""Tests for tree rendering and export."""
+
+import pytest
+
+from repro.metrics.treeviz import render_tree_text, tree_edge_list, tree_to_dot
+from repro.protocols.base import TreeRegistry
+
+
+@pytest.fixture
+def tree():
+    t = TreeRegistry(source=0)
+    t.attach(1, 0, 0.0)
+    t.attach(2, 0, 0.0)
+    t.attach(3, 1, 0.0)
+    return t
+
+
+class TestTextRendering:
+    def test_indentation_matches_depth(self, tree):
+        text = render_tree_text(tree)
+        lines = text.splitlines()
+        assert lines[0] == "0"
+        assert "  1" in lines
+        assert "    3" in lines
+
+    def test_custom_labels(self, tree):
+        text = render_tree_text(tree, label=lambda n: f"host-{n}")
+        assert "host-0" in text and "host-3" in text
+
+    def test_edge_annotation(self, tree):
+        text = render_tree_text(
+            tree, annotate=lambda p, c: f"[from {p}]"
+        )
+        assert "[from 1]" in text
+
+    def test_orphan_subtrees_listed(self, tree):
+        tree.depart(1, 1.0)  # 3 becomes an orphan
+        text = render_tree_text(tree)
+        assert "orphaned subtree at 3" in text
+
+    def test_children_sorted(self, tree):
+        text = render_tree_text(tree)
+        assert text.index("  1") < text.index("  2")
+
+
+class TestDotExport:
+    def test_structure(self, tree):
+        dot = tree_to_dot(tree)
+        assert dot.startswith("digraph overlay {")
+        assert dot.rstrip().endswith("}")
+        assert "n0 -> n1;" in dot
+        assert "n1 -> n3;" in dot
+
+    def test_source_shape(self, tree):
+        dot = tree_to_dot(tree)
+        assert 'n0 [label="0", shape=doublecircle];' in dot
+        assert 'n1 [label="1", shape=ellipse];' in dot
+
+    def test_custom_graph_name(self, tree):
+        assert tree_to_dot(tree, graph_name="g2").startswith("digraph g2")
+
+    def test_orphans_have_no_inbound_edge(self, tree):
+        tree.depart(1, 1.0)
+        dot = tree_to_dot(tree)
+        assert "-> n3" not in dot
+        assert "n3 [" in dot  # but the node is drawn
+
+
+class TestEdgeList:
+    def test_sorted_pairs(self, tree):
+        assert tree_edge_list(tree) == [(0, 1), (0, 2), (1, 3)]
+
+    def test_empty_tree(self):
+        assert tree_edge_list(TreeRegistry(9)) == []

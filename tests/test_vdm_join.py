@@ -1,0 +1,286 @@
+"""Scenario tests for the VDM join procedure (Section 3.2's examples).
+
+The line underlay makes distances exact, so each of the paper's join
+examples can be staged precisely: hosts live at 1-D coordinates and RTT
+equals coordinate distance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.vdm import VDMAgent, VDMConfig
+from repro.protocols.base import ProtocolRuntime
+from repro.sim.engine import Simulator
+from repro.sim.network import MatrixUnderlay
+
+from tests.helpers import line_matrix
+
+
+def build(positions, *, source=0, degree=4, config=None, degrees=None):
+    """Simulator + runtime + agents for hosts at 1-D positions."""
+    ul = MatrixUnderlay(line_matrix(positions))
+    sim = Simulator()
+    env = ProtocolRuntime(sim, ul, source=source)
+    agents = {}
+    for host in range(len(positions)):
+        limit = degrees[host] if degrees else degree
+        agents[host] = VDMAgent(host, env, degree_limit=limit, config=config)
+        env.register(agents[host])
+    return sim, env, agents
+
+
+def join(sim, agents, node, at=None):
+    agents[node].start_join()
+    sim.run()
+
+
+class TestExampleI:
+    """Fig 3.8: newcomer not in any child's direction attaches to the source."""
+
+    def test_case_i_attach_to_source(self):
+        # Source at 50; child E at 80; newcomer N at 20 (opposite side).
+        sim, env, agents = build([50.0, 80.0, 20.0])
+        join(sim, agents, 1)
+        join(sim, agents, 2)
+        assert env.tree.parent[1] == 0
+        assert env.tree.parent[2] == 0
+
+
+class TestExampleII:
+    """Fig 3.9: Case III descent, then Case I attach at the leaf."""
+
+    def test_case_iii_then_attach(self):
+        # Source 0, child E at 30, newcomer N at 70: E is between.
+        sim, env, agents = build([0.0, 30.0, 70.0])
+        join(sim, agents, 1)
+        join(sim, agents, 2)
+        assert env.tree.parent[1] == 0
+        assert env.tree.parent[2] == 1  # descended through E
+
+    def test_multi_level_descent(self):
+        # Chain 0 -> 20 -> 40; newcomer at 90 walks the whole chain.
+        sim, env, agents = build([0.0, 20.0, 40.0, 90.0])
+        for n in (1, 2, 3):
+            join(sim, agents, n)
+        assert env.tree.path_to_source(3) == [3, 2, 1, 0]
+
+
+class TestExampleIII:
+    """Figs 3.10/3.11: Case II insert between parent and child."""
+
+    def test_insert_between_source_and_child(self):
+        # Source 0, child at 60; newcomer at 30 is exactly between.
+        sim, env, agents = build([0.0, 60.0, 30.0])
+        join(sim, agents, 1)
+        join(sim, agents, 2)
+        assert env.tree.parent[2] == 0
+        assert env.tree.parent[1] == 2  # adopted by the newcomer
+
+    def test_agent_state_follows_adoption(self):
+        sim, env, agents = build([0.0, 60.0, 30.0])
+        join(sim, agents, 1)
+        join(sim, agents, 2)
+        assert agents[1].parent == 2
+        assert agents[1].grandparent == 0
+        assert agents[2].parent == 0
+        assert 1 in agents[2].children
+
+    def test_case_iii_then_case_ii(self):
+        """Fig 3.10: descend through C1, then insert between C1 and C2."""
+        # Source 0 -> C1 at 40 -> C2 at 100; newcomer at 70.
+        sim, env, agents = build([0.0, 40.0, 100.0, 70.0])
+        join(sim, agents, 1)
+        join(sim, agents, 2)
+        assert env.tree.parent[2] == 1
+        join(sim, agents, 3)
+        assert env.tree.parent[3] == 1  # child of C1
+        assert env.tree.parent[2] == 3  # C2 now hangs below the newcomer
+
+    def test_grandparent_propagated_to_adoptees_children(self):
+        # 0 -> 40 -> 100, then 100 has child 130; insert 70.
+        sim, env, agents = build([0.0, 40.0, 100.0, 130.0, 70.0])
+        for n in (1, 2, 3):
+            join(sim, agents, n)
+        assert env.tree.parent[3] == 2
+        join(sim, agents, 4)
+        sim.run()
+        assert env.tree.parent[2] == 4
+        # Node 3's grandparent must now be the inserted node 4.
+        assert agents[3].grandparent == 4
+
+
+class TestScenarioI:
+    """Fig 3.13: Case II with two children -> adopt both (degree allowing)."""
+
+    def test_adopts_multiple_case_ii_children(self):
+        # Source 0 with children at 60 and 70; newcomer at 30 is between
+        # the source and both.
+        sim, env, agents = build([0.0, 60.0, 70.0, 30.0], degree=4)
+        join(sim, agents, 1)
+        join(sim, agents, 2)
+        # both directly under source (case III? 70 vs 60: child at 60 is
+        # between -> node 2 descends; build exactly the paper's phase 1
+        # by hand instead):
+        sim2, env2, agents2 = build([0.0, 60.0, 70.0, 30.0], degree=4)
+        for child in (1, 2):
+            agents2[child].parent = 0
+            agents2[0].children[child] = env2.virtual_distance(0, child)
+            env2.tree.attach(child, 0, 0.0)
+        agents2[3].start_join()
+        sim2.run()
+        assert env2.tree.parent[3] == 0
+        assert env2.tree.parent[1] == 3
+        assert env2.tree.parent[2] == 3
+
+    def test_adoption_respects_newcomer_degree(self):
+        sim, env, agents = build(
+            [0.0, 60.0, 70.0, 30.0], degrees={0: 4, 1: 4, 2: 4, 3: 1}
+        )
+        for child in (1, 2):
+            agents[child].parent = 0
+            agents[0].children[child] = env.virtual_distance(0, child)
+            env.tree.attach(child, 0, 0.0)
+        agents[3].start_join()
+        sim.run()
+        assert env.tree.parent[3] == 0
+        adopted = [c for c in (1, 2) if env.tree.parent[c] == 3]
+        assert len(adopted) == 1  # degree limit 1 caps the adoption
+
+
+class TestScenarioII:
+    """Fig 3.14: two Case III children -> continue through the closest."""
+
+    def test_descends_through_closest_case_iii(self):
+        # Source 0; children at 30 and 45; newcomer at 100: both are
+        # "on the way", 45 is closer to the newcomer.
+        sim, env, agents = build([0.0, 30.0, 45.0, 100.0])
+        for child in (1, 2):
+            agents[child].parent = 0
+            agents[0].children[child] = env.virtual_distance(0, child)
+            env.tree.attach(child, 0, 0.0)
+        agents[3].start_join()
+        sim.run()
+        assert env.tree.parent[3] == 2
+
+
+class TestScenarioIII:
+    """Fig 3.15: Case III preferred over Case II (the paper's choice)."""
+
+    def test_case3_wins_over_case2(self):
+        # Source 0; child A at 40 (Case III for newcomer at 100),
+        # child B at 130 (Case II: newcomer between source and B).
+        sim, env, agents = build([0.0, 40.0, 130.0, 100.0])
+        for child in (1, 2):
+            agents[child].parent = 0
+            agents[0].children[child] = env.virtual_distance(0, child)
+            env.tree.attach(child, 0, 0.0)
+        agents[3].start_join()
+        sim.run()
+        # Paper's rule: continue through Case III child 1.
+        assert env.tree.parent[3] == 1
+
+    def test_case2_priority_ablation_flips_it(self):
+        sim, env, agents = build(
+            [0.0, 40.0, 130.0, 100.0], config=VDMConfig(case_priority="case2")
+        )
+        for child in (1, 2):
+            agents[child].parent = 0
+            agents[0].children[child] = env.virtual_distance(0, child)
+            env.tree.attach(child, 0, 0.0)
+        agents[3].start_join()
+        sim.run()
+        assert env.tree.parent[3] == 0
+        assert env.tree.parent[2] == 3  # adopted via Case II
+
+
+class TestDegreeLimits:
+    def test_full_source_redirects_to_closest_free_child(self):
+        # Source degree 1; first child takes the slot; the second newcomer
+        # (opposite side, Case I) must attach to the closest free child.
+        sim, env, agents = build(
+            [50.0, 80.0, 20.0], degrees={0: 1, 1: 4, 2: 4}
+        )
+        join(sim, agents, 1)
+        join(sim, agents, 2)
+        assert env.tree.parent[2] == 1
+
+    def test_degree_never_exceeded(self):
+        positions = [0.0] + [float(10 + 7 * i) for i in range(12)]
+        sim, env, agents = build(positions, degree=2)
+        for n in range(1, len(positions)):
+            join(sim, agents, n)
+        for node, agent in agents.items():
+            assert len(env.tree.children[node]) <= agent.degree_limit
+
+
+class TestReconnection:
+    def test_orphan_rejoins_at_grandparent(self):
+        sim, env, agents = build([0.0, 30.0, 70.0, 110.0])
+        for n in (1, 2, 3):
+            join(sim, agents, n)
+        assert env.tree.path_to_source(3) == [3, 2, 1, 0]
+        agents[2].leave()
+        sim.run()
+        assert env.tree.is_reachable(3)
+        assert env.tree.parent[3] == 1  # grandparent restart found node 1
+        kinds = [r.kind for r in env.join_records]
+        assert "reconnect" in kinds
+
+    def test_source_restart_ablation(self):
+        sim, env, agents = build(
+            [0.0, 30.0, 70.0, 110.0], config=VDMConfig(reconnect_at="source")
+        )
+        for n in (1, 2, 3):
+            join(sim, agents, n)
+        agents[2].leave()
+        sim.run()
+        assert env.tree.is_reachable(3)
+
+    def test_orphan_with_dead_grandparent_recovers_via_source(self):
+        sim, env, agents = build([0.0, 30.0, 70.0, 110.0])
+        for n in (1, 2, 3):
+            join(sim, agents, n)
+        # Parent and grandparent leave simultaneously.
+        agents[1].leave()
+        agents[2].leave()
+        sim.run()
+        assert env.tree.is_reachable(3)
+        assert env.tree.parent[3] == 0
+
+    def test_subtree_travels_with_orphan(self):
+        sim, env, agents = build([0.0, 30.0, 60.0, 90.0, 120.0])
+        for n in (1, 2, 3, 4):
+            join(sim, agents, n)
+        assert env.tree.path_to_source(4) == [4, 3, 2, 1, 0]
+        agents[2].leave()
+        sim.run()
+        # 3 reconnected somewhere; 4 must still be 3's child.
+        assert env.tree.parent[4] == 3
+        assert env.tree.is_reachable(4)
+
+
+class TestRefinement:
+    def test_refinement_switches_to_better_parent(self):
+        # Start with a deliberately bad tree: node 3 (at 25) hangs below
+        # node 2 (at 90) even though node 1 (at 30) is in its direction.
+        sim, env, agents = build([0.0, 30.0, 90.0, 25.0])
+        join(sim, agents, 1)
+        join(sim, agents, 2)
+        # Force-attach 3 under 2.
+        agents[3].parent = 2
+        agents[2].children[3] = env.virtual_distance(2, 3)
+        env.tree.attach(3, 2, sim.now)
+        agents[3].start_refinement(10.0)
+        sim.run_until(25.0)
+        assert env.tree.parent[3] != 2
+        refines = [r for r in env.join_records if r.kind == "refine"]
+        assert refines and refines[0].succeeded
+
+    def test_refinement_noop_when_parent_already_best(self):
+        sim, env, agents = build([0.0, 30.0, 70.0])
+        join(sim, agents, 1)
+        join(sim, agents, 2)
+        parent_before = env.tree.parent[2]
+        agents[2].start_refinement(10.0)
+        sim.run_until(35.0)
+        assert env.tree.parent[2] == parent_before
