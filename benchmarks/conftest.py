@@ -14,6 +14,7 @@ run in order", which is also how a user would run it.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -76,3 +77,25 @@ def figure_bench(benchmark, preset, results_dir):
         return table
 
     return run
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the per-group wall-clock timings the harness gathered.
+
+    Complements pytest-benchmark's per-figure numbers: benchmark timings
+    charge a whole sweep to whichever figure ran first (see module
+    docstring), while these are the true cost of each sweep group.
+    """
+    from repro.harness.experiments import group_timings
+
+    timings = group_timings()
+    if not timings:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        f"{group}@{preset_name}": round(seconds, 4)
+        for (group, preset_name), seconds in sorted(timings.items())
+    }
+    (RESULTS_DIR / "group_timings.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )

@@ -8,7 +8,6 @@
   the effect of frequency of refinement messages").
 """
 
-import numpy as np
 
 
 def test_ablation_design_choices(figure_bench, expect_shape):

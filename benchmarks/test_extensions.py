@@ -2,7 +2,6 @@
 list (bandwidth-derived degrees / free riders) and related-work chapter
 (SplitStream-style striping)."""
 
-import numpy as np
 
 
 def test_ext_free_riders(figure_bench, expect_shape):

@@ -12,35 +12,35 @@ import numpy as np
 def test_fig4_6_stress_vs_time(figure_bench, expect_shape):
     table = figure_bench("fig4_6")
     d = np.mean(table.get("VDM-D").means())
-    l = np.mean(table.get("VDM-L").means())
-    assert d >= 1.0 and l >= 1.0
-    expect_shape(d <= l * 1.05, "VDM-D stress should be at or below VDM-L")
+    vdm_l = np.mean(table.get("VDM-L").means())
+    assert d >= 1.0 and vdm_l >= 1.0
+    expect_shape(d <= vdm_l * 1.05, "VDM-D stress should be at or below VDM-L")
 
 
 def test_fig4_7_stretch_vs_time(figure_bench, expect_shape):
     table = figure_bench("fig4_7")
     d = np.mean(table.get("VDM-D").means())
-    l = np.mean(table.get("VDM-L").means())
-    assert d > 0 and l > 0
-    expect_shape(d < l, "the delay metric should directly win stretch")
+    vdm_l = np.mean(table.get("VDM-L").means())
+    assert d > 0 and vdm_l > 0
+    expect_shape(d < vdm_l, "the delay metric should directly win stretch")
 
 
 def test_fig4_8_loss_vs_time(figure_bench, expect_shape):
     table = figure_bench("fig4_8")
     d = table.get("VDM-D").means()
-    l = table.get("VDM-L").means()
-    assert all(0 <= v <= 100 for v in d + l)
+    vdm_l = table.get("VDM-L").means()
+    assert all(0 <= v <= 100 for v in d + vdm_l)
     # The headline result: the loss-built tree loses less.
-    expect_shape(np.mean(l) < np.mean(d), "VDM-L should reduce loss overall")
-    expect_shape(l[-1] < d[-1], "VDM-L should win at the final instant")
+    expect_shape(np.mean(vdm_l) < np.mean(d), "VDM-L should reduce loss overall")
+    expect_shape(vdm_l[-1] < d[-1], "VDM-L should win at the final instant")
 
 
 def test_fig4_9_overhead_vs_time(figure_bench, expect_shape):
     table = figure_bench("fig4_9")
     d = np.mean(table.get("VDM-D").means())
-    l = np.mean(table.get("VDM-L").means())
-    assert d >= 0 and l >= 0
+    vdm_l = np.mean(table.get("VDM-L").means())
+    assert d >= 0 and vdm_l >= 0
     expect_shape(
-        l <= d * 1.25,
+        vdm_l <= d * 1.25,
         "VDM-L overhead should be comparable (paper: slightly lower)",
     )

@@ -17,13 +17,11 @@ Run:
     python examples/metric_aware_trees.py
 """
 
-import numpy as np
 
 from repro import (
     LinkErrorConfig,
     MulticastSession,
     SessionConfig,
-    assign_link_errors,
     composite_metric,
     loss_metric,
     vdm,

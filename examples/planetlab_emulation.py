@@ -14,7 +14,6 @@ Run:
     python examples/planetlab_emulation.py
 """
 
-import numpy as np
 
 from repro import vdm
 from repro.harness.substrates import build_planetlab_underlay

@@ -13,7 +13,6 @@ Run:
     python examples/viewer_experience.py
 """
 
-import numpy as np
 
 from repro import MulticastSession, SessionConfig, hmtp, vdm
 from repro.harness.substrates import build_planetlab_underlay

@@ -18,6 +18,7 @@ List everything::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.harness.experiments import ch5_sample_tree
@@ -38,6 +39,30 @@ def main(argv: list[str] | None = None) -> int:
         help="experiment scale (default: quick)",
     )
     parser.add_argument("--list", action="store_true", help="list figure ids")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replication worker processes (default: REPRO_JOBS or 1); "
+        "results are bit-identical at any value",
+    )
+    parser.add_argument(
+        "--perf-report",
+        nargs="?",
+        const="BENCH_PR1.json",
+        default=None,
+        metavar="PATH",
+        help="time experiment groups (uncached/serial/parallel) and write "
+        "a JSON perf snapshot (default path: BENCH_PR1.json)",
+    )
+    parser.add_argument(
+        "--perf-groups",
+        default=None,
+        metavar="G1,G2,...",
+        help="comma-separated experiment groups for --perf-report "
+        "(default: ch3_churn,ch3_degree,ch5_churn)",
+    )
     parser.add_argument(
         "--sample-tree",
         action="store_true",
@@ -60,12 +85,30 @@ def main(argv: list[str] | None = None) -> int:
         print(ch5_sample_tree(PRESETS[args.preset], transatlantic=args.eu))
         return 0
 
+    if args.perf_report is not None:
+        from repro.harness.perfreport import generate_perf_report
+
+        groups = (
+            [g.strip() for g in args.perf_groups.split(",") if g.strip()]
+            if args.perf_groups
+            else None
+        )
+        report = generate_perf_report(
+            PRESETS[args.preset],
+            jobs=args.jobs if args.jobs is not None else 4,
+            groups=groups,
+            path=args.perf_report,
+        )
+        print(json.dumps(report, indent=2))
+        print(f"\nperf snapshot written to {args.perf_report}", file=sys.stderr)
+        return 0
+
     if not args.figures:
         parser.print_help()
         return 2
 
     for fig_id in args.figures:
-        table = run_experiment(fig_id, args.preset)
+        table = run_experiment(fig_id, args.preset, jobs=args.jobs)
         print(table.to_json() if args.json else table.render())
         if args.chart and not args.json:
             from repro.metrics.ascii_chart import ascii_chart

@@ -7,18 +7,30 @@ and is cached, so requesting ``fig3_26`` after ``fig3_25`` is free.
 Every runner returns a :class:`repro.metrics.report.SeriesTable` whose
 ``expected_shape`` field states the paper's qualitative result for that
 figure, making benchmark output self-checking by eye.
+
+Replication execution goes through
+:func:`repro.harness.parallel.run_replications`: each sweep point derives
+its per-replication seeds up front (the same ``spawn_rng`` key paths as
+always), then hands module-level *replication workers* to the engine.
+Workers receive only picklable specs — the preset, a protocol spec, the
+sweep value, and the seed — rebuild substrates behind a per-process memo,
+and return reduced per-replication metrics.  Results are merged in
+replication order, so ``jobs=1`` and ``jobs=N`` produce bit-identical
+tables.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable
 
 import numpy as np
 
 from repro.core.capacity import UplinkPopulation
 from repro.core.vdm import VDMConfig
-from repro.factories import hmtp, loss_metric, vdm, vdm_r
+from repro.factories import hmtp, loss_metric, vdm
 from repro.protocols.multitree import StripedSession
+from repro.harness.parallel import run_replications
 from repro.harness.presets import Preset
 from repro.harness.substrates import (
     build_planetlab_underlay,
@@ -30,7 +42,9 @@ from repro.metrics.stats import SummaryStats, mean_ci
 from repro.protocols.hmtp import HMTPConfig
 from repro.sim.session import MulticastSession, SessionConfig, SessionResult
 from repro.topology.linkmodel import LinkErrorConfig
+from repro.topology.transit_stub import TransitStubConfig
 from repro.util.rngtools import spawn_rng
+from repro.util.timing import Stopwatch
 
 __all__ = [
     "ch3_churn_tables",
@@ -46,21 +60,97 @@ __all__ = [
     "ablation_tables",
     "extension_tables",
     "clear_cache",
+    "group_timings",
 ]
 
 _CACHE: dict[tuple[str, str], dict[str, SeriesTable]] = {}
 
+#: wall-clock seconds spent building each (group, preset-name) sweep —
+#: cache hits cost nothing and are not recorded.
+GROUP_TIMINGS: dict[tuple[str, str], float] = {}
+
 
 def clear_cache() -> None:
-    """Drop all cached sweep results (tests use this)."""
+    """Drop cached sweep results, substrate memos, and timings (tests and
+    the perf report use this)."""
     _CACHE.clear()
+    GROUP_TIMINGS.clear()
+    _ts_underlay.cache_clear()
+    _pl_substrate_cached.cache_clear()
+
+
+def group_timings() -> dict[tuple[str, str], float]:
+    """Wall-clock build time of every group computed so far."""
+    return dict(GROUP_TIMINGS)
 
 
 def _cached(group: str, preset: Preset, build: Callable[[], dict[str, SeriesTable]]):
     key = (group, preset.name)
     if key not in _CACHE:
-        _CACHE[key] = build()
+        with Stopwatch() as sw:
+            _CACHE[key] = build()
+        GROUP_TIMINGS[key] = sw.elapsed
     return _CACHE[key]
+
+
+# ---------------------------------------------------------------------------
+# picklable specs: protocols and substrates
+# ---------------------------------------------------------------------------
+#
+# Agent factories are closures (not picklable), so sweep definitions carry
+# (kind, config) tuples instead and each worker process resolves them.
+
+ProtocolSpec = tuple[str, object]
+
+
+def _resolve_protocol(spec: ProtocolSpec):
+    kind, config = spec
+    if kind == "vdm":
+        return vdm(config)
+    if kind == "hmtp":
+        return hmtp(config)
+    raise ValueError(f"unknown protocol spec {spec!r}")
+
+
+def _vdm_spec(config: VDMConfig | None = None) -> ProtocolSpec:
+    return ("vdm", config or VDMConfig())
+
+
+def _vdm_r_spec(period_s: float) -> ProtocolSpec:
+    import dataclasses
+
+    return ("vdm", dataclasses.replace(VDMConfig(), refine_period_s=period_s))
+
+
+def _hmtp_spec(refine_period_s: float) -> ProtocolSpec:
+    return ("hmtp", HMTPConfig(refine_period_s=refine_period_s))
+
+
+# Substrates are deterministic functions of their parameters, so workers
+# rebuild them locally instead of unpickling graph blobs per task; the
+# memo makes that a once-per-process cost.
+
+
+@lru_cache(maxsize=32)
+def _ts_underlay(
+    n_hosts: int,
+    seed: int,
+    ts_config: TransitStubConfig,
+    link_errors: LinkErrorConfig | None,
+):
+    return build_transit_stub_underlay(
+        n_hosts=n_hosts,
+        seed=seed,
+        ts_config=ts_config,
+        link_errors=link_errors,
+    )
+
+
+@lru_cache(maxsize=32)
+def _pl_substrate_cached(n_select: int, seed: int, n_us: int, n_eu: int = 0):
+    return build_planetlab_underlay(
+        n_select=n_select, seed=seed, n_us=n_us, n_eu=n_eu
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -137,11 +227,24 @@ CH5_METRICS: dict[str, Callable[[SessionResult], float]] = {
 }
 
 
+def _reduce(res: SessionResult, metrics: dict[str, Callable]) -> dict[str, float]:
+    """Fold a session into the picklable per-replication record workers return."""
+    return {name: extract(res) for name, extract in metrics.items()}
+
+
 def _series(
-    per_x_results: list[list[SessionResult]],
-    extract: Callable[[SessionResult], float],
+    per_x_results: list[list[dict[str, float]]], metric: str
 ) -> list[SummaryStats]:
-    return [mean_ci([extract(r) for r in results]) for results in per_x_results]
+    return [mean_ci([rep[metric] for rep in reps]) for reps in per_x_results]
+
+
+def _rep_seeds(preset: Preset, n_reps: int, *keys) -> list[int]:
+    """The per-replication session seeds of one sweep point (derived up
+    front so worker scheduling cannot perturb them)."""
+    return [
+        int(spawn_rng(preset.seed, *keys, rep).integers(2**31))
+        for rep in range(n_reps)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -150,11 +253,8 @@ def _series(
 
 
 def _ch3_underlay(preset: Preset, n_hosts: int | None = None, *, errors=None):
-    return build_transit_stub_underlay(
-        n_hosts=n_hosts or preset.ch3_hosts,
-        seed=preset.seed,
-        ts_config=preset.ts_config,
-        link_errors=errors,
+    return _ts_underlay(
+        n_hosts or preset.ch3_hosts, preset.seed, preset.ts_config, errors
     )
 
 
@@ -171,33 +271,38 @@ def _ch3_config(preset: Preset, *, churn: float, seed: int, n_nodes=None, degree
     )
 
 
-def _ch3_protocols(preset: Preset):
+def _ch3_protocols(preset: Preset) -> list[tuple[str, ProtocolSpec]]:
     return [
-        ("VDM", vdm()),
-        ("HMTP", hmtp(HMTPConfig(refine_period_s=preset.ch3_hmtp_refine_s))),
+        ("VDM", _vdm_spec()),
+        ("HMTP", _hmtp_spec(preset.ch3_hmtp_refine_s)),
     ]
+
+
+def _ch3_churn_rep(
+    preset: Preset, proto: ProtocolSpec, churn: float, rep: int, seed: int
+) -> dict[str, float]:
+    underlay = _ch3_underlay(preset)
+    cfg = _ch3_config(preset, churn=churn, seed=seed)
+    res = MulticastSession(underlay, _resolve_protocol(proto), cfg).run()
+    return _reduce(res, CH3_METRICS)
 
 
 def ch3_churn_tables(preset: Preset) -> dict[str, SeriesTable]:
     """Figs 3.25-3.28: stress/stretch/loss/overhead vs churn, VDM vs HMTP."""
 
     def build() -> dict[str, SeriesTable]:
-        underlay = _ch3_underlay(preset)
-        results: dict[str, list[list[SessionResult]]] = {}
-        for proto_name, factory in _ch3_protocols(preset):
-            per_x = []
-            for churn in preset.churn_rates:
-                reps = []
-                for rep in range(preset.replications):
-                    seed = int(
-                        spawn_rng(preset.seed, "ch3churn", proto_name, rep).integers(
-                            2**31
-                        )
-                    )
-                    cfg = _ch3_config(preset, churn=churn, seed=seed)
-                    reps.append(MulticastSession(underlay, factory, cfg).run())
-                per_x.append(reps)
-            results[proto_name] = per_x
+        results: dict[str, list[list[dict[str, float]]]] = {}
+        for proto_name, spec in _ch3_protocols(preset):
+            seeds = _rep_seeds(
+                preset, preset.replications, "ch3churn", proto_name
+            )
+            results[proto_name] = [
+                run_replications(
+                    _ch3_churn_rep, (preset, spec, churn), seeds,
+                    jobs=preset.jobs,
+                )
+                for churn in preset.churn_rates
+            ]
 
         x = [100 * c for c in preset.churn_rates]
         shapes = {
@@ -207,7 +312,7 @@ def ch3_churn_tables(preset: Preset) -> dict[str, SeriesTable]:
             "overhead_pct": "linear in churn, VDM below HMTP (Fig 3.28)",
         }
         tables = {}
-        for metric, extract in CH3_METRICS.items():
+        for metric in CH3_METRICS:
             table = SeriesTable(
                 title=f"Fig 3.2x — {metric} vs churn rate (%)",
                 x_label="churn_%",
@@ -215,28 +320,33 @@ def ch3_churn_tables(preset: Preset) -> dict[str, SeriesTable]:
                 expected_shape=shapes[metric],
             )
             for proto_name, _ in _ch3_protocols(preset):
-                table.add_series(proto_name, _series(results[proto_name], extract))
+                table.add_series(proto_name, _series(results[proto_name], metric))
             tables[metric] = table
         return tables
 
     return _cached("ch3_churn", preset, build)
 
 
+def _ch3_nodes_rep(preset: Preset, n: int, rep: int, seed: int) -> dict[str, float]:
+    underlay = _ch3_underlay(preset, n_hosts=max(preset.ch3_hosts, 2 * n))
+    cfg = _ch3_config(preset, churn=0.05, seed=seed, n_nodes=n)
+    res = MulticastSession(underlay, vdm(), cfg).run()
+    return _reduce(res, CH3_METRICS)
+
+
 def ch3_nodes_tables(preset: Preset) -> dict[str, SeriesTable]:
     """Figs 3.29-3.32: the four metrics vs population size, VDM only."""
 
     def build() -> dict[str, SeriesTable]:
-        per_x: list[list[SessionResult]] = []
-        for n in preset.node_counts:
-            underlay = _ch3_underlay(preset, n_hosts=max(preset.ch3_hosts, 2 * n))
-            reps = []
-            for rep in range(preset.replications):
-                seed = int(
-                    spawn_rng(preset.seed, "ch3nodes", n, rep).integers(2**31)
-                )
-                cfg = _ch3_config(preset, churn=0.05, seed=seed, n_nodes=n)
-                reps.append(MulticastSession(underlay, vdm(), cfg).run())
-            per_x.append(reps)
+        per_x = [
+            run_replications(
+                _ch3_nodes_rep,
+                (preset, n),
+                _rep_seeds(preset, preset.replications, "ch3nodes", n),
+                jobs=preset.jobs,
+            )
+            for n in preset.node_counts
+        ]
 
         shapes = {
             "stress": "rises sublinearly with N (~1.3 -> ~1.8 in the paper, Fig 3.29)",
@@ -245,37 +355,42 @@ def ch3_nodes_tables(preset: Preset) -> dict[str, SeriesTable]:
             "overhead_pct": "rises with diminishing increments (Fig 3.32)",
         }
         tables = {}
-        for metric, extract in CH3_METRICS.items():
+        for metric in CH3_METRICS:
             table = SeriesTable(
                 title=f"Fig 3.3x — {metric} vs number of nodes",
                 x_label="n_nodes",
                 x_values=[float(n) for n in preset.node_counts],
                 expected_shape=shapes[metric],
             )
-            table.add_series("VDM", _series(per_x, extract))
+            table.add_series("VDM", _series(per_x, metric))
             tables[metric] = table
         return tables
 
     return _cached("ch3_nodes", preset, build)
 
 
+def _ch3_degree_rep(
+    preset: Preset, degree: float, rep: int, seed: int
+) -> dict[str, float]:
+    underlay = _ch3_underlay(preset)
+    cfg = _ch3_config(preset, churn=0.05, seed=seed, degree=float(degree))
+    res = MulticastSession(underlay, vdm(), cfg).run()
+    return _reduce(res, CH3_METRICS)
+
+
 def ch3_degree_tables(preset: Preset) -> dict[str, SeriesTable]:
     """Figs 3.33-3.36: the four metrics vs average node degree, VDM only."""
 
     def build() -> dict[str, SeriesTable]:
-        underlay = _ch3_underlay(preset)
-        per_x: list[list[SessionResult]] = []
-        for degree in preset.degree_values:
-            reps = []
-            for rep in range(preset.replications):
-                seed = int(
-                    spawn_rng(preset.seed, "ch3deg", str(degree), rep).integers(2**31)
-                )
-                cfg = _ch3_config(
-                    preset, churn=0.05, seed=seed, degree=float(degree)
-                )
-                reps.append(MulticastSession(underlay, vdm(), cfg).run())
-            per_x.append(reps)
+        per_x = [
+            run_replications(
+                _ch3_degree_rep,
+                (preset, degree),
+                _rep_seeds(preset, preset.replications, "ch3deg", str(degree)),
+                jobs=preset.jobs,
+            )
+            for degree in preset.degree_values
+        ]
 
         shapes = {
             "stress": "roughly flat in degree (Fig 3.33)",
@@ -284,14 +399,14 @@ def ch3_degree_tables(preset: Preset) -> dict[str, SeriesTable]:
             "overhead_pct": "U-shaped: high at low degree, dips, rises again (Fig 3.36)",
         }
         tables = {}
-        for metric, extract in CH3_METRICS.items():
+        for metric in CH3_METRICS:
             table = SeriesTable(
                 title=f"Fig 3.3x — {metric} vs average node degree",
                 x_label="avg_degree",
                 x_values=[float(d) for d in preset.degree_values],
                 expected_shape=shapes[metric],
             )
-            table.add_series("VDM", _series(per_x, extract))
+            table.add_series("VDM", _series(per_x, metric))
             tables[metric] = table
         return tables
 
@@ -303,6 +418,44 @@ def ch3_degree_tables(preset: Preset) -> dict[str, SeriesTable]:
 # ---------------------------------------------------------------------------
 
 
+def _ch4_rep(
+    preset: Preset, use_loss_metric: bool, rep: int, seed: int
+) -> dict[str, list[float]]:
+    """One Chapter 4 time-series replication: per-measurement-point values."""
+    errors = LinkErrorConfig(max_error=preset.ch4_max_link_error)
+    underlay = _ts_underlay(
+        max(preset.ch3_hosts, 2 * preset.ch4_nodes),
+        preset.seed,
+        preset.ts_config,
+        errors,
+    )
+    interval = preset.ch4_measure_interval_s
+    n_points = int(preset.ch4_total_s // interval)
+    cfg = SessionConfig(
+        n_nodes=preset.ch4_nodes,
+        degree=(2, 5),
+        join_phase_s=preset.ch4_total_s,
+        total_s=preset.ch4_total_s,
+        churn_rate=0.0,
+        seed=seed,
+        join_measure_interval_s=interval,
+    )
+    res = MulticastSession(
+        underlay,
+        vdm(),
+        cfg,
+        metric_factory=loss_metric() if use_loss_metric else None,
+    ).run()
+    out: dict[str, list[float]] = {m: [] for m in CH3_METRICS}
+    for i in range(n_points):
+        rec = res.records[i]
+        out["stress"].append(rec.stress.average)
+        out["stretch"].append(rec.stretch.average)
+        out["loss_pct"].append(100 * rec.window_mean_node_loss)
+        out["overhead_pct"].append(100 * rec.window_overhead)
+    return out
+
+
 def ch4_time_tables(preset: Preset) -> dict[str, SeriesTable]:
     """Figs 4.6-4.9: stress/stretch/loss/overhead vs time, VDM-D vs VDM-L.
 
@@ -312,47 +465,24 @@ def ch4_time_tables(preset: Preset) -> dict[str, SeriesTable]:
     """
 
     def build() -> dict[str, SeriesTable]:
-        errors = LinkErrorConfig(max_error=preset.ch4_max_link_error)
-        underlay = build_transit_stub_underlay(
-            n_hosts=max(preset.ch3_hosts, 2 * preset.ch4_nodes),
-            seed=preset.seed,
-            ts_config=preset.ts_config,
-            link_errors=errors,
-        )
-        variants = [("VDM-D", None), ("VDM-L", loss_metric())]
+        variants = [("VDM-D", False), ("VDM-L", True)]
         interval = preset.ch4_measure_interval_s
         n_points = int(preset.ch4_total_s // interval)
         x = [interval * (i + 1) for i in range(n_points)]
 
-        # per variant, per measurement index, list over reps
-        collected: dict[str, dict[str, list[list[float]]]] = {
-            name: {m: [[] for _ in x] for m in CH3_METRICS} for name, _ in variants
-        }
-        for name, metric_factory in variants:
-            for rep in range(preset.replications):
-                seed = int(spawn_rng(preset.seed, "ch4", name, rep).integers(2**31))
-                cfg = SessionConfig(
-                    n_nodes=preset.ch4_nodes,
-                    degree=(2, 5),
-                    join_phase_s=preset.ch4_total_s,
-                    total_s=preset.ch4_total_s,
-                    churn_rate=0.0,
-                    seed=seed,
-                    join_measure_interval_s=interval,
-                )
-                res = MulticastSession(
-                    underlay, vdm(), cfg, metric_factory=metric_factory
-                ).run()
-                for i in range(n_points):
-                    rec = res.records[i]
-                    collected[name]["stress"][i].append(rec.stress.average)
-                    collected[name]["stretch"][i].append(rec.stretch.average)
-                    collected[name]["loss_pct"][i].append(
-                        100 * rec.window_mean_node_loss
-                    )
-                    collected[name]["overhead_pct"][i].append(
-                        100 * rec.window_overhead
-                    )
+        # per variant, per metric, per measurement index, list over reps
+        collected: dict[str, dict[str, list[list[float]]]] = {}
+        for name, use_loss in variants:
+            reps = run_replications(
+                _ch4_rep,
+                (preset, use_loss),
+                _rep_seeds(preset, preset.replications, "ch4", name),
+                jobs=preset.jobs,
+            )
+            collected[name] = {
+                m: [[rep[m][i] for rep in reps] for i in range(n_points)]
+                for m in CH3_METRICS
+            }
 
         shapes = {
             "stress": "VDM-D below VDM-L throughout (Fig 4.6)",
@@ -383,11 +513,15 @@ def ch4_time_tables(preset: Preset) -> dict[str, SeriesTable]:
 # ---------------------------------------------------------------------------
 
 
+def _pl_seed(preset: Preset, seed_key: str) -> int:
+    return int(spawn_rng(preset.seed, "pl", seed_key).integers(2**31))
+
+
 def _pl_substrate(preset: Preset, *, n_select: int | None = None, seed_key: str = ""):
-    return build_planetlab_underlay(
-        n_select=n_select or preset.pl_select,
-        seed=int(spawn_rng(preset.seed, "pl", seed_key).integers(2**31)),
-        n_us=preset.pl_pool_us,
+    return _pl_substrate_cached(
+        n_select or preset.pl_select,
+        _pl_seed(preset, seed_key),
+        preset.pl_pool_us,
     )
 
 
@@ -415,35 +549,52 @@ def _pl_config(
     )
 
 
-def _pl_protocols(preset: Preset):
+def _pl_protocols(preset: Preset) -> list[tuple[str, ProtocolSpec]]:
     return [
-        ("VDM", vdm()),
-        ("HMTP", hmtp(HMTPConfig(refine_period_s=preset.pl_hmtp_refine_s))),
+        ("VDM", _vdm_spec()),
+        ("HMTP", _hmtp_spec(preset.pl_hmtp_refine_s)),
     ]
+
+
+def _ch5_rep(
+    preset: Preset,
+    proto: ProtocolSpec,
+    n_select: int,
+    substrate_seed: int,
+    churn: float,
+    n_nodes: int | None,
+    degree: int | None,
+    rep: int,
+    seed: int,
+) -> dict[str, float]:
+    """One PlanetLab-emulation replication, reduced to the Ch. 5 metrics."""
+    substrate = _pl_substrate_cached(n_select, substrate_seed, preset.pl_pool_us)
+    cfg = _pl_config(
+        preset, substrate, churn=churn, seed=seed, n_nodes=n_nodes, degree=degree
+    )
+    res = MulticastSession(substrate.underlay, _resolve_protocol(proto), cfg).run()
+    return _reduce(res, CH5_METRICS)
 
 
 def ch5_churn_tables(preset: Preset) -> dict[str, SeriesTable]:
     """Figs 5.7-5.13: seven metrics vs churn rate, VDM vs HMTP."""
 
     def build() -> dict[str, SeriesTable]:
-        substrate = _pl_substrate(preset, seed_key="churn")
-        results: dict[str, list[list[SessionResult]]] = {}
-        for proto_name, factory in _pl_protocols(preset):
-            per_x = []
-            for churn in preset.pl_churn_rates:
-                reps = []
-                for rep in range(preset.pl_replications):
-                    seed = int(
-                        spawn_rng(preset.seed, "ch5churn", proto_name, rep).integers(
-                            2**31
-                        )
-                    )
-                    cfg = _pl_config(preset, substrate, churn=churn, seed=seed)
-                    reps.append(
-                        MulticastSession(substrate.underlay, factory, cfg).run()
-                    )
-                per_x.append(reps)
-            results[proto_name] = per_x
+        substrate_seed = _pl_seed(preset, "churn")
+        results: dict[str, list[list[dict[str, float]]]] = {}
+        for proto_name, spec in _pl_protocols(preset):
+            seeds = _rep_seeds(
+                preset, preset.pl_replications, "ch5churn", proto_name
+            )
+            results[proto_name] = [
+                run_replications(
+                    _ch5_rep,
+                    (preset, spec, preset.pl_select, substrate_seed, churn, None, None),
+                    seeds,
+                    jobs=preset.jobs,
+                )
+                for churn in preset.pl_churn_rates
+            ]
 
         figures = {
             "startup_s": "churn-independent, HMTP slightly higher (Fig 5.7)",
@@ -464,9 +615,7 @@ def ch5_churn_tables(preset: Preset) -> dict[str, SeriesTable]:
                 expected_shape=shape,
             )
             for proto_name, _ in _pl_protocols(preset):
-                table.add_series(
-                    proto_name, _series(results[proto_name], CH5_METRICS[metric])
-                )
+                table.add_series(proto_name, _series(results[proto_name], metric))
             tables[metric] = table
         return tables
 
@@ -477,15 +626,23 @@ def ch5_nodes_tables(preset: Preset) -> dict[str, SeriesTable]:
     """Figs 5.14-5.20: metrics vs number of nodes, VDM (avg/max/leaf series)."""
 
     def build() -> dict[str, SeriesTable]:
-        per_x: list[list[SessionResult]] = []
-        for n in preset.pl_node_counts:
-            substrate = _pl_substrate(preset, n_select=n + 1, seed_key=f"nodes{n}")
-            reps = []
-            for rep in range(preset.pl_replications):
-                seed = int(spawn_rng(preset.seed, "ch5nodes", n, rep).integers(2**31))
-                cfg = _pl_config(preset, substrate, churn=0.06, seed=seed, n_nodes=n)
-                reps.append(MulticastSession(substrate.underlay, vdm(), cfg).run())
-            per_x.append(reps)
+        per_x = [
+            run_replications(
+                _ch5_rep,
+                (
+                    preset,
+                    _vdm_spec(),
+                    n + 1,
+                    _pl_seed(preset, f"nodes{n}"),
+                    0.06,
+                    n,
+                    None,
+                ),
+                _rep_seeds(preset, preset.pl_replications, "ch5nodes", n),
+                jobs=preset.jobs,
+            )
+            for n in preset.pl_node_counts
+        ]
 
         x = [float(n) for n in preset.pl_node_counts]
         spec = {
@@ -518,7 +675,7 @@ def ch5_nodes_tables(preset: Preset) -> dict[str, SeriesTable]:
                 expected_shape=shape,
             )
             for s in series_names:
-                table.add_series(s, _series(per_x, CH5_METRICS[s]))
+                table.add_series(s, _series(per_x, s))
             tables[metric] = table
         return tables
 
@@ -529,19 +686,24 @@ def ch5_degree_tables(preset: Preset) -> dict[str, SeriesTable]:
     """Figs 5.21-5.27: metrics vs node degree, VDM."""
 
     def build() -> dict[str, SeriesTable]:
-        substrate = _pl_substrate(preset, seed_key="degree")
-        per_x: list[list[SessionResult]] = []
-        for degree in preset.pl_degree_values:
-            reps = []
-            for rep in range(preset.pl_replications):
-                seed = int(
-                    spawn_rng(preset.seed, "ch5deg", degree, rep).integers(2**31)
-                )
-                cfg = _pl_config(
-                    preset, substrate, churn=0.06, seed=seed, degree=int(degree)
-                )
-                reps.append(MulticastSession(substrate.underlay, vdm(), cfg).run())
-            per_x.append(reps)
+        substrate_seed = _pl_seed(preset, "degree")
+        per_x = [
+            run_replications(
+                _ch5_rep,
+                (
+                    preset,
+                    _vdm_spec(),
+                    preset.pl_select,
+                    substrate_seed,
+                    0.06,
+                    None,
+                    int(degree),
+                ),
+                _rep_seeds(preset, preset.pl_replications, "ch5deg", degree),
+                jobs=preset.jobs,
+            )
+            for degree in preset.pl_degree_values
+        ]
 
         x = [float(d) for d in preset.pl_degree_values]
         spec = {
@@ -577,7 +739,7 @@ def ch5_degree_tables(preset: Preset) -> dict[str, SeriesTable]:
                 expected_shape=shape,
             )
             for s in series_names:
-                table.add_series(s, _series(per_x, CH5_METRICS[s]))
+                table.add_series(s, _series(per_x, s))
             tables[metric] = table
         return tables
 
@@ -589,29 +751,28 @@ def ch5_refinement_tables(preset: Preset) -> dict[str, SeriesTable]:
 
     def build() -> dict[str, SeriesTable]:
         variants = [
-            ("VDM", vdm()),
-            ("VDM-R", vdm_r(period_s=preset.pl_vdm_r_period_s)),
+            ("VDM", _vdm_spec()),
+            ("VDM-R", _vdm_r_spec(preset.pl_vdm_r_period_s)),
         ]
-        results: dict[str, list[list[SessionResult]]] = {}
-        for name, factory in variants:
-            per_x = []
-            for n in preset.pl_refine_node_counts:
-                substrate = _pl_substrate(
-                    preset, n_select=n + 1, seed_key=f"refine{n}"
+        results: dict[str, list[list[dict[str, float]]]] = {}
+        for name, spec in variants:
+            results[name] = [
+                run_replications(
+                    _ch5_rep,
+                    (
+                        preset,
+                        spec,
+                        n + 1,
+                        _pl_seed(preset, f"refine{n}"),
+                        0.06,
+                        n,
+                        None,
+                    ),
+                    _rep_seeds(preset, preset.pl_replications, "ch5ref", name, n),
+                    jobs=preset.jobs,
                 )
-                reps = []
-                for rep in range(preset.pl_replications):
-                    seed = int(
-                        spawn_rng(preset.seed, "ch5ref", name, n, rep).integers(2**31)
-                    )
-                    cfg = _pl_config(
-                        preset, substrate, churn=0.06, seed=seed, n_nodes=n
-                    )
-                    reps.append(
-                        MulticastSession(substrate.underlay, factory, cfg).run()
-                    )
-                per_x.append(reps)
-            results[name] = per_x
+                for n in preset.pl_refine_node_counts
+            ]
 
         x = [float(n) for n in preset.pl_refine_node_counts]
         spec = {
@@ -628,36 +789,42 @@ def ch5_refinement_tables(preset: Preset) -> dict[str, SeriesTable]:
                 expected_shape=shape,
             )
             for name, _ in variants:
-                table.add_series(name, _series(results[name], CH5_METRICS[metric]))
+                table.add_series(name, _series(results[name], metric))
             tables[metric] = table
         return tables
 
     return _cached("ch5_refinement", preset, build)
 
 
+def _ch5_mst_rep(
+    preset: Preset, n: int, substrate_seed: int, rep: int, seed: int
+) -> float:
+    substrate = _pl_substrate_cached(n + 1, substrate_seed, preset.pl_pool_us)
+    cfg = _pl_config(
+        preset,
+        substrate,
+        churn=0.0,
+        seed=seed,
+        n_nodes=n,
+        degree=max(8, n),  # effectively unconstrained (Sec 5.4.6)
+    )
+    res = MulticastSession(substrate.underlay, vdm(), cfg).run()
+    return mst_ratio(res.runtime.tree, substrate.underlay.rtt_ms)
+
+
 def ch5_mst_table(preset: Preset) -> dict[str, SeriesTable]:
     """Fig 5.31: VDM tree cost / exact MST cost vs N (no degree limits)."""
 
     def build() -> dict[str, SeriesTable]:
-        per_x: list[list[float]] = []
-        for n in preset.pl_mst_node_counts:
-            substrate = _pl_substrate(preset, n_select=n + 1, seed_key=f"mst{n}")
-            ratios = []
-            for rep in range(preset.pl_replications):
-                seed = int(spawn_rng(preset.seed, "ch5mst", n, rep).integers(2**31))
-                cfg = _pl_config(
-                    preset,
-                    substrate,
-                    churn=0.0,
-                    seed=seed,
-                    n_nodes=n,
-                    degree=max(8, n),  # effectively unconstrained (Sec 5.4.6)
-                )
-                res = MulticastSession(substrate.underlay, vdm(), cfg).run()
-                ratios.append(
-                    mst_ratio(res.runtime.tree, substrate.underlay.rtt_ms)
-                )
-            per_x.append(ratios)
+        per_x = [
+            run_replications(
+                _ch5_mst_rep,
+                (preset, n, _pl_seed(preset, f"mst{n}")),
+                _rep_seeds(preset, preset.pl_replications, "ch5mst", n),
+                jobs=preset.jobs,
+            )
+            for n in preset.pl_mst_node_counts
+        ]
 
         table = SeriesTable(
             title="Fig 5.31 — VDM tree cost / MST cost vs N",
@@ -681,7 +848,7 @@ def ch5_sample_tree(preset: Preset, *, transatlantic: bool = False) -> str:
     n_eu = preset.pl_pool_us // 3 if transatlantic else 0
     substrate = build_planetlab_underlay(
         n_select=min(preset.pl_select, 40),
-        seed=int(spawn_rng(preset.seed, "pl", "sample").integers(2**31)),
+        seed=_pl_seed(preset, "sample"),
         n_us=preset.pl_pool_us,
         n_eu=n_eu,
     )
@@ -728,6 +895,34 @@ def ch5_sample_tree(preset: Preset, *, transatlantic: bool = False) -> str:
 # Ablations
 # ---------------------------------------------------------------------------
 
+ABLATION_METRICS: dict[str, Callable[[SessionResult], float]] = {
+    "stress": _m_stress,
+    "stretch": _m_stretch,
+    "loss_pct": _m_loss_pct,
+    "overhead_pct": _m_overhead_pct,
+    "reconnect_s": _m_recon_avg,
+}
+
+
+def _ablation_rep(
+    preset: Preset, config: VDMConfig, rep: int, seed: int
+) -> dict[str, float]:
+    underlay = _ch3_underlay(preset)
+    cfg = _ch3_config(preset, churn=0.05, seed=seed)
+    res = MulticastSession(underlay, vdm(config), cfg).run()
+    return _reduce(res, ABLATION_METRICS)
+
+
+def _abl_refine_rep(
+    preset: Preset, period: float, rep: int, seed: int
+) -> dict[str, float]:
+    underlay = _ch3_underlay(preset)
+    cfg = _ch3_config(preset, churn=0.05, seed=seed)
+    res = MulticastSession(
+        underlay, _resolve_protocol(_vdm_r_spec(period)), cfg
+    ).run()
+    return {"stretch": _m_stretch(res), "overhead_pct": _m_overhead_pct(res)}
+
 
 def ablation_tables(preset: Preset) -> dict[str, SeriesTable]:
     """Design-choice ablations called out in DESIGN.md.
@@ -739,35 +934,26 @@ def ablation_tables(preset: Preset) -> dict[str, SeriesTable]:
     """
 
     def build() -> dict[str, SeriesTable]:
-        underlay = _ch3_underlay(preset)
         variants = {
             "paper-default": VDMConfig(),
             "prefer-case2": VDMConfig(case_priority="case2"),
             "random-case3": VDMConfig(case3_selection="random"),
             "reconnect-at-source": VDMConfig(reconnect_at="source"),
         }
-        metrics = {
-            "stress": _m_stress,
-            "stretch": _m_stretch,
-            "loss_pct": _m_loss_pct,
-            "overhead_pct": _m_overhead_pct,
-            "reconnect_s": _m_recon_avg,
+        collected: dict[str, list[dict[str, float]]] = {
+            name: run_replications(
+                _ablation_rep,
+                (preset, config),
+                _rep_seeds(preset, preset.replications, "abl", name),
+                jobs=preset.jobs,
+            )
+            for name, config in variants.items()
         }
-        collected: dict[str, dict[str, list[float]]] = {
-            v: {m: [] for m in metrics} for v in variants
-        }
-        for name, config in variants.items():
-            for rep in range(preset.replications):
-                seed = int(spawn_rng(preset.seed, "abl", name, rep).integers(2**31))
-                cfg = _ch3_config(preset, churn=0.05, seed=seed)
-                res = MulticastSession(underlay, vdm(config), cfg).run()
-                for m, extract in metrics.items():
-                    collected[name][m].append(extract(res))
 
         table = SeriesTable(
             title="Ablations — VDM design choices (rows: metrics as x)",
             x_label="metric_idx",
-            x_values=list(range(len(metrics))),
+            x_values=list(range(len(ABLATION_METRICS))),
             expected_shape=(
                 "paper defaults should win or tie on loss/reconnect; "
                 "alternatives quantify each rule's contribution"
@@ -775,34 +961,30 @@ def ablation_tables(preset: Preset) -> dict[str, SeriesTable]:
         )
         for name in variants:
             table.add_series(
-                name, [mean_ci(collected[name][m]) for m in metrics]
+                name,
+                [
+                    mean_ci([rep[m] for rep in collected[name]])
+                    for m in ABLATION_METRICS
+                ],
             )
         # Remember which metric each x index means.
         table.title += " [" + ", ".join(
-            f"{i}={m}" for i, m in enumerate(metrics)
+            f"{i}={m}" for i, m in enumerate(ABLATION_METRICS)
         ) + "]"
 
         # Second ablation: refinement-period sweep (Section 5.4.5's
         # "additional experiments could be done to understand the effect
         # of frequency of refinement messages").
         periods = [60.0, 180.0, 600.0]
-        per_x: dict[str, list[list[float]]] = {
-            "stretch": [], "overhead_pct": []
-        }
-        for period in periods:
-            stretch_vals, overhead_vals = [], []
-            for rep in range(preset.replications):
-                seed = int(
-                    spawn_rng(preset.seed, "ablref", str(period), rep).integers(2**31)
-                )
-                cfg = _ch3_config(preset, churn=0.05, seed=seed)
-                res = MulticastSession(
-                    underlay, vdm_r(period_s=period), cfg
-                ).run()
-                stretch_vals.append(_m_stretch(res))
-                overhead_vals.append(_m_overhead_pct(res))
-            per_x["stretch"].append(stretch_vals)
-            per_x["overhead_pct"].append(overhead_vals)
+        per_x = [
+            run_replications(
+                _abl_refine_rep,
+                (preset, period),
+                _rep_seeds(preset, preset.replications, "ablref", str(period)),
+                jobs=preset.jobs,
+            )
+            for period in periods
+        ]
         refine_table = SeriesTable(
             title="Ablation — VDM-R refinement period sweep",
             x_label="period_s",
@@ -811,15 +993,48 @@ def ablation_tables(preset: Preset) -> dict[str, SeriesTable]:
                 "shorter periods buy stretch at a growing overhead cost"
             ),
         )
-        refine_table.add_series(
-            "stretch", [mean_ci(v) for v in per_x["stretch"]]
-        )
-        refine_table.add_series(
-            "overhead_pct", [mean_ci(v) for v in per_x["overhead_pct"]]
-        )
+        refine_table.add_series("stretch", _series(per_x, "stretch"))
+        refine_table.add_series("overhead_pct", _series(per_x, "overhead_pct"))
         return {"ablations": table, "refine_period": refine_table}
 
     return _cached("ablations", preset, build)
+
+
+# ---------------------------------------------------------------------------
+# Extensions
+# ---------------------------------------------------------------------------
+
+
+def _ext_free_rider_rep(
+    preset: Preset, fraction: float, rep: int, seed: int
+) -> dict[str, float]:
+    underlay = _ch3_underlay(preset)
+    population = UplinkPopulation(
+        median_uplink_kbps=2000.0,
+        stream_kbps=500.0,
+        max_degree=8,
+        free_rider_fraction=fraction,
+    )
+    cfg = _ch3_config(preset, churn=0.05, seed=seed, degree=population)
+    res = MulticastSession(underlay, vdm(), cfg).run()
+    return {
+        "stretch": _m_stretch(res),
+        "loss_pct": _m_loss_pct(res),
+        "hopcount": _m_hopcount(res),
+    }
+
+
+def _ext_stripe_rep(
+    preset: Preset, stripes: int, rep: int, seed: int
+) -> dict[str, float]:
+    underlay = _ch3_underlay(preset)
+    cfg = _ch3_config(preset, churn=0.10, seed=seed, degree=(4, 8))
+    report = StripedSession(underlay, vdm(), cfg, stripes=stripes).run()
+    window = (cfg.join_phase_s, cfg.total_s)
+    return {
+        "continuity": report.continuity(*window),
+        "full_quality": report.full_quality(*window),
+    }
 
 
 def extension_tables(preset: Preset) -> dict[str, SeriesTable]:
@@ -834,35 +1049,17 @@ def extension_tables(preset: Preset) -> dict[str, SeriesTable]:
     """
 
     def build() -> dict[str, SeriesTable]:
-        underlay = _ch3_underlay(preset)
-
         # --- free riders -------------------------------------------------
         fractions = [0.0, 0.25, 0.5]
-        fr_metrics = {"stretch": [], "loss_pct": [], "hopcount": []}
-        for fraction in fractions:
-            stretch_v, loss_v, hop_v = [], [], []
-            for rep in range(preset.replications):
-                seed = int(
-                    spawn_rng(preset.seed, "extfr", str(fraction), rep).integers(
-                        2**31
-                    )
-                )
-                population = UplinkPopulation(
-                    median_uplink_kbps=2000.0,
-                    stream_kbps=500.0,
-                    max_degree=8,
-                    free_rider_fraction=fraction,
-                )
-                cfg = _ch3_config(
-                    preset, churn=0.05, seed=seed, degree=population
-                )
-                res = MulticastSession(underlay, vdm(), cfg).run()
-                stretch_v.append(_m_stretch(res))
-                loss_v.append(_m_loss_pct(res))
-                hop_v.append(_m_hopcount(res))
-            fr_metrics["stretch"].append(stretch_v)
-            fr_metrics["loss_pct"].append(loss_v)
-            fr_metrics["hopcount"].append(hop_v)
+        fr_per_x = [
+            run_replications(
+                _ext_free_rider_rep,
+                (preset, fraction),
+                _rep_seeds(preset, preset.replications, "extfr", str(fraction)),
+                jobs=preset.jobs,
+            )
+            for fraction in fractions
+        ]
         free_rider_table = SeriesTable(
             title="Extension — free-rider fraction vs tree quality (VDM)",
             x_label="free_rider_fraction",
@@ -872,28 +1069,20 @@ def extension_tables(preset: Preset) -> dict[str, SeriesTable]:
                 "trees, worse stretch and loss"
             ),
         )
-        for metric, samples in fr_metrics.items():
-            free_rider_table.add_series(metric, [mean_ci(v) for v in samples])
+        for metric in ("stretch", "loss_pct", "hopcount"):
+            free_rider_table.add_series(metric, _series(fr_per_x, metric))
 
         # --- striping -----------------------------------------------------
         stripe_counts = [1, 2, 4]
-        continuity_v: list[list[float]] = []
-        quality_v: list[list[float]] = []
-        for stripes in stripe_counts:
-            cont, qual = [], []
-            for rep in range(preset.replications):
-                seed = int(
-                    spawn_rng(preset.seed, "extstripe", stripes, rep).integers(2**31)
-                )
-                cfg = _ch3_config(preset, churn=0.10, seed=seed, degree=(4, 8))
-                report = StripedSession(
-                    underlay, vdm(), cfg, stripes=stripes
-                ).run()
-                window = (cfg.join_phase_s, cfg.total_s)
-                cont.append(report.continuity(*window))
-                qual.append(report.full_quality(*window))
-            continuity_v.append(cont)
-            quality_v.append(qual)
+        stripe_per_x = [
+            run_replications(
+                _ext_stripe_rep,
+                (preset, stripes),
+                _rep_seeds(preset, preset.replications, "extstripe", stripes),
+                jobs=preset.jobs,
+            )
+            for stripes in stripe_counts
+        ]
         striping_table = SeriesTable(
             title="Extension — SplitStream-over-VDM: stripes vs resilience",
             x_label="stripes",
@@ -903,11 +1092,9 @@ def extension_tables(preset: Preset) -> dict[str, SeriesTable]:
                 "stripe count while full quality pays the churn tax"
             ),
         )
+        striping_table.add_series("continuity", _series(stripe_per_x, "continuity"))
         striping_table.add_series(
-            "continuity", [mean_ci(v) for v in continuity_v]
-        )
-        striping_table.add_series(
-            "full_quality", [mean_ci(v) for v in quality_v]
+            "full_quality", _series(stripe_per_x, "full_quality")
         )
 
         return {"free_riders": free_rider_table, "striping": striping_table}

@@ -1,0 +1,120 @@
+"""Parallel replication engine.
+
+The paper's evaluation is embarrassingly parallel: every sweep point runs
+``replications`` independent sessions whose seeds are derived up front
+with :func:`repro.util.rngtools.spawn_rng`.  :func:`run_replications`
+exploits that — it fans a batch of (rep-index, seed) tasks out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and merges results back
+in replication order, so serial and parallel runs are bit-identical.
+
+Requirements on the worker callable:
+
+* it must be a **module-level function** (pickled by reference), and
+* its arguments and return value must be picklable — experiment runners
+  therefore pass *specs* (preset, protocol key, scalar sweep value, seed)
+  and return reduced per-replication metrics, rebuilding heavyweight
+  state (underlays, agent factories) inside the worker process behind a
+  per-process memo.
+
+Worker count resolution, in priority order:
+
+1. the explicit ``jobs`` argument (e.g. :attr:`Preset.jobs` or the CLI's
+   ``--jobs``);
+2. the ``REPRO_JOBS`` environment variable;
+3. ``1`` — the exact historical in-process code path (no pool, no pickling).
+
+The pool is created lazily and kept alive across calls (fork start
+method where available), so per-process substrate memos stay warm across
+sweep points.  :func:`shutdown_pool` tears it down — the perf report uses
+that to keep timed runs honest.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["resolve_jobs", "run_replications", "shutdown_pool"]
+
+T = TypeVar("T")
+
+#: environment variable consulted when no explicit job count is given
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS: int = 0
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve a worker count: explicit value > ``REPRO_JOBS`` > 1."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if raw:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+                ) from None
+        else:
+            jobs = 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS != workers:
+        shutdown_pool()
+    if _POOL is None:
+        # fork keeps per-process substrate memos cheap to build (copy-on-
+        # write) and avoids re-importing the package in each worker.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared worker pool (tests and perf timing use this)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def run_replications(
+    worker: Callable[..., T],
+    args: tuple,
+    seeds: Sequence[int],
+    *,
+    jobs: int | None = None,
+) -> list[T]:
+    """Run ``worker(*args, rep, seed)`` for each seed, in replication order.
+
+    ``seeds[i]`` is the pre-derived session seed of replication ``i``;
+    deriving seeds *before* fan-out is what makes worker scheduling
+    irrelevant to the results.  With ``jobs == 1`` (the default) every
+    call happens in-process exactly as the historical serial loops did;
+    with ``jobs > 1`` tasks are submitted to the shared process pool and
+    results are gathered back in submission order, so the returned list
+    is identical either way.
+    """
+    tasks = list(enumerate(seeds))
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs <= 1 or len(tasks) <= 1:
+        return [worker(*args, rep, seed) for rep, seed in tasks]
+    pool = _get_pool(n_jobs)
+    futures = [pool.submit(worker, *args, rep, seed) for rep, seed in tasks]
+    return [f.result() for f in futures]

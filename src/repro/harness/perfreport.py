@@ -1,0 +1,124 @@
+"""Machine-readable performance snapshots (``BENCH_PR1.json``).
+
+Each snapshot times experiment groups under three configurations —
+
+* ``serial_uncached_s`` — one process, per-pair underlay caches disabled
+  (the pre-optimization baseline);
+* ``serial_s`` — one process, underlay caches on;
+* ``parallel_s`` — ``jobs`` worker processes, underlay caches on;
+
+— and records the derived speedups.  Committing the JSON gives later PRs a
+perf trajectory to regress against: rerun the same command and compare.
+
+Timed runs are isolated: the experiment cache, the substrate memos, and
+the worker pool are all torn down before and after every measurement, so
+a run never pays for (or benefits from) a previous run's warm state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.harness import experiments as exp
+from repro.harness.parallel import shutdown_pool
+from repro.harness.presets import Preset
+from repro.util.timing import Stopwatch
+
+__all__ = ["GROUP_RUNNERS", "DEFAULT_GROUPS", "generate_perf_report"]
+
+GROUP_RUNNERS: dict[str, Callable[[Preset], dict]] = {
+    "ch3_churn": exp.ch3_churn_tables,
+    "ch3_nodes": exp.ch3_nodes_tables,
+    "ch3_degree": exp.ch3_degree_tables,
+    "ch4_time": exp.ch4_time_tables,
+    "ch5_churn": exp.ch5_churn_tables,
+    "ch5_nodes": exp.ch5_nodes_tables,
+    "ch5_degree": exp.ch5_degree_tables,
+    "ch5_refinement": exp.ch5_refinement_tables,
+    "ch5_mst": exp.ch5_mst_table,
+    "ablations": exp.ablation_tables,
+    "extensions": exp.extension_tables,
+}
+
+#: groups timed when none are requested — one per evaluation environment
+DEFAULT_GROUPS: tuple[str, ...] = ("ch3_churn", "ch3_degree", "ch5_churn")
+
+_CACHE_ENV = "REPRO_UNDERLAY_CACHE"
+
+
+def _timed_run(
+    runner: Callable[[Preset], dict],
+    preset: Preset,
+    *,
+    jobs: int,
+    underlay_cache: bool,
+) -> float:
+    exp.clear_cache()
+    shutdown_pool()
+    saved = os.environ.get(_CACHE_ENV)
+    os.environ[_CACHE_ENV] = "1" if underlay_cache else "0"
+    try:
+        with Stopwatch() as sw:
+            runner(dataclasses.replace(preset, jobs=jobs))
+    finally:
+        if saved is None:
+            os.environ.pop(_CACHE_ENV, None)
+        else:
+            os.environ[_CACHE_ENV] = saved
+        exp.clear_cache()
+        shutdown_pool()
+    return sw.elapsed
+
+
+def generate_perf_report(
+    preset: Preset,
+    *,
+    jobs: int = 4,
+    groups: Sequence[str] | None = None,
+    path: str | Path = "BENCH_PR1.json",
+) -> dict:
+    """Time the requested groups and write the snapshot to ``path``."""
+    names = list(groups) if groups else list(DEFAULT_GROUPS)
+    unknown = sorted(set(names) - set(GROUP_RUNNERS))
+    if unknown:
+        raise KeyError(
+            f"unknown perf group(s) {unknown}; choose from {sorted(GROUP_RUNNERS)}"
+        )
+    report: dict = {
+        "schema": "repro-perf-report/1",
+        "preset": preset.name,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "command": (
+            f"python -m repro.harness --perf-report {path} "
+            f"--preset {preset.name} --jobs {jobs} "
+            f"--perf-groups {','.join(names)}"
+        ),
+        "notes": (
+            "serial_uncached_s = jobs=1 with REPRO_UNDERLAY_CACHE=0 (the "
+            "pre-PR-1 baseline); serial_s = jobs=1 with caches; "
+            "parallel_s = jobs=N with caches.  Parallel speedup is bounded "
+            "by cpu_count."
+        ),
+        "groups": {},
+    }
+    for name in names:
+        runner = GROUP_RUNNERS[name]
+        uncached = _timed_run(runner, preset, jobs=1, underlay_cache=False)
+        serial = _timed_run(runner, preset, jobs=1, underlay_cache=True)
+        parallel = _timed_run(runner, preset, jobs=jobs, underlay_cache=True)
+        report["groups"][name] = {
+            "serial_uncached_s": round(uncached, 3),
+            "serial_s": round(serial, 3),
+            "parallel_s": round(parallel, 3),
+            "workers": jobs,
+            "speedup_underlay_cache": round(uncached / serial, 2),
+            "speedup_parallel_vs_serial": round(serial / parallel, 2),
+            "speedup_vs_uncached_serial": round(uncached / parallel, 2),
+        }
+    Path(path).write_text(json.dumps(report, indent=2) + "\n")
+    return report

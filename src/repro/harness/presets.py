@@ -24,6 +24,11 @@ class Preset:
     name: str
     seed: int = 2011  # the paper's year; any constant works
 
+    #: replication worker processes; ``None`` defers to the ``REPRO_JOBS``
+    #: environment variable (default 1 = the serial in-process path).
+    #: Results are bit-identical at any job count — see harness/parallel.py.
+    jobs: int | None = None
+
     # -- chapter 3: NS-2-style simulation -------------------------------------
     replications: int = 32
     ts_config: TransitStubConfig = field(default_factory=TransitStubConfig)

@@ -92,8 +92,14 @@ REGISTRY: dict[str, RegistryEntry] = {
 }
 
 
-def run_experiment(fig_id: str, preset: Preset | str = "quick") -> SeriesTable:
-    """Run (or fetch from cache) the experiment behind a figure id."""
+def run_experiment(
+    fig_id: str, preset: Preset | str = "quick", *, jobs: int | None = None
+) -> SeriesTable:
+    """Run (or fetch from cache) the experiment behind a figure id.
+
+    ``jobs`` overrides the preset's replication worker count (see
+    :mod:`repro.harness.parallel`); results are identical at any value.
+    """
     if isinstance(preset, str):
         try:
             preset = PRESETS[preset]
@@ -101,6 +107,10 @@ def run_experiment(fig_id: str, preset: Preset | str = "quick") -> SeriesTable:
             raise KeyError(
                 f"unknown preset {preset!r}; choose from {sorted(PRESETS)}"
             ) from None
+    if jobs is not None:
+        import dataclasses
+
+        preset = dataclasses.replace(preset, jobs=jobs)
     try:
         entry = REGISTRY[fig_id]
     except KeyError:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from repro.metrics.collectors import (
     HopcountStats,

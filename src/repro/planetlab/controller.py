@@ -13,7 +13,7 @@ SSH/control channels), so they do not count toward protocol overhead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

@@ -16,7 +16,7 @@ the paper's mechanism for its 5-seed replications.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.util.rngtools import rng_from_seed

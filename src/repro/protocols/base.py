@@ -28,7 +28,7 @@ how the paper's implementation treats root-path state.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

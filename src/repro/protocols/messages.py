@@ -13,7 +13,7 @@ runtime's business (:mod:`repro.protocols.base`), not the messages'.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "Message",

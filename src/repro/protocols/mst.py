@@ -18,7 +18,7 @@ measured against:
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 import networkx as nx
 

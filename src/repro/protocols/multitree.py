@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-import numpy as np
 
 from repro.sim.network import Underlay
 from repro.sim.session import (

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.protocols.base import TreeRegistry
-from repro.sim.network import Underlay
+from repro.sim.network import Underlay, _cache_enabled_from_env
 from repro.util.intervals import IntervalSet
 from repro.util.validation import check_positive
 
@@ -101,6 +101,14 @@ class DeliveryAccountant:
         self.underlay = underlay
         self.chunk_rate = float(chunk_rate)
         self._ledger: dict[int, _NodeLedger] = {}
+        # Per-overlay-hop delivery probability.  Underlay link errors are
+        # static, so each (parent, child) hop's success is a constant —
+        # memoizing it keeps churn-driven subtree refreshes (which rebuild
+        # ancestry products constantly) off the underlay's path machinery.
+        # Honors REPRO_UNDERLAY_CACHE so the perf report's uncached
+        # baseline disables every hot-path memo at once.
+        self._memo_enabled = _cache_enabled_from_env()
+        self._hop_success: dict[tuple[int, int], float] = {}
         tree.add_listener(self._on_tree_event)
 
     # -- event handling ---------------------------------------------------------
@@ -136,8 +144,14 @@ class DeliveryAccountant:
         """Probability a chunk survives the overlay path source -> node."""
         success = 1.0
         path = self.tree.path_to_source(node)
+        memo = self._hop_success
         for child, parent in zip(path[:-1], path[1:]):
-            success *= 1.0 - self.underlay.path_error(parent, child)
+            hop = memo.get((parent, child)) if self._memo_enabled else None
+            if hop is None:
+                hop = 1.0 - self.underlay.path_error(parent, child)
+                if self._memo_enabled:
+                    memo[(parent, child)] = hop
+            success *= hop
         return success
 
     # -- queries --------------------------------------------------------------------

@@ -15,13 +15,22 @@ hop consumes.  Two concrete models mirror the paper's two environments:
 
 Both expose the same interface, so sessions, protocols, and metrics are
 substrate-agnostic.
+
+Hot-path caching: underlay paths are immutable after construction, yet the
+metric collectors and the delivery accountant re-query the same host pairs
+on every measurement window.  :class:`RouterUnderlay` therefore memoizes
+``delay_ms`` / ``path_links`` / ``path_error`` per ordered host pair, and
+:class:`MatrixUnderlay` precomputes its one-way delay matrix.  Setting the
+environment variable ``REPRO_UNDERLAY_CACHE=0`` (read at construction
+time) disables the per-pair caches — the perf report uses that to measure
+what they buy.
 """
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
-from functools import lru_cache
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Sequence
 
 import networkx as nx
 import numpy as np
@@ -29,6 +38,18 @@ import numpy as np
 __all__ = ["Underlay", "RouterUnderlay", "MatrixUnderlay"]
 
 LinkId = Hashable
+
+#: minimum path length before the loss product switches to numpy —
+#: below this, the pure-python loop is faster than array setup.
+_VECTORIZE_MIN_LINKS = 8
+
+
+def _cache_enabled_from_env() -> bool:
+    return os.environ.get("REPRO_UNDERLAY_CACHE", "1").lower() not in (
+        "0",
+        "false",
+        "no",
+    )
 
 
 class Underlay(ABC):
@@ -61,9 +82,15 @@ class Underlay(ABC):
 
     def path_error(self, a: int, b: int) -> float:
         """End-to-end loss probability of the unicast path from a to b."""
+        return self._compute_path_error(self.path_links(a, b))
+
+    def _compute_path_error(self, links: Sequence[LinkId]) -> float:
+        errors = [self.link_error(link) for link in links]
+        if len(errors) >= _VECTORIZE_MIN_LINKS:
+            return float(1.0 - np.prod(1.0 - np.asarray(errors)))
         success = 1.0
-        for link in self.path_links(a, b):
-            success *= 1.0 - self.link_error(link)
+        for error in errors:
+            success *= 1.0 - error
         return 1.0 - success
 
     def validate_host(self, host: int) -> None:
@@ -127,6 +154,11 @@ class RouterUnderlay(Underlay):
         # router -> (distance array, predecessor-index array).
         self._dist: dict[int, np.ndarray] = {}
         self._pred: dict[int, np.ndarray] = {}
+        # Per-ordered-host-pair memos; paths never change once built.
+        self._cache_enabled = _cache_enabled_from_env()
+        self._delay_cache: dict[tuple[int, int], float] = {}
+        self._path_cache: dict[tuple[int, int], tuple[LinkId, ...]] = {}
+        self._error_cache: dict[tuple[int, int], float] = {}
 
     def _per_host(self, value: float | dict[int, float]) -> dict[int, float]:
         if isinstance(value, dict):
@@ -183,42 +215,77 @@ class RouterUnderlay(Underlay):
         return [self._router_ids[i] for i in path_idx]
 
     def delay_ms(self, a: int, b: int) -> float:
+        key = (a, b)
+        cached = self._delay_cache.get(key)
+        if cached is not None:
+            return cached
         self.validate_host(a)
         self.validate_host(b)
         if a == b:
-            return 0.0
-        base = self.router_distance(self.attachments[a], self.attachments[b])
-        return self._access_delay[a] + base + self._access_delay[b]
+            value = 0.0
+        else:
+            base = self.router_distance(self.attachments[a], self.attachments[b])
+            value = self._access_delay[a] + base + self._access_delay[b]
+        if self._cache_enabled:
+            self._delay_cache[key] = value
+        return value
 
     def path_links(self, a: int, b: int) -> tuple[LinkId, ...]:
+        key = (a, b)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
         self.validate_host(a)
         self.validate_host(b)
         if a == b:
-            return ()
-        links: list[LinkId] = [("access", a)]
-        routers = self.router_path(self.attachments[a], self.attachments[b])
-        for u, v in zip(routers[:-1], routers[1:]):
-            links.append(("router", min(u, v), max(u, v)))
-        links.append(("access", b))
-        return tuple(links)
+            links: tuple[LinkId, ...] = ()
+        else:
+            parts: list[LinkId] = [("access", a)]
+            routers = self.router_path(self.attachments[a], self.attachments[b])
+            for u, v in zip(routers[:-1], routers[1:]):
+                parts.append(("router", min(u, v), max(u, v)))
+            parts.append(("access", b))
+            links = tuple(parts)
+        if self._cache_enabled:
+            self._path_cache[key] = links
+        return links
+
+    def path_error(self, a: int, b: int) -> float:
+        key = (a, b)
+        cached = self._error_cache.get(key)
+        if cached is not None:
+            return cached
+        value = self._compute_path_error(self.path_links(a, b))
+        if self._cache_enabled:
+            self._error_cache[key] = value
+        return value
 
     def link_delay(self, link: LinkId) -> float:
-        kind = link[0]
-        if kind == "access":
-            return self._access_delay[link[1]]
-        if kind == "router":
-            _, u, v = link
+        kind, payload = _split_link(link)
+        if kind == "access" and len(payload) == 1:
+            return self._access_delay[payload[0]]
+        if kind == "router" and len(payload) == 2:
+            u, v = payload
             return float(self.graph.edges[u, v]["delay"])
         raise KeyError(f"unknown link id {link!r}")
 
     def link_error(self, link: LinkId) -> float:
-        kind = link[0]
-        if kind == "access":
-            return self._access_error[link[1]]
-        if kind == "router":
-            _, u, v = link
+        kind, payload = _split_link(link)
+        if kind == "access" and len(payload) == 1:
+            return self._access_error[payload[0]]
+        if kind == "router" and len(payload) == 2:
+            u, v = payload
             return float(self.graph.edges[u, v].get("error", 0.0))
         raise KeyError(f"unknown link id {link!r}")
+
+
+def _split_link(link: LinkId) -> tuple[object, tuple]:
+    """Split a link id into (kind, payload), raising the documented
+    ``KeyError`` for ids of the wrong shape instead of a bare
+    ``ValueError``/``TypeError`` from tuple unpacking."""
+    if not isinstance(link, tuple) or not link:
+        raise KeyError(f"unknown link id {link!r}")
+    return link[0], link[1:]
 
 
 class MatrixUnderlay(Underlay):
@@ -259,6 +326,10 @@ class MatrixUnderlay(Underlay):
             if np.any((loss < 0) | (loss > 1)):
                 raise ValueError("loss matrix entries must be probabilities")
         self._rtt = rtt_arr
+        # One-way delays, precomputed once (0.5 scaling is exact in IEEE
+        # floats, so this matches the historical per-call division bit for
+        # bit while keeping the hot path a plain array load).
+        self._delay = rtt_arr * 0.5
         self._loss = loss
         self._hosts = list(host_ids)
         self._index = {h: i for i, h in enumerate(self._hosts)}
@@ -274,7 +345,7 @@ class MatrixUnderlay(Underlay):
             i, j = self._index[a], self._index[b]
         except KeyError as exc:
             raise KeyError(f"unknown host {exc.args[0]!r}") from None
-        return float(self._rtt[i, j]) / 2.0
+        return float(self._delay[i, j])
 
     def path_links(self, a: int, b: int) -> tuple[LinkId, ...]:
         self.validate_host(a)
@@ -284,16 +355,26 @@ class MatrixUnderlay(Underlay):
         lo, hi = (a, b) if a <= b else (b, a)
         return (("pair", lo, hi),)
 
-    def link_delay(self, link: LinkId) -> float:
-        kind, a, b = link
-        if kind != "pair":
+    def _pair_of(self, link: LinkId) -> tuple[int, int]:
+        """Unpack a ``("pair", a, b)`` link id, raising the documented
+        ``KeyError`` on malformed ids (wrong kind *or* wrong arity)."""
+        if (
+            not isinstance(link, tuple)
+            or len(link) != 3
+            or link[0] != "pair"
+        ):
             raise KeyError(f"unknown link id {link!r}")
+        return link[1], link[2]
+
+    def link_delay(self, link: LinkId) -> float:
+        a, b = self._pair_of(link)
         return self.delay_ms(a, b)
 
     def link_error(self, link: LinkId) -> float:
-        kind, a, b = link
-        if kind != "pair":
-            raise KeyError(f"unknown link id {link!r}")
+        a, b = self._pair_of(link)
         if self._loss is None:
             return 0.0
-        return float(self._loss[self._index[a], self._index[b]])
+        try:
+            return float(self._loss[self._index[a], self._index[b]])
+        except KeyError as exc:
+            raise KeyError(f"unknown host {exc.args[0]!r}") from None

@@ -20,7 +20,7 @@ This module synthesizes an equivalent pool:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -23,7 +23,7 @@ Nodes carry a ``level`` attribute (``"transit"`` or ``"stub"``) and a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 import numpy as np

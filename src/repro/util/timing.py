@@ -1,0 +1,38 @@
+"""Wall-clock instrumentation for the experiment harness.
+
+One tiny primitive — :class:`Stopwatch` — so every layer (experiment
+groups, the perf report, benchmarks) times work the same way and the
+numbers in ``BENCH_PR1.json``-style snapshots are comparable across PRs.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Stopwatch() as sw:
+    ...     do_work()
+    >>> sw.elapsed  # seconds, float
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def stop(self) -> float:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+            self._start = None
+        return self.elapsed

@@ -17,6 +17,7 @@ from repro.topology.transit_stub import (
     generate_transit_stub,
     stub_routers,
 )
+from tests.helpers import line_matrix
 
 SMALL_TS = TransitStubConfig(
     total_nodes=80,
@@ -37,9 +38,6 @@ def router_underlay(small_graph):
     rng = np.random.default_rng(7)
     routers = rng.choice(stubs, size=30, replace=False)
     return RouterUnderlay(small_graph, {i: int(r) for i, r in enumerate(routers)})
-
-
-from tests.helpers import line_matrix
 
 
 @pytest.fixture

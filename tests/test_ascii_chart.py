@@ -33,14 +33,14 @@ class TestAsciiChart:
 
     def test_dimensions(self):
         out = ascii_chart(make_table(), width=40, height=8)
-        plot_rows = [l for l in out.splitlines() if "|" in l]
+        plot_rows = [row for row in out.splitlines() if "|" in row]
         assert len(plot_rows) == 8
-        assert all(len(l.split("|", 1)[1]) <= 40 for l in plot_rows)
+        assert all(len(row.split("|", 1)[1]) <= 40 for row in plot_rows)
 
     def test_monotone_series_orientation(self):
         """The max of a rising series must be drawn right of its min."""
         out = ascii_chart(make_table(), width=40, height=8)
-        rows = [l.split("|", 1)[1] for l in out.splitlines() if "|" in l]
+        rows = [row.split("|", 1)[1] for row in out.splitlines() if "|" in row]
         top_row = rows[0]
         bottom_row = rows[-1]
         # Highest values (top row) should appear toward the right edge.

@@ -6,7 +6,7 @@ import pytest
 
 from repro.harness import experiments
 from repro.harness.__main__ import main as cli_main
-from repro.harness.presets import PRESETS, Preset
+from repro.harness.presets import PRESETS
 from repro.harness.registry import REGISTRY, run_experiment
 from repro.harness.substrates import (
     build_planetlab_underlay,

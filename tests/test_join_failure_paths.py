@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.vdm import VDMAgent
 from repro.protocols.base import JoinProcess, ProtocolRuntime
-from repro.protocols.messages import ConnRequest, ConnResponse
+from repro.protocols.messages import ConnRequest
 from repro.sim.engine import Simulator
 from repro.sim.network import MatrixUnderlay
 

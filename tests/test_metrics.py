@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.metrics.collectors import (
@@ -127,7 +126,7 @@ class TestStressRouterUnderlay:
         for p, c in tree.edges():
             for link in ul.path_links(p, c):
                 usage[link] += 1
-        assert all(usage[l] == 1 for l in router_links)
+        assert all(usage[link] == 1 for link in router_links)
 
     def test_empty(self):
         ul = self.make()

@@ -1,6 +1,5 @@
 """Tests for the MST references."""
 
-import itertools
 
 import networkx as nx
 import numpy as np

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.factories import vdm
-from repro.protocols.multitree import StripedSession, StripeReport, _split_degree
+from repro.protocols.multitree import StripedSession, _split_degree
 from repro.sim.network import MatrixUnderlay
 from repro.sim.session import SessionConfig
 

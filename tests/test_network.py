@@ -57,7 +57,7 @@ class TestRouterUnderlay:
 
     def test_path_delay_consistent_with_delay(self):
         ul = self.make()
-        total = sum(ul.link_delay(l) for l in ul.path_links(100, 101))
+        total = sum(ul.link_delay(link) for link in ul.path_links(100, 101))
         assert total == pytest.approx(ul.delay_ms(100, 101))
 
     def test_link_error_and_path_error(self):

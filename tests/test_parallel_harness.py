@@ -1,0 +1,250 @@
+"""Tests for the parallel replication engine and the underlay fast paths.
+
+The two invariants PR 1 must never break:
+
+* ``run_replications`` is *execution-transparent* — ``jobs=1`` and
+  ``jobs>1`` produce bit-identical experiment tables;
+* the per-pair underlay caches are *behavior-transparent* — cached and
+  uncached queries agree exactly on every host pair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.harness import experiments
+from repro.harness.parallel import resolve_jobs, run_replications, shutdown_pool
+from repro.harness.presets import PRESETS
+from repro.sim.network import MatrixUnderlay
+from tests.helpers import line_matrix
+
+SMOKE = PRESETS["smoke"]
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    experiments.clear_cache()
+    yield
+    experiments.clear_cache()
+    shutdown_pool()
+
+
+# ---------------------------------------------------------------------------
+# run_replications mechanics
+# ---------------------------------------------------------------------------
+
+
+def _echo_worker(tag: str, rep: int, seed: int) -> tuple[str, int, int]:
+    return (tag, rep, seed)
+
+
+class TestRunReplications:
+    def test_serial_runs_in_rep_order(self):
+        out = run_replications(_echo_worker, ("t",), [11, 22, 33], jobs=1)
+        assert out == [("t", 0, 11), ("t", 1, 22), ("t", 2, 33)]
+
+    def test_parallel_merges_in_rep_order(self):
+        out = run_replications(_echo_worker, ("t",), list(range(100, 110)), jobs=2)
+        assert out == [("t", rep, 100 + rep) for rep in range(10)]
+
+    def test_parallel_equals_serial(self):
+        serial = run_replications(_echo_worker, ("x",), [5, 6, 7], jobs=1)
+        parallel = run_replications(_echo_worker, ("x",), [5, 6, 7], jobs=3)
+        assert serial == parallel
+
+    def test_single_replication_stays_in_process(self):
+        # len(seeds) <= 1 short-circuits the pool even with jobs > 1.
+        assert run_replications(_echo_worker, ("s",), [1], jobs=8) == [("s", 0, 1)]
+
+    def test_resolve_jobs_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_resolve_jobs_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_resolve_jobs_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_resolve_jobs_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            resolve_jobs(None)
+
+    def test_resolve_jobs_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(0)
+
+
+# ---------------------------------------------------------------------------
+# serial / parallel experiment equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestSerialParallelEquivalence:
+    def test_ch3_churn_tables_bit_identical(self):
+        preset = dataclasses.replace(SMOKE, replications=3)
+        serial = {
+            m: t.to_json()
+            for m, t in experiments.ch3_churn_tables(preset).items()
+        }
+        experiments.clear_cache()
+        parallel_preset = dataclasses.replace(preset, jobs=2)
+        parallel = {
+            m: t.to_json()
+            for m, t in experiments.ch3_churn_tables(parallel_preset).items()
+        }
+        assert serial == parallel
+
+    def test_ch5_mst_bit_identical(self):
+        preset = dataclasses.replace(SMOKE, pl_replications=2)
+        serial = experiments.ch5_mst_table(preset)["mst_ratio"].to_json()
+        experiments.clear_cache()
+        parallel = experiments.ch5_mst_table(
+            dataclasses.replace(preset, jobs=2)
+        )["mst_ratio"].to_json()
+        assert serial == parallel
+
+    def test_group_timing_recorded(self):
+        experiments.ch5_mst_table(SMOKE)
+        timings = experiments.group_timings()
+        assert ("ch5_mst", "smoke") in timings
+        assert timings[("ch5_mst", "smoke")] > 0
+
+
+# ---------------------------------------------------------------------------
+# underlay cache transparency
+# ---------------------------------------------------------------------------
+
+
+def _router_underlay_pair(monkeypatch_env: dict | None = None):
+    from repro.harness.substrates import build_transit_stub_underlay
+    from repro.topology.linkmodel import LinkErrorConfig
+    from repro.topology.transit_stub import TransitStubConfig
+
+    kwargs = dict(
+        n_hosts=24,
+        seed=9,
+        ts_config=TransitStubConfig(
+            total_nodes=100,
+            transit_domains=2,
+            transit_nodes_per_domain=3,
+            stub_domains_per_transit=2,
+        ),
+        link_errors=LinkErrorConfig(max_error=0.05),
+    )
+    return build_transit_stub_underlay(**kwargs), kwargs
+
+
+_CACHED_UL, _UL_KWARGS = _router_underlay_pair()
+_UNCACHED_UL = None
+
+
+def _uncached_ul():
+    """A twin of ``_CACHED_UL`` built with per-pair caches disabled."""
+    global _UNCACHED_UL
+    if _UNCACHED_UL is None:
+        import os
+
+        from repro.harness.substrates import build_transit_stub_underlay
+
+        os.environ["REPRO_UNDERLAY_CACHE"] = "0"
+        try:
+            _UNCACHED_UL = build_transit_stub_underlay(**_UL_KWARGS)
+        finally:
+            os.environ.pop("REPRO_UNDERLAY_CACHE", None)
+    return _UNCACHED_UL
+
+
+host_pairs = st.tuples(
+    st.integers(min_value=0, max_value=23), st.integers(min_value=0, max_value=23)
+)
+
+
+class TestUnderlayCaches:
+    @given(pair=host_pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_cached_matches_uncached(self, pair):
+        a, b = pair
+        cached, uncached = _CACHED_UL, _uncached_ul()
+        assert not uncached._cache_enabled
+        assert cached.delay_ms(a, b) == uncached.delay_ms(a, b)
+        assert cached.path_links(a, b) == uncached.path_links(a, b)
+        assert cached.path_error(a, b) == uncached.path_error(a, b)
+
+    @given(pair=host_pairs)
+    @settings(max_examples=30, deadline=None)
+    def test_repeat_queries_are_stable(self, pair):
+        a, b = pair
+        first = (
+            _CACHED_UL.delay_ms(a, b),
+            _CACHED_UL.path_links(a, b),
+            _CACHED_UL.path_error(a, b),
+        )
+        second = (
+            _CACHED_UL.delay_ms(a, b),
+            _CACHED_UL.path_links(a, b),
+            _CACHED_UL.path_error(a, b),
+        )
+        assert first == second
+
+    def test_uncached_underlay_keeps_no_state(self):
+        ul = _uncached_ul()
+        ul.delay_ms(0, 1), ul.path_links(0, 1), ul.path_error(0, 1)
+        assert not ul._delay_cache and not ul._path_cache and not ul._error_cache
+
+    def test_unknown_host_still_rejected_after_warmup(self):
+        _CACHED_UL.delay_ms(2, 3)
+        with pytest.raises(KeyError, match="unknown host"):
+            _CACHED_UL.delay_ms(2, 999)
+
+
+# ---------------------------------------------------------------------------
+# malformed link ids (satellite fix)
+# ---------------------------------------------------------------------------
+
+
+class TestMalformedLinkIds:
+    def make_matrix(self):
+        return MatrixUnderlay(line_matrix([0.0, 10.0, 20.0]))
+
+    @pytest.mark.parametrize(
+        "link",
+        [
+            ("pair",),  # wrong arity: too short
+            ("pair", 0),  # wrong arity: missing one host
+            ("pair", 0, 1, 2),  # wrong arity: too long
+            ("link", 0, 1),  # wrong kind
+            "pair",  # not a tuple at all
+            42,
+            (),
+        ],
+    )
+    def test_matrix_link_delay_raises_keyerror(self, link):
+        with pytest.raises(KeyError, match="unknown link id"):
+            self.make_matrix().link_delay(link)
+
+    @pytest.mark.parametrize("link", [("pair", 0), ("pair", 0, 1, 2), "x", ()])
+    def test_matrix_link_error_raises_keyerror(self, link):
+        with pytest.raises(KeyError, match="unknown link id"):
+            self.make_matrix().link_error(link)
+
+    def test_matrix_wellformed_still_works(self):
+        ul = self.make_matrix()
+        assert ul.link_delay(("pair", 0, 1)) == 5.0
+        assert ul.link_error(("pair", 0, 1)) == 0.0
+
+    @pytest.mark.parametrize(
+        "link",
+        [("access",), ("access", 0, 1), ("router", 5), ("bogus", 1, 2), (), "access", 7],
+    )
+    def test_router_malformed_links_raise_keyerror(self, link):
+        with pytest.raises(KeyError):
+            _CACHED_UL.link_delay(link)
+        with pytest.raises(KeyError):
+            _CACHED_UL.link_error(link)

@@ -7,10 +7,9 @@ reconnection of every surviving node.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core.vdm import VDMAgent, VDMConfig
+from repro.core.vdm import VDMAgent
 from repro.protocols.base import ProtocolRuntime
 from repro.protocols.btp import BTPAgent
 from repro.protocols.hmtp import HMTPAgent

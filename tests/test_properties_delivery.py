@@ -5,7 +5,6 @@ adversarial random schedules here: arbitrary valid attach/orphan/
 reparent/depart sequences must keep its books consistent.
 """
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for the transit-stub generator, geo model, and link-error model."""
 
-import math
 
 import networkx as nx
 import numpy as np

@@ -5,8 +5,6 @@ examples can be staged precisely: hosts live at 1-D coordinates and RTT
 equals coordinate distance.
 """
 
-import numpy as np
-import pytest
 
 from repro.core.vdm import VDMAgent, VDMConfig
 from repro.protocols.base import ProtocolRuntime
