@@ -25,6 +25,7 @@ from repro.core.vdm import VDMAgent, VDMConfig
 from repro.protocols.base import OverlayAgent, ProtocolRuntime
 from repro.protocols.btp import BTPAgent, BTPConfig
 from repro.protocols.hmtp import HMTPAgent, HMTPConfig
+from repro.protocols.mst import MSTAgent
 from repro.sim.network import Underlay
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "vdm_loss",
     "hmtp",
     "btp",
+    "mst",
     "delay_metric",
     "loss_metric",
     "composite_metric",
@@ -95,6 +97,17 @@ def btp(config: BTPConfig | None = None) -> AgentFactory:
         node_id: int, env: ProtocolRuntime, *, degree_limit: int, rng=None
     ) -> BTPAgent:
         return BTPAgent(node_id, env, degree_limit=degree_limit, config=cfg)
+
+    return make
+
+
+def mst() -> AgentFactory:
+    """Factory for the centralized greedy-MST reference agents."""
+
+    def make(
+        node_id: int, env: ProtocolRuntime, *, degree_limit: int, rng=None
+    ) -> MSTAgent:
+        return MSTAgent(node_id, env, degree_limit=degree_limit)
 
     return make
 

@@ -24,6 +24,7 @@ import sys
 from repro.harness.experiments import ch5_sample_tree
 from repro.harness.presets import PRESETS
 from repro.harness.registry import REGISTRY, run_experiment
+from repro.sim.faults import FAULT_PRESETS
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -46,6 +47,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="replication worker processes (default: REPRO_JOBS or 1); "
         "results are bit-identical at any value",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        choices=sorted(FAULT_PRESETS),
+        help="run every session under this fault plan (seeded message "
+        "loss/duplication/jitter, crashes, freezes); tree invariants are "
+        "checked after every mutation and abort the run on violation",
     )
     parser.add_argument(
         "--perf-report",
@@ -108,7 +117,9 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     for fig_id in args.figures:
-        table = run_experiment(fig_id, args.preset, jobs=args.jobs)
+        table = run_experiment(
+            fig_id, args.preset, jobs=args.jobs, faults=args.faults
+        )
         print(table.to_json() if args.json else table.render())
         if args.chart and not args.json:
             from repro.metrics.ascii_chart import ascii_chart

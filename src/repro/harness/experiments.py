@@ -63,11 +63,11 @@ __all__ = [
     "group_timings",
 ]
 
-_CACHE: dict[tuple[str, str], dict[str, SeriesTable]] = {}
+_CACHE: dict[tuple[str, str, str], dict[str, SeriesTable]] = {}
 
-#: wall-clock seconds spent building each (group, preset-name) sweep —
-#: cache hits cost nothing and are not recorded.
-GROUP_TIMINGS: dict[tuple[str, str], float] = {}
+#: wall-clock seconds spent building each (group, preset-name, fault-plan)
+#: sweep — cache hits cost nothing and are not recorded.
+GROUP_TIMINGS: dict[tuple[str, str, str], float] = {}
 
 
 def clear_cache() -> None:
@@ -79,13 +79,13 @@ def clear_cache() -> None:
     _pl_substrate_cached.cache_clear()
 
 
-def group_timings() -> dict[tuple[str, str], float]:
+def group_timings() -> dict[tuple[str, str, str], float]:
     """Wall-clock build time of every group computed so far."""
     return dict(GROUP_TIMINGS)
 
 
 def _cached(group: str, preset: Preset, build: Callable[[], dict[str, SeriesTable]]):
-    key = (group, preset.name)
+    key = (group, preset.name, preset.fault_plan or "")
     if key not in _CACHE:
         with Stopwatch() as sw:
             _CACHE[key] = build()
@@ -268,6 +268,7 @@ def _ch3_config(preset: Preset, *, churn: float, seed: int, n_nodes=None, degree
         settle_s=preset.ch3_settle_s,
         churn_rate=churn,
         seed=seed,
+        faults=preset.fault_plan,
     )
 
 
@@ -439,6 +440,7 @@ def _ch4_rep(
         churn_rate=0.0,
         seed=seed,
         join_measure_interval_s=interval,
+        faults=preset.fault_plan,
     )
     res = MulticastSession(
         underlay,
@@ -546,6 +548,7 @@ def _pl_config(
         source_host=substrate.source,
         source_degree=degree if degree is not None else preset.pl_degree,
         measurement_noise_sigma=preset.pl_noise_sigma,
+        faults=preset.fault_plan,
     )
 
 

@@ -29,6 +29,10 @@ class Preset:
     #: Results are bit-identical at any job count — see harness/parallel.py.
     jobs: int | None = None
 
+    #: fault-plan preset name (:data:`repro.sim.faults.FAULT_PRESETS`)
+    #: applied to every session the suite runs; ``None`` = fault-free.
+    fault_plan: str | None = None
+
     # -- chapter 3: NS-2-style simulation -------------------------------------
     replications: int = 32
     ts_config: TransitStubConfig = field(default_factory=TransitStubConfig)

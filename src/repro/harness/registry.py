@@ -93,12 +93,19 @@ REGISTRY: dict[str, RegistryEntry] = {
 
 
 def run_experiment(
-    fig_id: str, preset: Preset | str = "quick", *, jobs: int | None = None
+    fig_id: str,
+    preset: Preset | str = "quick",
+    *,
+    jobs: int | None = None,
+    faults: str | None = None,
 ) -> SeriesTable:
     """Run (or fetch from cache) the experiment behind a figure id.
 
     ``jobs`` overrides the preset's replication worker count (see
     :mod:`repro.harness.parallel`); results are identical at any value.
+    ``faults`` overrides the preset's fault plan (a name from
+    :data:`repro.sim.faults.FAULT_PRESETS`), running every session of the
+    experiment under that fault schedule.
     """
     if isinstance(preset, str):
         try:
@@ -107,10 +114,15 @@ def run_experiment(
             raise KeyError(
                 f"unknown preset {preset!r}; choose from {sorted(PRESETS)}"
             ) from None
+    overrides: dict[str, object] = {}
     if jobs is not None:
+        overrides["jobs"] = jobs
+    if faults is not None:
+        overrides["fault_plan"] = faults
+    if overrides:
         import dataclasses
 
-        preset = dataclasses.replace(preset, jobs=jobs)
+        preset = dataclasses.replace(preset, **overrides)
     try:
         entry = REGISTRY[fig_id]
     except KeyError:

@@ -17,6 +17,7 @@ from repro.protocols.base import OverlayAgent, ProtocolRuntime, TreeRegistry
 from repro.protocols.hmtp import HMTPAgent, HMTPConfig
 from repro.protocols.btp import BTPAgent, BTPConfig
 from repro.protocols.mst import (
+    MSTAgent,
     mst_parent_map,
     degree_constrained_mst,
     tree_cost,
@@ -30,6 +31,7 @@ __all__ = [
     "HMTPConfig",
     "BTPAgent",
     "BTPConfig",
+    "MSTAgent",
     "mst_parent_map",
     "degree_constrained_mst",
     "tree_cost",

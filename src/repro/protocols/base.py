@@ -214,7 +214,12 @@ class TreeRegistry:
         self._emit("reparent", node, new_parent, time)
 
     def depart(self, node: int, time: float) -> None:
-        """Remove a departing node; its children become orphans."""
+        """Remove a departing node; its children become orphans.
+
+        All pointer mutations happen before any listener fires, so
+        observers (invariant checkers in particular) never see a child
+        whose parent pointer references the already-removed node.
+        """
         if node == self.source:
             raise ValueError("the source cannot depart")
         if node not in self.parent:
@@ -222,10 +227,49 @@ class TreeRegistry:
         up = self.parent.pop(node)
         if up is not None:
             self.children[up].discard(node)
-        for child in sorted(self.children.pop(node, set())):
+        orphans = sorted(self.children.pop(node, set()))
+        for child in orphans:
             self.parent[child] = None
+        for child in orphans:
             self._emit("orphan", child, None, time)
         self._emit("depart", node, up, time)
+
+    def insert(
+        self, node: int, parent: int, adopt: tuple[int, ...], time: float
+    ) -> None:
+        """Atomically place ``node`` under ``parent`` while handing it the
+        children in ``adopt`` (VDM Case II insertion).
+
+        Equivalent to an attach/reparent of ``node`` followed by
+        reparenting each adopted child under it, except that every pointer
+        moves before any listener fires — observers never see the parent's
+        degree transiently exceed its limit mid-insertion.
+        """
+        if node == self.source:
+            raise ValueError("cannot insert the source")
+        if parent not in self.parent:
+            raise ValueError(f"parent {parent} is not present")
+        if node == parent or self.is_descendant(parent, node):
+            raise ValueError(f"inserting {node} under its own subtree")
+        for child in adopt:
+            if child == node:
+                raise ValueError(f"node {node} cannot adopt itself")
+            if self.parent.get(child) != parent:
+                raise ValueError(f"cannot adopt {child}: not a child of {parent}")
+        old = self.parent.get(node)
+        if old is not None:
+            self.children[old].discard(node)
+        self.parent[node] = parent
+        self.children.setdefault(node, set())
+        self.children[parent].add(node)
+        for child in adopt:
+            self.children[parent].discard(child)
+            self.parent[child] = node
+            self.children[node].add(child)
+        if old != parent:
+            self._emit("attach" if old is None else "reparent", node, parent, time)
+        for child in adopt:
+            self._emit("reparent", child, node, time)
 
 
 # --------------------------------------------------------------------------
@@ -312,6 +356,10 @@ class ProtocolRuntime:
         self.tree = TreeRegistry(source)
         self.agents: dict[int, OverlayAgent] = {}
         self._alive: set[int] = set()
+        self._frozen: set[int] = set()
+        #: optional fault-injection hook (see :mod:`repro.sim.faults`).
+        #: ``None`` keeps the delivery paths exactly as fast as before.
+        self.faults = None
         self.message_counts: Counter[str] = Counter()
         self.join_records: list[JoinRecord] = []
 
@@ -323,12 +371,28 @@ class ProtocolRuntime:
         self.underlay.validate_host(agent.node_id)
         self.agents[agent.node_id] = agent
         self._alive.add(agent.node_id)
+        self._frozen.discard(agent.node_id)
 
     def mark_dead(self, node: int) -> None:
         self._alive.discard(node)
+        self._frozen.discard(node)
 
     def is_alive(self, node: int) -> bool:
         return node in self._alive
+
+    def freeze(self, node: int) -> None:
+        """Make ``node`` unresponsive: inbound deliveries are discarded.
+
+        The node keeps its own timers and outbound sends — the model is a
+        transient stall or inbound partition, not a crash."""
+        if self.is_alive(node):
+            self._frozen.add(node)
+
+    def thaw(self, node: int) -> None:
+        self._frozen.discard(node)
+
+    def is_responsive(self, node: int) -> bool:
+        return node in self._alive and node not in self._frozen
 
     def alive_nodes(self) -> list[int]:
         return sorted(self._alive)
@@ -371,12 +435,17 @@ class ProtocolRuntime:
         if not self.is_alive(dst):
             return
         delay = self.underlay.delay_ms(src, dst) / 1000.0
+        if self.faults is None:
+            delays: tuple[float, ...] = (delay,)
+        else:
+            delays = self.faults.delivery_delays(src, dst, msg, delay, leg="tell")
 
         def deliver() -> None:
-            if self.is_alive(dst):
+            if self.is_responsive(dst):
                 self.agents[dst].handle_tell(src, msg)
 
-        self.sim.schedule_in(delay, deliver, label=f"tell:{type(msg).__name__}")
+        for d in delays:
+            self.sim.schedule_in(d, deliver, label=f"tell:{type(msg).__name__}")
 
     def request(
         self,
@@ -402,28 +471,42 @@ class ProtocolRuntime:
         if not self.is_alive(dst):
             return  # request lost; timeout will fire
         delay = self.underlay.delay_ms(src, dst) / 1000.0
+        if self.faults is None:
+            req_delays: tuple[float, ...] = (delay,)
+        else:
+            req_delays = self.faults.delivery_delays(
+                src, dst, msg, delay, leg="request"
+            )
 
         def deliver_request() -> None:
-            if not self.is_alive(dst):
+            if not self.is_responsive(dst):
                 return
             reply = self.agents[dst].handle_request(src, msg)
             if reply is None:
                 return
             self._count(reply)
+            if self.faults is None:
+                rep_delays: tuple[float, ...] = (delay,)
+            else:
+                rep_delays = self.faults.delivery_delays(
+                    dst, src, reply, delay, leg="reply"
+                )
 
             def deliver_reply() -> None:
-                if not self.is_alive(src):
+                if not self.is_responsive(src):
                     return
                 timeout_event.cancel()
                 on_reply(reply)
 
-            self.sim.schedule_in(
-                delay, deliver_reply, label=f"reply:{type(reply).__name__}"
-            )
+            for d in rep_delays:
+                self.sim.schedule_in(
+                    d, deliver_reply, label=f"reply:{type(reply).__name__}"
+                )
 
-        self.sim.schedule_in(
-            delay, deliver_request, label=f"req:{type(msg).__name__}"
-        )
+        for d in req_delays:
+            self.sim.schedule_in(
+                d, deliver_request, label=f"req:{type(msg).__name__}"
+            )
 
     def _fire_timeout(self, src: int, on_timeout: Callable[[], None]) -> None:
         if self.is_alive(src):
@@ -722,9 +805,27 @@ class OverlayAgent:
             return self._handle_conn_request(sender, msg)
         raise TypeError(f"unexpected request {type(msg).__name__}")
 
+    def _reconcile_children(self) -> None:
+        """Re-sync the local child table with the ground-truth registry.
+
+        Under message faults the reply that tells a new parent about its
+        adopted children (or a departing child's ``ChildRemove``) can be
+        lost after the registry edge was already committed, leaving the
+        local table stale.  Real deployments repair such drift with
+        periodic soft-state refresh; here we reconcile at acceptance
+        points so a parent never grants capacity it does not have.
+        """
+        env = self.env
+        registry = env.tree.children.get(self.node_id, set())
+        for child in [c for c in self.children if c not in registry]:
+            del self.children[child]
+        for child in sorted(registry - self.children.keys()):
+            self.children[child] = env.virtual_distance(self.node_id, child)
+
     def _handle_conn_request(self, sender: int, msg: ConnRequest) -> ConnResponse:
         env = self.env
         tree = env.tree
+        self._reconcile_children()
         reject = ConnResponse(
             accepted=False,
             node_id=self.node_id,
@@ -742,7 +843,12 @@ class OverlayAgent:
             transferable = [
                 c
                 for c in msg.adopt
-                if c in self.children and env.is_alive(c) and c != sender
+                if c in self.children
+                and env.is_alive(c)
+                and c != sender
+                # A child mid-switch (registry edge already moved, its
+                # ChildRemove still in flight) is no longer ours to give.
+                and tree.parent.get(c) == self.node_id
             ]
             if not transferable and self.free_degree <= 0:
                 # The directional children vanished and no slot is free, so
@@ -750,13 +856,10 @@ class OverlayAgent:
                 return reject
             dist = env.virtual_distance(self.node_id, sender)
             now = env.sim.now
-            # Commit the sender first so it exists in the tree before its
-            # adopted children are reparented under it.
+            tree.insert(sender, self.node_id, tuple(transferable), now)
             self.children[sender] = dist
-            self._commit_child(sender, now)
             for child in transferable:
                 del self.children[child]
-                tree.reparent(child, sender, now)
             return ConnResponse(
                 accepted=True,
                 node_id=self.node_id,

@@ -13,6 +13,11 @@ measured against:
   in when degree limits matter.
 * :func:`tree_cost` — summed edge weight of any parent map, the "network
   usage" both are compared on.
+* :class:`MSTAgent` — the same greedy rule as an *online* agent: each
+  joiner attaches to the globally closest non-saturated tree member,
+  looked up through the registry oracle.  This makes the MST reference
+  runnable inside a live session (churn, faults, invariant checking)
+  alongside the distributed protocols.
 """
 
 from __future__ import annotations
@@ -22,7 +27,10 @@ from typing import Callable, Mapping, Sequence
 
 import networkx as nx
 
-__all__ = ["mst_parent_map", "degree_constrained_mst", "tree_cost"]
+from repro.protocols.base import Attach, Decision, OverlayAgent, ProtocolRuntime
+from repro.protocols.messages import ChildInfo, InfoResponse
+
+__all__ = ["mst_parent_map", "degree_constrained_mst", "tree_cost", "MSTAgent"]
 
 WeightFn = Callable[[int, int], float]
 
@@ -121,3 +129,61 @@ def degree_constrained_mst(
 def tree_cost(parents: Mapping[int, int], weight: WeightFn) -> float:
     """Total edge weight of a parent map."""
     return sum(float(weight(child, parent)) for child, parent in parents.items())
+
+
+class MSTAgent(OverlayAgent):
+    """Online greedy degree-constrained MST reference.
+
+    Applies :func:`degree_constrained_mst`'s growth rule one join at a
+    time: a joining node attaches to the closest already-attached member
+    that still has a free child slot.  The candidate scan consults the
+    tree registry directly — this agent is a *centralized reference*, not
+    a protocol proposal, so the oracle lookup is the point: it shows what
+    the greedy global rule achieves with none of VDM's locality
+    constraints.  Reconnection after a parent loss reuses the same rule.
+    """
+
+    protocol_name = "mst"
+
+    def __init__(
+        self,
+        node_id: int,
+        env: ProtocolRuntime,
+        *,
+        degree_limit: int = 4,
+        rng=None,  # accepted for factory-signature uniformity; unused
+    ) -> None:
+        super().__init__(node_id, env, degree_limit=degree_limit)
+
+    def _closest_open_member(self) -> int:
+        """The nearest alive attached member with a free child slot."""
+        env = self.env
+        tree = env.tree
+        best: int | None = None
+        best_key: tuple[float, int] | None = None
+        for cand in tree.attached_nodes():
+            if cand == self.node_id or not env.is_alive(cand):
+                continue
+            if tree.is_descendant(cand, self.node_id):
+                continue
+            agent = env.agents.get(cand)
+            if agent is None or agent.free_degree <= 0:
+                continue
+            key = (env.virtual_distance(self.node_id, cand), cand)
+            if best_key is None or key < best_key:
+                best, best_key = cand, key
+        return env.source if best is None else best
+
+    def start_join(self, *, kind: str = "join", at: int | None = None) -> None:
+        # The oracle overrides any suggested start: the reference always
+        # aims straight at the globally cheapest open attachment point.
+        super().start_join(kind=kind, at=self._closest_open_member())
+
+    def join_decision(
+        self,
+        pivot: int,
+        dist_to_pivot: float,
+        pivot_info: InfoResponse,
+        probes: dict[int, tuple[float, ChildInfo]],
+    ) -> Decision:
+        return Attach(pivot)

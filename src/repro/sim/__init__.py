@@ -9,6 +9,9 @@ substrate built from scratch:
 * :mod:`repro.sim.delivery` — analytical data-plane accounting (chunk loss
   from churn outages and path error rates, data-message counting).
 * :mod:`repro.sim.churn` — the paper's slotted churn process.
+* :mod:`repro.sim.faults` — seeded, deterministic fault injection
+  (message loss/duplication/jitter, crashes, freezes).
+* :mod:`repro.sim.invariants` — always-on tree invariant checking.
 * :mod:`repro.sim.session` — end-to-end multicast session orchestration.
 """
 
@@ -16,6 +19,8 @@ from repro.sim.engine import Simulator, Event
 from repro.sim.network import Underlay, RouterUnderlay, MatrixUnderlay
 from repro.sim.delivery import DeliveryAccountant
 from repro.sim.churn import ChurnSchedule, SlottedChurnModel
+from repro.sim.faults import FAULT_PRESETS, FaultInjector, FaultPlan, resolve_fault_plan
+from repro.sim.invariants import InvariantChecker, InvariantViolation
 from repro.sim.session import MulticastSession, SessionConfig, SessionResult
 
 __all__ = [
@@ -27,6 +32,12 @@ __all__ = [
     "DeliveryAccountant",
     "ChurnSchedule",
     "SlottedChurnModel",
+    "FaultPlan",
+    "FaultInjector",
+    "FAULT_PRESETS",
+    "resolve_fault_plan",
+    "InvariantChecker",
+    "InvariantViolation",
     "MulticastSession",
     "SessionConfig",
     "SessionResult",

@@ -24,6 +24,12 @@ from repro.util.validation import check_non_negative, check_positive, check_prob
 
 __all__ = ["ChurnEvent", "ChurnSchedule", "SlottedChurnModel"]
 
+#: Tie-break for simultaneous churn events: leaves apply before joins, so
+#: a node leaving and (re)joining at the same instant frees its slot — and
+#: its old tree position — before the join runs.  Relying on alphabetical
+#: ``action`` ordering would put "join" first.
+_ACTION_ORDER = {"leave": 0, "join": 1}
+
 
 @dataclass(frozen=True)
 class ChurnEvent:
@@ -47,7 +53,9 @@ class ChurnSchedule:
     measure_times: list[float] = field(default_factory=list)
 
     def sorted_events(self) -> list[ChurnEvent]:
-        return sorted(self.events, key=lambda e: (e.time, e.action, e.node))
+        return sorted(
+            self.events, key=lambda e: (e.time, _ACTION_ORDER[e.action], e.node)
+        )
 
 
 class SlottedChurnModel:
@@ -126,5 +134,5 @@ class SlottedChurnModel:
                 ChurnEvent(slot_start + float(t), "join", int(n))
                 for n, t in zip(joiners, times)
             )
-        events.sort(key=lambda e: (e.time, e.action, e.node))
+        events.sort(key=lambda e: (e.time, _ACTION_ORDER[e.action], e.node))
         return events

@@ -1,0 +1,434 @@
+"""Deterministic fault injection for protocol sessions.
+
+The paper's evaluation only exercises the slotted leave/join process; the
+protocol agents never see a lost message, a delayed reply, or a peer that
+dies without saying goodbye.  This module supplies those adversities as a
+*seeded, reproducible* layer between the runtime and the agents:
+
+* :class:`FaultPlan` — a declarative, serializable description of a fault
+  schedule.  Every stochastic choice the injector makes derives from
+  ``plan.seed`` through the usual :func:`~repro.util.rngtools.spawn_rng`
+  key paths, so a plan replays bit-identically and can be pinned as a
+  JSON test fixture.
+* :class:`FaultInjector` — the active layer.  It hooks
+  :meth:`~repro.protocols.base.ProtocolRuntime.tell` /
+  :meth:`~repro.protocols.base.ProtocolRuntime.request` deliveries
+  (drop, duplication, extra delay jitter, reply loss) and the session's
+  churn path (crash-without-goodbye, crash mid-join-handshake, transient
+  node freezes).
+
+Failure *detection* also lives here.  Graceful leaves announce themselves
+with ``LeaveNotice`` control messages, but a crashed node is silent; in a
+deployed system its neighbours notice because the data stream stops.  The
+injector emulates exactly that stream watchdog: ``detect_delay_s`` after a
+crash the dead node is removed from the ground-truth tree, its parent
+reclaims the child slot, and its children begin the protocol's own
+reconnection procedure (:meth:`OverlayAgent.on_parent_lost`).  An orphan
+watchdog re-arms until every dangling subtree has actually recovered, so
+recovery time is bounded by protocol behaviour, not by lost notifications.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.util.rngtools import spawn_rng
+from repro.util.validation import check_non_negative, check_positive, check_probability
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.protocols.base import ProtocolRuntime
+    from repro.protocols.messages import Message
+
+__all__ = [
+    "FaultPlan",
+    "FaultEvent",
+    "FaultInjector",
+    "FAULT_PRESETS",
+    "resolve_fault_plan",
+]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of one fault schedule.
+
+    All probabilities are per-opportunity: per message leg for the message
+    faults, per leave for ``crash_fraction``, per join for the mid-join
+    crash and freeze faults.  The plan itself is pure data — the injector
+    derives every concrete fault time from ``seed``, so two runs of the
+    same plan against the same session produce the same schedule.
+    """
+
+    name: str = "none"
+    seed: int = 0
+
+    # -- message plane -------------------------------------------------------
+    #: probability any control-message leg (tell, request, reply) is lost
+    drop_rate: float = 0.0
+    #: probability a delivered leg arrives twice (network duplication)
+    duplicate_rate: float = 0.0
+    #: extra uniform [0, jitter_ms] delay added to every delivered leg
+    jitter_ms: float = 0.0
+    #: extra loss applied to reply legs only (asymmetric-path loss: the
+    #: target processed the request, the requester never learns)
+    reply_loss_rate: float = 0.0
+
+    # -- churn plane ---------------------------------------------------------
+    #: fraction of scheduled leaves converted into crash-without-goodbye
+    crash_fraction: float = 0.0
+    #: probability a fresh joiner crashes during its join handshake
+    midjoin_crash_rate: float = 0.0
+    #: the mid-join crash lands uniformly within this window after join start
+    midjoin_crash_window_s: float = 10.0
+    #: probability a joiner suffers one transient freeze during its life
+    freeze_rate: float = 0.0
+    #: the freeze starts uniformly within this window after join start
+    freeze_delay_s: float = 200.0
+    #: how long a frozen node stays unresponsive
+    freeze_duration_s: float = 30.0
+
+    # -- detection -----------------------------------------------------------
+    #: stream-outage detection latency (crash departure + orphan watchdog)
+    detect_delay_s: float = 4.0
+    #: stop injecting new faults after this simulation time (``None`` =
+    #: faults for the whole run); detection/recovery keeps running, which
+    #: gives conformance tests a fault-free tail to recover in
+    active_until_s: float | None = None
+
+    def __post_init__(self) -> None:
+        check_probability("drop_rate", self.drop_rate)
+        check_probability("duplicate_rate", self.duplicate_rate)
+        check_probability("reply_loss_rate", self.reply_loss_rate)
+        check_probability("crash_fraction", self.crash_fraction)
+        check_probability("midjoin_crash_rate", self.midjoin_crash_rate)
+        check_probability("freeze_rate", self.freeze_rate)
+        check_non_negative("jitter_ms", self.jitter_ms)
+        check_positive("midjoin_crash_window_s", self.midjoin_crash_window_s)
+        check_positive("freeze_delay_s", self.freeze_delay_s)
+        check_positive("freeze_duration_s", self.freeze_duration_s)
+        check_positive("detect_delay_s", self.detect_delay_s)
+        if self.active_until_s is not None:
+            check_non_negative("active_until_s", self.active_until_s)
+
+    def is_noop(self) -> bool:
+        """Whether this plan injects no faults at all."""
+        return not any(
+            (
+                self.drop_rate,
+                self.duplicate_rate,
+                self.jitter_ms,
+                self.reply_loss_rate,
+                self.crash_fraction,
+                self.midjoin_crash_rate,
+                self.freeze_rate,
+            )
+        )
+
+    # -- serialization (test fixtures) --------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault (or detection action), for traces and reports."""
+
+    time: float
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"t={self.time:.3f} {self.kind}: {self.detail}"
+
+
+#: named plans the harness exposes through ``--faults``; the conformance
+#: suite sweeps every fault-bearing entry against every protocol.
+FAULT_PRESETS: dict[str, FaultPlan] = {
+    "none": FaultPlan(name="none"),
+    "lossy": FaultPlan(name="lossy", seed=101, drop_rate=0.05),
+    "jittery": FaultPlan(
+        name="jittery", seed=102, jitter_ms=250.0, duplicate_rate=0.05
+    ),
+    "reply-loss": FaultPlan(name="reply-loss", seed=103, reply_loss_rate=0.10),
+    "crashy": FaultPlan(
+        name="crashy", seed=104, crash_fraction=0.5, midjoin_crash_rate=0.15
+    ),
+    "freezer": FaultPlan(
+        name="freezer",
+        seed=105,
+        freeze_rate=0.3,
+        freeze_delay_s=120.0,
+        freeze_duration_s=20.0,
+    ),
+    "chaos": FaultPlan(
+        name="chaos",
+        seed=106,
+        drop_rate=0.03,
+        duplicate_rate=0.03,
+        jitter_ms=150.0,
+        reply_loss_rate=0.05,
+        crash_fraction=0.3,
+        midjoin_crash_rate=0.10,
+        freeze_rate=0.15,
+        freeze_duration_s=15.0,
+    ),
+}
+
+
+def resolve_fault_plan(plan: "FaultPlan | str | None") -> "FaultPlan | None":
+    """Coerce a plan spec (name, plan object, or ``None``) into a plan."""
+    if plan is None or isinstance(plan, FaultPlan):
+        return plan
+    try:
+        return FAULT_PRESETS[plan]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault plan {plan!r}; choose from {sorted(FAULT_PRESETS)}"
+        ) from None
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against one session's runtime.
+
+    Construction installs the injector as ``env.faults`` (the runtime's
+    message-delivery hook) and subscribes to the tree registry so crashes
+    committed late (a connection request already in flight when the sender
+    died) and orphans created by lost leave notices are still detected.
+
+    The session drives the churn-plane faults through
+    :meth:`crash_instead_of_leave` and :meth:`after_join`.
+    """
+
+    #: kept fault events (a trace tail, not a full history)
+    LOG_LEN = 4096
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        env: "ProtocolRuntime",
+        *,
+        on_crash: Callable[[int], None] | None = None,
+    ) -> None:
+        self.plan = plan
+        self.env = env
+        self.on_crash = on_crash
+        self._rng_msg = spawn_rng(plan.seed, "faults", "msg")
+        self._rng_life = spawn_rng(plan.seed, "faults", "life")
+        self.log: deque[FaultEvent] = deque(maxlen=self.LOG_LEN)
+        self.counts: Counter[str] = Counter()
+        env.faults = self
+        env.tree.add_listener(self._on_tree_event)
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _active(self) -> bool:
+        until = self.plan.active_until_s
+        return until is None or self.env.sim.now < until
+
+    def _log(self, kind: str, detail: str) -> None:
+        self.counts[kind] += 1
+        self.log.append(FaultEvent(self.env.sim.now, kind, detail))
+
+    @property
+    def total_injected(self) -> int:
+        """Faults injected so far (detection/recovery actions excluded)."""
+        return sum(
+            n
+            for kind, n in self.counts.items()
+            if kind not in ("detect-depart", "watchdog-reconnect", "thaw")
+        )
+
+    # -- message plane (called by ProtocolRuntime) ----------------------------
+
+    def delivery_delays(
+        self,
+        src: int,
+        dst: int,
+        msg: "Message",
+        base_delay: float,
+        *,
+        leg: str,
+    ) -> tuple[float, ...]:
+        """Delivery times for one message leg; empty means the leg is lost."""
+        plan = self.plan
+        if not self._active():
+            return (base_delay,)
+        rng = self._rng_msg
+        label = f"{leg} {type(msg).__name__} {src}->{dst}"
+        if plan.drop_rate > 0.0 and rng.random() < plan.drop_rate:
+            self._log("drop", label)
+            return ()
+        if (
+            leg == "reply"
+            and plan.reply_loss_rate > 0.0
+            and rng.random() < plan.reply_loss_rate
+        ):
+            self._log("reply-loss", label)
+            return ()
+        delays = [base_delay + self._jitter()]
+        if plan.duplicate_rate > 0.0 and rng.random() < plan.duplicate_rate:
+            self._log("duplicate", label)
+            delays.append(base_delay + self._jitter())
+        return tuple(delays)
+
+    def _jitter(self) -> float:
+        if self.plan.jitter_ms <= 0.0:
+            return 0.0
+        return float(self._rng_msg.uniform(0.0, self.plan.jitter_ms)) / 1000.0
+
+    # -- churn plane (called by the session) ----------------------------------
+
+    def crash_instead_of_leave(self) -> bool:
+        """Whether the next scheduled leave becomes a silent crash."""
+        return (
+            self._active()
+            and self.plan.crash_fraction > 0.0
+            and self._rng_life.random() < self.plan.crash_fraction
+        )
+
+    def after_join(self, node: int) -> None:
+        """Arm per-node lifecycle faults when ``node`` starts joining."""
+        if not self._active():
+            return
+        plan = self.plan
+        rng = self._rng_life
+        sim = self.env.sim
+        if plan.midjoin_crash_rate > 0.0 and rng.random() < plan.midjoin_crash_rate:
+            delay = float(rng.uniform(0.0, plan.midjoin_crash_window_s))
+            sim.schedule_in(
+                delay, lambda: self._midjoin_crash(node), label="fault-midjoin"
+            )
+        if plan.freeze_rate > 0.0 and rng.random() < plan.freeze_rate:
+            delay = float(rng.uniform(0.0, plan.freeze_delay_s))
+            sim.schedule_in(delay, lambda: self._freeze(node), label="fault-freeze")
+
+    # -- crashes --------------------------------------------------------------
+
+    def crash(self, node: int) -> None:
+        """Kill ``node`` without any goodbye protocol.
+
+        The node goes dark immediately; the registry keeps its (now stale)
+        edges until stream-outage detection fires ``detect_delay_s`` later.
+        """
+        env = self.env
+        if node == env.source or not env.is_alive(node):
+            return
+        agent = env.agents.get(node)
+        if agent is not None:
+            agent.cancel_active_process()
+            agent.stop_refinement()
+        env.mark_dead(node)
+        self._log("crash", str(node))
+        if self.on_crash is not None:
+            self.on_crash(node)
+        env.sim.schedule_in(
+            self.plan.detect_delay_s,
+            lambda: self._detect_crash(node),
+            label="fault-detect",
+        )
+
+    def _midjoin_crash(self, node: int) -> None:
+        if self.env.is_alive(node):
+            self._log("midjoin-crash", str(node))
+            self.crash(node)
+
+    def _detect_crash(self, node: int) -> None:
+        """Stream-outage detection: purge a dead node from the tree and
+        hand its children to the protocol's reconnection logic."""
+        env = self.env
+        tree = env.tree
+        if env.is_alive(node) or not tree.is_present(node):
+            return
+        parent = tree.parent.get(node)
+        children = sorted(tree.children.get(node, ()))
+        tree.depart(node, env.sim.now)
+        self._log(
+            "detect-depart", f"{node} (parent {parent}, {len(children)} orphans)"
+        )
+        if parent is not None and env.is_alive(parent):
+            parent_agent = env.agents.get(parent)
+            if parent_agent is not None:
+                parent_agent.children.pop(node, None)
+        for child in children:
+            child_agent = env.agents.get(child)
+            if (
+                child_agent is not None
+                and env.is_alive(child)
+                and child_agent.parent == node
+            ):
+                child_agent.parent = None
+                child_agent.on_parent_lost()
+
+    # -- freezes --------------------------------------------------------------
+
+    def _freeze(self, node: int) -> None:
+        env = self.env
+        if not env.is_alive(node):
+            return
+        env.freeze(node)
+        self._log("freeze", str(node))
+        env.sim.schedule_in(
+            self.plan.freeze_duration_s, lambda: self._thaw(node), label="fault-thaw"
+        )
+
+    def _thaw(self, node: int) -> None:
+        self.env.thaw(node)
+        if self.env.is_alive(node):
+            self._log("thaw", str(node))
+
+    # -- detection via tree events --------------------------------------------
+
+    def _on_tree_event(
+        self, kind: str, node: int, parent: int | None, time: float
+    ) -> None:
+        if kind in ("attach", "reparent") and not self.env.is_alive(node):
+            # A crashed node's connection request was already in flight and
+            # committed after its death — detect that edge too.
+            self.env.sim.schedule_in(
+                self.plan.detect_delay_s,
+                lambda: self._detect_crash(node),
+                label="fault-detect",
+            )
+        elif kind == "orphan":
+            self._arm_watchdog(node)
+
+    def _arm_watchdog(self, node: int) -> None:
+        self.env.sim.schedule_in(
+            self.plan.detect_delay_s,
+            lambda: self._watchdog_check(node),
+            label="fault-watchdog",
+        )
+
+    def _watchdog_check(self, node: int) -> None:
+        """Re-trigger reconnection until an orphan actually recovers.
+
+        Covers dropped ``LeaveNotice`` messages (the child never learned
+        its parent left) and reconnect attempts that exhausted their
+        restarts mid-fault-storm.
+        """
+        env = self.env
+        if not env.is_alive(node) or not env.tree.is_orphan(node):
+            return
+        agent = env.agents.get(node)
+        if agent is None:
+            return
+        if agent.active_process is None:
+            self._log("watchdog-reconnect", str(node))
+            agent.parent = None
+            agent.on_parent_lost()
+        self._arm_watchdog(node)

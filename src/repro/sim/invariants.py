@@ -1,0 +1,271 @@
+"""Always-on protocol invariant checking.
+
+The :class:`TreeRegistry` is the ground truth of every session, and every
+protocol action lands there as a mutation.  :class:`InvariantChecker`
+subscribes to the registry's listener stream and re-validates the global
+tree invariants after **every** mutation:
+
+* the source is present and is the root (no parent pointer);
+* the structure maps agree (``parent`` and ``children`` keys coincide,
+  and each edge appears in both directions);
+* no parent pointer references an absent (departed) node;
+* the tree is acyclic — every attached node's parent chain terminates at
+  the source;
+* no node holds more registry children than its agent's ``degree_limit``;
+* join records are internally consistent (non-negative durations, at
+  least one iteration, known kinds).
+
+A failed check raises (or records, in ``record`` mode) a structured
+:class:`InvariantViolation` carrying the invariant name, the offending
+node, the simulation time, and the tail of the mutation trace that led
+there — enough to replay and diagnose the schedule without re-running.
+
+The checker performs no simulator scheduling of its own: checks run
+synchronously inside the mutation, so enabling it never perturbs event
+ordering or any RNG stream derived from simulator state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.protocols.base import ProtocolRuntime
+
+__all__ = ["InvariantChecker", "InvariantViolation", "TreeEvent"]
+
+
+@dataclass(frozen=True)
+class TreeEvent:
+    """One registry mutation, as seen by the checker's listener."""
+
+    time: float
+    kind: str  # attach | orphan | depart | reparent
+    node: int
+    parent: int | None
+
+    def __str__(self) -> str:
+        if self.kind in ("attach", "reparent"):
+            return f"t={self.time:.3f} {self.kind} {self.node} -> {self.parent}"
+        return f"t={self.time:.3f} {self.kind} {self.node}"
+
+
+class InvariantViolation(AssertionError):
+    """A protocol invariant failed.
+
+    Carries structured fields (``invariant``, ``node``, ``time``,
+    ``trace``) so tests and reports can dispatch on them; the formatted
+    message embeds the recent mutation trace for human diagnosis.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        node: int | None,
+        time: float,
+        trace: tuple[TreeEvent, ...] = (),
+    ) -> None:
+        self.invariant = invariant
+        self.node = node
+        self.time = time
+        self.trace = trace
+        lines = [f"[{invariant}] {message} (t={time:.3f})"]
+        if trace:
+            lines.append(f"last {len(trace)} tree events:")
+            lines.extend(f"  {event}" for event in trace)
+        super().__init__("\n".join(lines))
+
+
+class InvariantChecker:
+    """Validates global tree invariants after every registry mutation.
+
+    Parameters
+    ----------
+    env:
+        The runtime whose tree (and agents) to watch.  Construction
+        subscribes to the tree's listener stream.
+    mode:
+        ``"raise"`` (default) raises :class:`InvariantViolation` at the
+        first failed check; ``"record"`` collects violations in
+        :attr:`violations` and keeps going.
+    trace_len:
+        How many recent mutations to keep for violation traces.
+    """
+
+    MODES = ("raise", "record")
+
+    def __init__(
+        self,
+        env: "ProtocolRuntime",
+        *,
+        mode: str = "raise",
+        trace_len: int = 50,
+    ) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        self.env = env
+        self.mode = mode
+        self.trace: deque[TreeEvent] = deque(maxlen=trace_len)
+        self.violations: list[InvariantViolation] = []
+        self.checks_run = 0
+        env.tree.add_listener(self._on_event)
+
+    # -- event intake ---------------------------------------------------------
+
+    def _on_event(
+        self, kind: str, node: int, parent: int | None, time: float
+    ) -> None:
+        self.trace.append(TreeEvent(time=time, kind=kind, node=node, parent=parent))
+        self.check_tree(time)
+
+    # -- checks ---------------------------------------------------------------
+
+    def check_tree(self, time: float | None = None) -> None:
+        """Run the full structural sweep over the registry."""
+        now = self.env.sim.now if time is None else time
+        self.checks_run += 1
+        for invariant, node, msg in self._scan_tree():
+            self._report(invariant, msg, node=node, time=now)
+
+    def _scan_tree(self) -> Iterator[tuple[str, int | None, str]]:
+        tree = self.env.tree
+        parent = tree.parent
+        children = tree.children
+        source = tree.source
+
+        if source not in parent:
+            yield "source-present", source, f"source {source} is absent"
+            return
+        if parent.get(source) is not None:
+            yield (
+                "source-root",
+                source,
+                f"source {source} has parent {parent[source]}",
+            )
+
+        if set(parent) != set(children):
+            only_p = sorted(set(parent) - set(children))
+            only_c = sorted(set(children) - set(parent))
+            yield (
+                "structure-maps",
+                None,
+                f"parent/children key mismatch: only in parent {only_p}, "
+                f"only in children {only_c}",
+            )
+
+        for node, p in parent.items():
+            if p is None:
+                continue
+            if p not in parent:
+                yield (
+                    "dangling-parent",
+                    node,
+                    f"node {node} has departed parent {p}",
+                )
+            elif node not in children.get(p, ()):
+                yield (
+                    "edge-symmetry",
+                    node,
+                    f"edge {p} -> {node} missing from children[{p}]",
+                )
+        for p, kids in children.items():
+            for kid in kids:
+                if parent.get(kid) != p:
+                    yield (
+                        "edge-symmetry",
+                        kid,
+                        f"children[{p}] lists {kid} but parent[{kid}] is "
+                        f"{parent.get(kid)!r}",
+                    )
+
+        # Acyclicity: walk each parent chain once, memoizing resolved nodes.
+        resolved: dict[int, bool] = {source: True}
+        for node in parent:
+            chain = []
+            cur = node
+            seen: set[int] = set()
+            while cur not in resolved:
+                if cur in seen:
+                    cycle = chain[chain.index(cur):]
+                    yield (
+                        "acyclicity",
+                        cur,
+                        f"parent cycle {' -> '.join(map(str, cycle + [cur]))}",
+                    )
+                    for member in chain:
+                        resolved[member] = False
+                    break
+                seen.add(cur)
+                chain.append(cur)
+                up = parent.get(cur)
+                if up is None or up not in parent:
+                    # orphan root or dangling pointer (reported above)
+                    for member in chain:
+                        resolved[member] = False
+                    break
+                cur = up
+            else:
+                ok = resolved[cur]
+                for member in chain:
+                    resolved[member] = ok
+
+        agents = self.env.agents
+        for p, kids in children.items():
+            agent = agents.get(p)
+            if agent is not None and len(kids) > agent.degree_limit:
+                yield (
+                    "degree-bound",
+                    p,
+                    f"node {p} has {len(kids)} registry children, "
+                    f"degree limit {agent.degree_limit}",
+                )
+
+    def check_join_records(self, time: float | None = None) -> None:
+        """Validate the runtime's join/reconnect bookkeeping."""
+        now = self.env.sim.now if time is None else time
+        self.checks_run += 1
+        for record in self.env.join_records:
+            if record.completed_at < record.started_at:
+                self._report(
+                    "join-record",
+                    f"negative duration for node {record.node}: "
+                    f"{record.started_at} -> {record.completed_at}",
+                    node=record.node,
+                    time=now,
+                )
+            if record.iterations < 1:
+                self._report(
+                    "join-record",
+                    f"{record.kind} record for node {record.node} ran "
+                    f"{record.iterations} iterations",
+                    node=record.node,
+                    time=now,
+                )
+            if record.kind not in ("join", "reconnect", "refine", "switch"):
+                self._report(
+                    "join-record",
+                    f"unknown join kind {record.kind!r} for node {record.node}",
+                    node=record.node,
+                    time=now,
+                )
+
+    def verify_all(self, time: float | None = None) -> None:
+        """Full end-of-run sweep: tree structure plus join records."""
+        self.check_tree(time)
+        self.check_join_records(time)
+
+    # -- reporting ------------------------------------------------------------
+
+    def _report(
+        self, invariant: str, message: str, *, node: int | None, time: float
+    ) -> None:
+        violation = InvariantViolation(
+            invariant, message, node=node, time=time, trace=tuple(self.trace)
+        )
+        self.violations.append(violation)
+        if self.mode == "raise":
+            raise violation

@@ -19,7 +19,7 @@ controller, the Chapter 5 emulation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -35,6 +35,8 @@ from repro.protocols.base import JoinRecord, OverlayAgent, ProtocolRuntime
 from repro.sim.churn import SlottedChurnModel
 from repro.sim.delivery import DeliveryAccountant
 from repro.sim.engine import Simulator
+from repro.sim.faults import FaultInjector, FaultPlan, resolve_fault_plan
+from repro.sim.invariants import InvariantChecker, InvariantViolation
 from repro.sim.network import Underlay
 from repro.util.rngtools import spawn_rng
 from repro.util.validation import check_non_negative, check_positive, check_probability
@@ -107,6 +109,13 @@ class SessionConfig:
     #: lognormal sigma on every distance measurement (testbed probe noise;
     #: keep 0 for the NS-2-style runs, nonzero for PlanetLab emulation).
     measurement_noise_sigma: float = 0.0
+    #: fault schedule: a :class:`~repro.sim.faults.FaultPlan`, a preset
+    #: name from :data:`~repro.sim.faults.FAULT_PRESETS`, or ``None``.
+    faults: "FaultPlan | str | None" = None
+    #: invariant checking: ``"raise"`` fails the run at the first broken
+    #: tree invariant, ``"record"`` collects violations into the result,
+    #: ``"off"`` disables the checker entirely.
+    invariant_mode: str = "raise"
 
     def __post_init__(self) -> None:
         check_positive("n_nodes", self.n_nodes)
@@ -121,6 +130,12 @@ class SessionConfig:
             raise ValueError("total_s must cover the join phase")
         if self.settle_s >= self.slot_s:
             raise ValueError("settle_s must be shorter than slot_s")
+        if self.invariant_mode not in ("raise", "record", "off"):
+            raise ValueError(
+                "invariant_mode must be 'raise', 'record', or 'off', "
+                f"got {self.invariant_mode!r}"
+            )
+        resolve_fault_plan(self.faults)  # fail fast on unknown preset names
 
 
 @dataclass
@@ -132,6 +147,12 @@ class SessionResult:
     join_records: list[JoinRecord]
     runtime: ProtocolRuntime
     accountant: DeliveryAccountant
+    #: invariant violations observed during the run (empty unless
+    #: ``invariant_mode="record"`` collected some — in ``"raise"`` mode the
+    #: first one aborts the run before a result exists).
+    violations: list[InvariantViolation] = field(default_factory=list)
+    #: injected-fault tally by kind (empty when no fault plan was active).
+    fault_counts: dict[str, int] = field(default_factory=dict)
 
     # -- join/reconnect timing ----------------------------------------------------
 
@@ -219,6 +240,18 @@ class MulticastSession:
         )
         self._pool = [h for h in hosts if h != self.source]
         self._active: set[int] = set()
+        # Listener order matters: the accountant (already subscribed) sees
+        # each mutation first, then the checker validates it, then the
+        # injector's failure detectors react to it.
+        self.checker: InvariantChecker | None = None
+        if config.invariant_mode != "off":
+            self.checker = InvariantChecker(self.env, mode=config.invariant_mode)
+        plan = resolve_fault_plan(config.faults)
+        self._injector: FaultInjector | None = None
+        if plan is not None and not plan.is_noop():
+            self._injector = FaultInjector(
+                plan, self.env, on_crash=self._active.discard
+            )
         self._records: list[MeasurementRecord] = []
         self._last_measure_time = 0.0
         self._last_control_count = 0
@@ -268,13 +301,22 @@ class MulticastSession:
             agent.start_refinement(
                 period, jitter_rng=spawn_rng(self.config.seed, "refine", node)
             )
+        if self._injector is not None:
+            self._injector.after_join(node)
 
     def _do_leave(self, node: int) -> None:
         if node not in self._active:
             return
-        self._active.discard(node)
         agent = self.env.agents.get(node)
-        if agent is not None and self.env.is_alive(node):
+        if agent is None or not self.env.is_alive(node):
+            self._active.discard(node)
+            return
+        if self._injector is not None and self._injector.crash_instead_of_leave():
+            # Silent crash: no goodbye protocol; the injector's failure
+            # detection (and its on_crash callback) takes it from here.
+            self._injector.crash(node)
+        else:
+            self._active.discard(node)
             agent.leave()
 
     # -- measurement ----------------------------------------------------------------------
@@ -348,12 +390,21 @@ class MulticastSession:
         self.sim.run_until(cfg.total_s)
         if not self._records or self._records[-1].time < cfg.total_s:
             self._measure()
+        violations: list[InvariantViolation] = []
+        if self.checker is not None:
+            self.checker.verify_all()
+            violations = list(self.checker.violations)
+        fault_counts: dict[str, int] = {}
+        if self._injector is not None:
+            fault_counts = dict(self._injector.counts)
         return SessionResult(
             config=cfg,
             records=self._records,
             join_records=list(self.env.join_records),
             runtime=self.env,
             accountant=self.accountant,
+            violations=violations,
+            fault_counts=fault_counts,
         )
 
     def _run_slot(self, slot_start: float) -> None:

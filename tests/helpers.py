@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
+
+from repro.sim.faults import FaultPlan
+
+FIXTURES_DIR = Path(__file__).parent / "fixtures"
 
 
 def line_matrix(positions: list[float]) -> np.ndarray:
@@ -14,3 +21,22 @@ def line_matrix(positions: list[float]) -> np.ndarray:
     """
     pos = np.asarray(positions, dtype=float)
     return np.abs(pos[:, None] - pos[None, :])
+
+
+def save_fault_fixture(
+    path: Path, plan: FaultPlan, session: dict, *, comment: str = ""
+) -> None:
+    """Serialize a pinned fault schedule (plan + session knobs) to JSON.
+
+    Always writes with sorted keys and a trailing newline so re-saving an
+    unchanged fixture is byte-identical — the regression test relies on
+    that to detect drift between the file and the dataclass schema.
+    """
+    doc = {"comment": comment, "plan": plan.to_dict(), "session": session}
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def load_fault_fixture(path: Path) -> tuple[FaultPlan, dict, str]:
+    """Load a fixture written by :func:`save_fault_fixture`."""
+    doc = json.loads(path.read_text())
+    return FaultPlan.from_dict(doc["plan"]), doc["session"], doc["comment"]

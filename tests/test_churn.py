@@ -71,7 +71,10 @@ class TestSlotPlanning:
         events = self.make(0.2).plan_slot(
             0.0, list(range(100)), list(range(100, 200))
         )
-        assert events == sorted(events, key=lambda e: (e.time, e.action, e.node))
+        order = {"leave": 0, "join": 1}
+        assert events == sorted(
+            events, key=lambda e: (e.time, order[e.action], e.node)
+        )
 
 
 class TestValidation:
@@ -90,3 +93,23 @@ class TestSchedule:
             events=[ChurnEvent(5.0, "join", 1), ChurnEvent(1.0, "leave", 2)]
         )
         assert [e.time for e in sched.sorted_events()] == [1.0, 5.0]
+
+    def test_simultaneous_leave_applies_before_join(self):
+        # A node leaving and (re)joining at the same instant must free its
+        # slot before the join runs; alphabetical action ordering would put
+        # the join first, re-registering a node that is still alive.
+        sched = ChurnSchedule(
+            events=[
+                ChurnEvent(10.0, "join", 7),
+                ChurnEvent(10.0, "leave", 7),
+                ChurnEvent(10.0, "join", 3),
+                ChurnEvent(10.0, "leave", 9),
+            ]
+        )
+        actions = [(e.action, e.node) for e in sched.sorted_events()]
+        assert actions == [
+            ("leave", 7),
+            ("leave", 9),
+            ("join", 3),
+            ("join", 7),
+        ]

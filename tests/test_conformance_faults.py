@@ -1,0 +1,99 @@
+"""Conformance grid: every protocol must survive every fault plan.
+
+Each cell runs a full churn session under one of the seeded fault
+presets with the invariant checker in ``raise`` mode, then asserts the
+end state is healthy: no violations, no stranded orphans, and every
+reconnect completed within a bounded window.  This is the suite CI runs
+to certify the protocol implementations against the fault model.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import factories
+from repro.harness.substrates import build_transit_stub_underlay
+from repro.sim.faults import FAULT_PRESETS
+from repro.sim.session import MulticastSession, SessionConfig
+from repro.topology.transit_stub import TransitStubConfig
+
+PROTOCOLS = {
+    "vdm": factories.vdm,
+    "hmtp": factories.hmtp,
+    "btp": factories.btp,
+    "mst": factories.mst,
+}
+
+# Faults stop 400 s before the session ends so recovery machinery
+# (crash detection, orphan watchdog, thaw) has a quiet tail to converge.
+FAULT_TAIL_S = 400.0
+
+# Generous bound on any single reconnect: watchdog re-arms plus a few
+# join iterations.  Violations here mean recovery stalled, not "slow".
+MAX_RECONNECT_S = 120.0
+
+
+def _run(protocol: str, plan_name: str):
+    underlay = build_transit_stub_underlay(
+        n_hosts=40,
+        seed=7,
+        ts_config=TransitStubConfig(
+            total_nodes=100,
+            transit_domains=2,
+            transit_nodes_per_domain=3,
+            stub_domains_per_transit=2,
+        ),
+    )
+    plan = dataclasses.replace(
+        FAULT_PRESETS[plan_name], active_until_s=1600.0 - FAULT_TAIL_S
+    )
+    cfg = SessionConfig(
+        n_nodes=12,
+        degree=(2, 4),
+        join_phase_s=400.0,
+        total_s=1600.0,
+        slot_s=200.0,
+        settle_s=50.0,
+        churn_rate=0.15,
+        seed=42,
+        faults=plan,
+        invariant_mode="raise",
+    )
+    return MulticastSession(underlay, PROTOCOLS[protocol](), cfg).run()
+
+
+@pytest.mark.parametrize("plan_name", sorted(FAULT_PRESETS))
+@pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
+def test_protocol_survives_fault_plan(protocol, plan_name):
+    result = _run(protocol, plan_name)
+    tree = result.runtime.tree
+
+    # raise-mode would already have aborted, but be explicit:
+    assert result.violations == []
+
+    # the fault plan actually did something (except the control cell)
+    injected = sum(result.fault_counts.values())
+    if plan_name == "none":
+        assert result.fault_counts == {}
+    else:
+        assert injected > 0, f"{plan_name} injected nothing"
+
+    # every surviving member converged back onto the tree
+    members = tree.attached_nodes()
+    assert tree.source in members
+    orphans = [
+        n for n in tree.parent if n != tree.source and tree.parent[n] is None
+    ]
+    assert orphans == [], f"stranded orphans after quiet tail: {orphans}"
+    for node in members:
+        assert result.runtime.is_alive(node)
+        path = tree.path_to_source(node)
+        assert path[-1] == tree.source
+
+    # bounded recovery: no reconnect took pathologically long
+    for rec in result.runtime.join_records:
+        if rec.kind == "reconnect" and rec.succeeded:
+            assert rec.completed_at - rec.started_at <= MAX_RECONNECT_S, (
+                f"reconnect of node {rec.node} took "
+                f"{rec.completed_at - rec.started_at:.1f}s"
+            )

@@ -1,0 +1,63 @@
+"""Regression: replay the pinned worst-case fault schedule.
+
+``tests/fixtures/worst_fault_schedule.json`` pins the shrunk hypothesis
+counterexample that once broke the degree-bound invariant (a reply lost
+after a committed insert left the new parent blind to its adopted
+children).  Replaying it must now stay violation-free; re-serializing
+the loaded fixture must be byte-identical so schema drift is caught.
+"""
+
+from repro import factories
+from repro.sim.session import MulticastSession, SessionConfig
+from repro.sim.network import MatrixUnderlay
+
+from tests.helpers import (
+    FIXTURES_DIR,
+    line_matrix,
+    load_fault_fixture,
+    save_fault_fixture,
+)
+
+FIXTURE = FIXTURES_DIR / "worst_fault_schedule.json"
+
+
+def _replay():
+    plan, session, _ = load_fault_fixture(FIXTURE)
+    spacing = session["host_spacing_ms"]
+    underlay = MatrixUnderlay(
+        line_matrix([spacing * i for i in range(session["hosts"])])
+    )
+    cfg = SessionConfig(
+        n_nodes=session["n_nodes"],
+        degree=tuple(session["degree"]),
+        join_phase_s=session["join_phase_s"],
+        total_s=session["total_s"],
+        slot_s=session["slot_s"],
+        settle_s=session["settle_s"],
+        churn_rate=session["churn_rate"],
+        seed=session["seed"],
+        faults=plan,
+        invariant_mode="raise",
+    )
+    factory = getattr(factories, session["protocol"])()
+    return MulticastSession(underlay, factory, cfg).run()
+
+
+def test_pinned_schedule_stays_clean():
+    result = _replay()
+    assert result.violations == []
+    tree = result.runtime.tree
+    orphans = [
+        n for n in tree.parent if n != tree.source and tree.parent[n] is None
+    ]
+    assert orphans == []
+    # the schedule still exercises the fault classes it was pinned for
+    assert result.fault_counts.get("drop", 0) > 0
+    assert result.fault_counts.get("reply-loss", 0) > 0
+
+
+def test_fixture_round_trips_byte_identical(tmp_path):
+    plan, session, comment = load_fault_fixture(FIXTURE)
+    copy = tmp_path / "copy.json"
+    save_fault_fixture(copy, plan, session, comment=comment)
+    assert copy.read_text() == FIXTURE.read_text()

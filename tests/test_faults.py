@@ -1,0 +1,252 @@
+"""Tests for the deterministic fault-injection layer (repro.sim.faults)."""
+
+import dataclasses
+
+import pytest
+
+from repro.factories import vdm
+from repro.harness.substrates import build_transit_stub_underlay
+from repro.protocols.base import ProtocolRuntime
+from repro.protocols.messages import InfoRequest, LeaveNotice
+from repro.sim.engine import Simulator
+from repro.sim.faults import FAULT_PRESETS, FaultInjector, FaultPlan, resolve_fault_plan
+from repro.sim.network import MatrixUnderlay
+from repro.sim.session import MulticastSession, SessionConfig
+from repro.topology.transit_stub import TransitStubConfig
+
+from tests.helpers import line_matrix
+
+
+class TestFaultPlan:
+    def test_defaults_are_noop(self):
+        assert FaultPlan().is_noop()
+
+    def test_any_fault_knob_defeats_noop(self):
+        assert not FaultPlan(drop_rate=0.1).is_noop()
+        assert not FaultPlan(duplicate_rate=0.1).is_noop()
+        assert not FaultPlan(jitter_ms=5.0).is_noop()
+        assert not FaultPlan(reply_loss_rate=0.1).is_noop()
+        assert not FaultPlan(crash_fraction=0.1).is_noop()
+        assert not FaultPlan(midjoin_crash_rate=0.1).is_noop()
+        assert not FaultPlan(freeze_rate=0.1).is_noop()
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "drop_rate",
+            "duplicate_rate",
+            "reply_loss_rate",
+            "crash_fraction",
+            "midjoin_crash_rate",
+            "freeze_rate",
+        ],
+    )
+    def test_probability_fields_validated(self, field):
+        with pytest.raises(ValueError, match=field):
+            FaultPlan(**{field: 1.5})
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError, match="jitter_ms"):
+            FaultPlan(jitter_ms=-1.0)
+
+    def test_detect_delay_must_be_positive(self):
+        with pytest.raises(ValueError, match="detect_delay_s"):
+            FaultPlan(detect_delay_s=0.0)
+
+    def test_json_round_trip(self):
+        plan = FAULT_PRESETS["chaos"]
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+
+    def test_dict_round_trip_preserves_every_field(self):
+        plan = FaultPlan(
+            name="x",
+            seed=9,
+            drop_rate=0.01,
+            duplicate_rate=0.02,
+            jitter_ms=3.0,
+            reply_loss_rate=0.04,
+            crash_fraction=0.05,
+            midjoin_crash_rate=0.06,
+            midjoin_crash_window_s=7.0,
+            freeze_rate=0.08,
+            freeze_delay_s=9.0,
+            freeze_duration_s=10.0,
+            detect_delay_s=11.0,
+            active_until_s=12.0,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_presets_all_valid_and_named_consistently(self):
+        for name, plan in FAULT_PRESETS.items():
+            assert plan.name == name
+        assert FAULT_PRESETS["none"].is_noop()
+        fault_bearing = [p for n, p in FAULT_PRESETS.items() if n != "none"]
+        assert len(fault_bearing) >= 6  # the conformance grid's breadth
+        assert all(not p.is_noop() for p in fault_bearing)
+
+    def test_resolve_by_name_and_passthrough(self):
+        assert resolve_fault_plan(None) is None
+        assert resolve_fault_plan("lossy") is FAULT_PRESETS["lossy"]
+        plan = FaultPlan(drop_rate=0.2)
+        assert resolve_fault_plan(plan) is plan
+        with pytest.raises(KeyError, match="unknown fault plan"):
+            resolve_fault_plan("no-such-plan")
+
+
+def _make_env(plan: FaultPlan | None = None):
+    """A tiny 3-host runtime with VDM agents; returns (sim, env, injector)."""
+    sim = Simulator()
+    underlay = MatrixUnderlay(line_matrix([0.0, 10.0, 20.0]))
+    env = ProtocolRuntime(sim, underlay, source=0)
+    make = vdm()
+    for node in (0, 1, 2):
+        env.register(make(node, env, degree_limit=4))
+    injector = FaultInjector(plan, env) if plan is not None else None
+    return sim, env, injector
+
+
+class TestMessageFaults:
+    def test_drop_all_loses_every_tell(self):
+        sim, env, injector = _make_env(FaultPlan(seed=1, drop_rate=1.0))
+        received = []
+        env.agents[1].handle_tell = lambda s, m: received.append(m)
+        env.tell(0, 1, LeaveNotice())
+        sim.run_until(10.0)
+        assert received == []
+        assert injector.counts["drop"] == 1
+
+    def test_duplicate_all_delivers_twice(self):
+        sim, env, injector = _make_env(FaultPlan(seed=1, duplicate_rate=1.0))
+        received = []
+        env.agents[1].handle_tell = lambda s, m: received.append(m)
+        env.tell(0, 1, LeaveNotice())
+        sim.run_until(10.0)
+        assert len(received) == 2
+        assert injector.counts["duplicate"] == 1
+
+    def test_jitter_delays_delivery(self):
+        sim, env, _ = _make_env(FaultPlan(seed=1, jitter_ms=500.0))
+        times = []
+        env.agents[1].handle_tell = lambda s, m: times.append(sim.now)
+        env.tell(0, 1, LeaveNotice())
+        sim.run_until(10.0)
+        base = env.underlay.delay_ms(0, 1) / 1000.0
+        assert len(times) == 1
+        assert base <= times[0] <= base + 0.5
+
+    def test_reply_loss_times_out_but_target_processed(self):
+        sim, env, injector = _make_env(FaultPlan(seed=1, reply_loss_rate=1.0))
+        outcome = []
+        env.request(
+            1,
+            0,
+            InfoRequest(),
+            on_reply=lambda r: outcome.append("reply"),
+            on_timeout=lambda: outcome.append("timeout"),
+        )
+        sim.run_until(30.0)
+        assert outcome == ["timeout"]
+        assert injector.counts["reply-loss"] == 1
+        # the request leg itself was delivered and answered (and counted)
+        assert env.message_counts["InfoResponse"] == 1
+
+    def test_no_faults_past_active_until(self):
+        plan = FaultPlan(seed=1, drop_rate=1.0, active_until_s=5.0)
+        sim, env, injector = _make_env(plan)
+        received = []
+        env.agents[1].handle_tell = lambda s, m: received.append(sim.now)
+        env.tell(0, 1, LeaveNotice())  # at t=0: dropped
+        sim.schedule(6.0, lambda: env.tell(0, 1, LeaveNotice()))  # delivered
+        sim.run_until(20.0)
+        assert len(received) == 1
+        assert received[0] > 6.0
+        assert injector.counts["drop"] == 1
+
+
+class TestFreeze:
+    def test_frozen_node_misses_messages_then_recovers(self):
+        sim, env, _ = _make_env(None)
+        received = []
+        env.agents[1].handle_tell = lambda s, m: received.append(sim.now)
+        env.freeze(1)
+        assert not env.is_responsive(1)
+        assert env.is_alive(1)
+        env.tell(0, 1, LeaveNotice())  # arrives while frozen: discarded
+        sim.run_until(1.0)
+        env.thaw(1)
+        env.tell(0, 1, LeaveNotice())
+        sim.run_until(2.0)
+        assert len(received) == 1
+
+    def test_mark_dead_clears_frozen_state(self):
+        _, env, _ = _make_env(None)
+        env.freeze(1)
+        env.mark_dead(1)
+        assert 1 not in env._frozen
+        assert not env.is_responsive(1)
+
+
+def _session_result(plan, seed=42, invariant_mode="raise"):
+    underlay = build_transit_stub_underlay(
+        n_hosts=40,
+        seed=7,
+        ts_config=TransitStubConfig(
+            total_nodes=100,
+            transit_domains=2,
+            transit_nodes_per_domain=3,
+            stub_domains_per_transit=2,
+        ),
+    )
+    cfg = SessionConfig(
+        n_nodes=10,
+        degree=(2, 4),
+        join_phase_s=400.0,
+        total_s=1200.0,
+        slot_s=200.0,
+        settle_s=50.0,
+        churn_rate=0.2,
+        seed=seed,
+        faults=plan,
+        invariant_mode=invariant_mode,
+    )
+    return MulticastSession(underlay, vdm(), cfg).run()
+
+
+class TestSessionIntegration:
+    def test_chaos_session_is_deterministic(self):
+        a = _session_result(FAULT_PRESETS["chaos"])
+        b = _session_result(FAULT_PRESETS["chaos"])
+        assert a.fault_counts == b.fault_counts
+        assert sum(a.fault_counts.values()) > 0
+        assert a.join_records == b.join_records
+        assert sorted(a.runtime.tree.edges()) == sorted(b.runtime.tree.edges())
+
+    def test_different_fault_seed_changes_schedule(self):
+        base = FAULT_PRESETS["chaos"]
+        a = _session_result(base)
+        b = _session_result(dataclasses.replace(base, seed=base.seed + 1))
+        assert a.fault_counts != b.fault_counts or a.join_records != b.join_records
+
+    def test_crash_fraction_produces_silent_crashes(self):
+        res = _session_result(
+            FaultPlan(name="allcrash", seed=3, crash_fraction=1.0)
+        )
+        assert res.fault_counts.get("crash", 0) > 0
+        assert res.fault_counts.get("detect-depart", 0) > 0
+        # graceful-leave bookkeeping would have emitted LeaveNotice; silent
+        # crashes never do
+        assert res.runtime.message_counts.get("LeaveNotice", 0) == 0
+
+    def test_fault_free_plan_leaves_no_counts(self):
+        res = _session_result(FAULT_PRESETS["none"])
+        assert res.fault_counts == {}
+        assert res.violations == []
+
+    def test_config_accepts_plan_by_name(self):
+        res = _session_result("lossy")
+        assert res.fault_counts.get("drop", 0) > 0
+
+    def test_config_rejects_unknown_plan_name(self):
+        with pytest.raises(KeyError, match="unknown fault plan"):
+            SessionConfig(faults="definitely-not-a-plan")

@@ -113,8 +113,8 @@ class TestSerialParallelEquivalence:
     def test_group_timing_recorded(self):
         experiments.ch5_mst_table(SMOKE)
         timings = experiments.group_timings()
-        assert ("ch5_mst", "smoke") in timings
-        assert timings[("ch5_mst", "smoke")] > 0
+        assert ("ch5_mst", "smoke", "") in timings
+        assert timings[("ch5_mst", "smoke", "")] > 0
 
 
 # ---------------------------------------------------------------------------

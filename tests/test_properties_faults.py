@@ -1,0 +1,89 @@
+"""Property-based fault testing: random FaultPlans must never produce
+an invariant violation or a stranded tree, for any protocol.
+
+Hypothesis drives the plan's knobs and seed; the invariant checker runs
+in ``raise`` mode inside the session, so any violation surfaces as an
+error with the fault plan (and its minimal shrink) attached.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import factories
+from repro.sim.faults import FaultPlan
+from repro.sim.network import MatrixUnderlay
+from repro.sim.session import MulticastSession, SessionConfig
+
+from tests.helpers import line_matrix
+
+PROTOCOLS = {
+    "vdm": factories.vdm,
+    "hmtp": factories.hmtp,
+    "btp": factories.btp,
+    "mst": factories.mst,
+}
+
+rate = st.floats(min_value=0.0, max_value=0.3)
+
+fault_plans = st.builds(
+    FaultPlan,
+    name=st.just("property"),
+    seed=st.integers(min_value=0, max_value=2**16),
+    drop_rate=rate,
+    duplicate_rate=rate,
+    jitter_ms=st.floats(min_value=0.0, max_value=400.0),
+    reply_loss_rate=rate,
+    crash_fraction=st.floats(min_value=0.0, max_value=1.0),
+    midjoin_crash_rate=rate,
+    freeze_rate=rate,
+    freeze_delay_s=st.floats(min_value=50.0, max_value=300.0),
+    freeze_duration_s=st.floats(min_value=5.0, max_value=60.0),
+)
+
+
+def _run_session(protocol: str, plan: FaultPlan, session_seed: int):
+    underlay = MatrixUnderlay(line_matrix([12.0 * i for i in range(20)]))
+    cfg = SessionConfig(
+        n_nodes=8,
+        degree=(2, 4),
+        join_phase_s=300.0,
+        total_s=900.0,
+        slot_s=150.0,
+        settle_s=50.0,
+        churn_rate=0.15,
+        seed=session_seed,
+        # fault-free tail so recovery can converge before we inspect
+        faults=dataclasses.replace(plan, active_until_s=600.0),
+        invariant_mode="raise",
+    )
+    return MulticastSession(underlay, PROTOCOLS[protocol](), cfg).run()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    protocol=st.sampled_from(sorted(PROTOCOLS)),
+    plan=fault_plans,
+    session_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_random_fault_plans_never_violate_invariants(protocol, plan, session_seed):
+    result = _run_session(protocol, plan, session_seed)
+    tree = result.runtime.tree
+    assert result.violations == []
+    orphans = [
+        n for n in tree.parent if n != tree.source and tree.parent[n] is None
+    ]
+    assert orphans == [], f"stranded orphans: {orphans}"
+    for node in tree.attached_nodes():
+        assert tree.path_to_source(node)[-1] == tree.source
+
+
+@settings(max_examples=10, deadline=None)
+@given(plan=fault_plans, session_seed=st.integers(min_value=0, max_value=2**16))
+def test_random_fault_plans_are_deterministic(plan, session_seed):
+    a = _run_session("vdm", plan, session_seed)
+    b = _run_session("vdm", plan, session_seed)
+    assert a.fault_counts == b.fault_counts
+    assert a.join_records == b.join_records
+    assert sorted(a.runtime.tree.edges()) == sorted(b.runtime.tree.edges())

@@ -165,3 +165,132 @@ class TestListeners:
         tree.add_listener(lambda kind, node, parent, t: events.append((kind, node)))
         tree.depart(1, 3.0)
         assert events == [("orphan", 2), ("depart", 1)]
+
+    def test_depart_mutations_complete_before_any_event(self, tree):
+        """Listeners must never observe a half-departed node: by the time
+        the first orphan event fires, every orphan's parent pointer is
+        already cleared and the departed node is gone from both maps."""
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 1, 2.0)
+        tree.attach(3, 1, 2.5)
+        observed = []
+
+        def check(kind, node, parent, t):
+            assert 1 not in tree.parent
+            assert 1 not in tree.children
+            assert tree.parent[2] is None
+            assert tree.parent[3] is None
+            observed.append(kind)
+
+        tree.add_listener(check)
+        tree.depart(1, 3.0)
+        assert observed == ["orphan", "orphan", "depart"]
+
+
+class TestEdgeCases:
+    def test_reparent_onto_deep_descendant_rejected(self, tree):
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 1, 2.0)
+        tree.attach(3, 2, 3.0)
+        tree.attach(4, 3, 4.0)
+        with pytest.raises(ValueError, match="own subtree"):
+            tree.reparent(1, 4, 5.0)
+        # rejection left every pointer untouched
+        assert tree.parent[1] == 0
+        assert tree.path_to_source(4) == [4, 3, 2, 1, 0]
+
+    def test_depart_of_source_with_children_leaves_state_intact(self, tree):
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 0, 2.0)
+        events = []
+        tree.add_listener(lambda *a: events.append(a))
+        with pytest.raises(ValueError, match="source"):
+            tree.depart(0, 3.0)
+        assert events == []
+        assert tree.parent[1] == 0 and tree.parent[2] == 0
+        assert sorted(tree.children[0]) == [1, 2]
+
+    def test_path_and_depth_on_orphan_raise(self, tree):
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 1, 2.0)
+        tree.depart(1, 3.0)
+        with pytest.raises(ValueError, match="no path"):
+            tree.path_to_source(2)
+        with pytest.raises(ValueError, match="no path"):
+            tree.depth(2)
+
+    def test_reparent_self_rejected(self, tree):
+        tree.attach(1, 0, 1.0)
+        with pytest.raises(ValueError, match="own subtree"):
+            tree.reparent(1, 1, 2.0)
+
+
+class TestInsert:
+    def test_fresh_insert_with_adoption(self, tree):
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 0, 2.0)
+        tree.insert(3, 0, (1, 2), 3.0)
+        assert tree.parent[3] == 0
+        assert tree.parent[1] == 3 and tree.parent[2] == 3
+        assert sorted(tree.children[3]) == [1, 2]
+        assert tree.children[0] == {3}
+
+    def test_insert_of_attached_node_reparents(self, tree):
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 0, 2.0)
+        tree.attach(3, 1, 2.5)
+        tree.insert(3, 0, (2,), 3.0)
+        assert tree.parent[3] == 0
+        assert tree.parent[2] == 3
+        assert 3 not in tree.children[1]
+
+    def test_insert_event_sequence(self, tree):
+        events = []
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 0, 2.0)
+        tree.add_listener(lambda kind, node, parent, t: events.append((kind, node, parent)))
+        tree.insert(3, 0, (1, 2), 3.0)
+        assert events == [
+            ("attach", 3, 0),
+            ("reparent", 1, 3),
+            ("reparent", 2, 3),
+        ]
+
+    def test_insert_mutations_complete_before_any_event(self, tree):
+        """An observer must never see the pivot's degree transiently
+        exceed its pre-insert value while adoptions are half-applied."""
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 0, 2.0)
+        seen = []
+
+        def check(kind, node, parent, t):
+            assert tree.children[0] == {3}
+            assert tree.parent[1] == 3 and tree.parent[2] == 3
+            seen.append(kind)
+
+        tree.add_listener(check)
+        tree.insert(3, 0, (1, 2), 3.0)
+        assert len(seen) == 3
+
+    def test_insert_adopting_non_child_rejected(self, tree):
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 1, 2.0)
+        with pytest.raises(ValueError, match="not a child"):
+            tree.insert(3, 0, (2,), 3.0)  # 2 belongs to 1, not 0
+        assert not tree.is_present(3)
+        assert tree.parent[2] == 1
+
+    def test_insert_adopting_self_rejected(self, tree):
+        tree.attach(1, 0, 1.0)
+        with pytest.raises(ValueError, match="adopt itself"):
+            tree.insert(1, 0, (1,), 2.0)
+
+    def test_insert_under_own_subtree_rejected(self, tree):
+        tree.attach(1, 0, 1.0)
+        tree.attach(2, 1, 2.0)
+        with pytest.raises(ValueError, match="own subtree"):
+            tree.insert(1, 2, (), 3.0)
+
+    def test_insert_source_rejected(self, tree):
+        with pytest.raises(ValueError, match="source"):
+            tree.insert(0, 0, (), 1.0)
