@@ -19,9 +19,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.harness.experiments import ch5_sample_tree
+from repro.harness.parallel import clamp_jobs
 from repro.harness.presets import PRESETS
 from repro.harness.registry import REGISTRY, run_experiment
 from repro.sim.faults import FAULT_PRESETS
@@ -46,7 +48,7 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="N",
         help="replication worker processes (default: REPRO_JOBS or 1); "
-        "results are bit-identical at any value",
+        "clamped to the CPU count; results are bit-identical at any value",
     )
     parser.add_argument(
         "--faults",
@@ -59,11 +61,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--perf-report",
         nargs="?",
-        const="BENCH_PR1.json",
+        const="BENCH_PR3.json",
         default=None,
         metavar="PATH",
-        help="time experiment groups (uncached/serial/parallel) and write "
-        "a JSON perf snapshot (default path: BENCH_PR1.json)",
+        help="time experiment groups (full-recompute/serial/parallel) and "
+        "write a JSON perf snapshot (default path: BENCH_PR3.json)",
     )
     parser.add_argument(
         "--perf-groups",
@@ -83,6 +85,9 @@ def main(argv: list[str] | None = None) -> int:
         "--chart", action="store_true", help="draw an ASCII chart under each table"
     )
     args = parser.parse_args(argv)
+    # Oversubscribed pools thrash; warn-and-clamp rather than silently
+    # running slower than serial.
+    args.jobs = clamp_jobs(args.jobs)
 
     if args.list:
         width = max(len(k) for k in REGISTRY)
@@ -102,9 +107,10 @@ def main(argv: list[str] | None = None) -> int:
             if args.perf_groups
             else None
         )
+        default_jobs = min(4, os.cpu_count() or 1)
         report = generate_perf_report(
             PRESETS[args.preset],
-            jobs=args.jobs if args.jobs is not None else 4,
+            jobs=args.jobs if args.jobs is not None else default_jobs,
             groups=groups,
             path=args.perf_report,
         )

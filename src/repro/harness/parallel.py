@@ -34,10 +34,11 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
-__all__ = ["resolve_jobs", "run_replications", "shutdown_pool"]
+__all__ = ["clamp_jobs", "resolve_jobs", "run_replications", "shutdown_pool"]
 
 T = TypeVar("T")
 
@@ -63,6 +64,33 @@ def resolve_jobs(jobs: int | None = None) -> int:
             jobs = 1
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def clamp_jobs(jobs: int | None) -> int | None:
+    """Clamp a requested worker count to the machine's CPU count.
+
+    Oversubscribing a CPU-bound process pool only adds scheduler thrash —
+    the perf snapshots showed parallel runs on a small box losing to
+    serial once workers exceed cores.  The CLI funnels ``--jobs`` through
+    this; library callers keep the exact count they asked for
+    (:func:`resolve_jobs` is unchanged) so tests and embedders can still
+    force any pool size.
+
+    ``None`` passes through (deferred to :func:`resolve_jobs`).  Emits a
+    :class:`RuntimeWarning` when the request is reduced.
+    """
+    if jobs is None:
+        return None
+    cpus = os.cpu_count() or 1
+    if jobs > cpus:
+        warnings.warn(
+            f"--jobs {jobs} exceeds the {cpus} available CPU(s); "
+            f"clamping to {cpus} to avoid oversubscription",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return cpus
     return jobs
 
 

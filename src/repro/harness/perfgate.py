@@ -1,0 +1,129 @@
+"""CI perf gate: compare a fresh perf snapshot against a committed baseline.
+
+``python -m repro.harness.perfgate current.json baseline.json`` exits
+nonzero when any shared experiment group's serial wall-clock regressed by
+more than the allowed ratio (default 1.5x), or when a gated group is
+missing from the current report.  CI runs this after regenerating a
+quick-preset snapshot so a slow PR fails loudly instead of silently
+re-baselining.
+
+The gate compares wall-clock on whatever machine runs it against a
+baseline that may come from a different machine, so the threshold is
+deliberately loose — it catches algorithmic regressions (2x-10x), not
+scheduler noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["compare_reports", "main"]
+
+DEFAULT_MAX_RATIO = 1.5
+
+
+def compare_reports(
+    current: dict,
+    baseline: dict,
+    *,
+    groups: Sequence[str] | None = None,
+    field: str = "serial_s",
+    max_ratio: float = DEFAULT_MAX_RATIO,
+) -> list[str]:
+    """Return a list of human-readable failures (empty = gate passes).
+
+    ``groups`` defaults to every group present in the baseline.  A group
+    missing from the current report is a failure (the gate must not pass
+    because a timing silently disappeared); a group missing from the
+    baseline is skipped (new groups have no reference yet).
+    """
+    if max_ratio <= 0:
+        raise ValueError(f"max_ratio must be > 0, got {max_ratio}")
+    base_groups = baseline.get("groups", {})
+    cur_groups = current.get("groups", {})
+    names = list(groups) if groups else sorted(base_groups)
+    failures: list[str] = []
+    for name in names:
+        base = base_groups.get(name)
+        if base is None:
+            continue
+        cur = cur_groups.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current report")
+            continue
+        base_t = base.get(field)
+        cur_t = cur.get(field)
+        if base_t is None or cur_t is None:
+            failures.append(
+                f"{name}: field {field!r} missing "
+                f"(baseline={base_t!r}, current={cur_t!r})"
+            )
+            continue
+        if base_t <= 0:
+            continue  # degenerate baseline timing; nothing to compare
+        ratio = cur_t / base_t
+        if ratio > max_ratio:
+            failures.append(
+                f"{name}: {field} {cur_t:.3f}s is {ratio:.2f}x the baseline "
+                f"{base_t:.3f}s (limit {max_ratio:.2f}x)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.perfgate",
+        description="Fail if a perf snapshot regressed versus a baseline.",
+    )
+    parser.add_argument("current", help="freshly generated perf report JSON")
+    parser.add_argument("baseline", help="committed baseline perf report JSON")
+    parser.add_argument(
+        "--groups",
+        default=None,
+        metavar="G1,G2,...",
+        help="comma-separated groups to gate (default: all baseline groups)",
+    )
+    parser.add_argument(
+        "--field",
+        default="serial_s",
+        help="per-group timing field to compare (default: serial_s)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_RATIO,
+        metavar="RATIO",
+        help=f"fail above current/baseline ratio (default: {DEFAULT_MAX_RATIO})",
+    )
+    args = parser.parse_args(argv)
+    current = json.loads(Path(args.current).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    groups = (
+        [g.strip() for g in args.groups.split(",") if g.strip()]
+        if args.groups
+        else None
+    )
+    failures = compare_reports(
+        current,
+        baseline,
+        groups=groups,
+        field=args.field,
+        max_ratio=args.max_regression,
+    )
+    if failures:
+        print("perf gate FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(
+        f"perf gate passed ({args.field}, limit {args.max_regression:.2f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,18 +1,28 @@
-"""Machine-readable performance snapshots (``BENCH_PR1.json``).
+"""Machine-readable performance snapshots (``BENCH_PR3.json``).
 
 Each snapshot times experiment groups under three configurations —
 
-* ``serial_uncached_s`` — one process, per-pair underlay caches disabled
-  (the pre-optimization baseline);
-* ``serial_s`` — one process, underlay caches on;
-* ``parallel_s`` — ``jobs`` worker processes, underlay caches on;
+* ``serial_fulltree_s`` — one process, ``REPRO_INCREMENTAL_TREE=0``
+  (every registry query, invariant sweep, and path-success product
+  recomputed from scratch: the pre-incremental baseline);
+* ``serial_s`` — one process, incremental tree state on (the default);
+* ``parallel_s`` — ``jobs`` worker processes, incremental state on;
 
 — and records the derived speedups.  Committing the JSON gives later PRs a
-perf trajectory to regress against: rerun the same command and compare.
+perf trajectory to regress against: rerun the same command and compare
+(:mod:`repro.harness.perfgate` automates the comparison in CI).
+
+The full-recompute and incremental runs must be *equivalent*, not just
+both plausible: their rendered table JSON is compared byte for byte and a
+mismatch aborts the report.  That check is what licenses reading the
+timing delta as pure overhead removed.
 
 Timed runs are isolated: the experiment cache, the substrate memos, and
 the worker pool are all torn down before and after every measurement, so
 a run never pays for (or benefits from) a previous run's warm state.
+Every configuration is timed three times and the *minimum* wall time is
+reported — the standard defense against scheduler noise on shared
+machines (the minimum is the run least disturbed by unrelated load).
 """
 
 from __future__ import annotations
@@ -47,7 +57,16 @@ GROUP_RUNNERS: dict[str, Callable[[Preset], dict]] = {
 #: groups timed when none are requested — one per evaluation environment
 DEFAULT_GROUPS: tuple[str, ...] = ("ch3_churn", "ch3_degree", "ch5_churn")
 
-_CACHE_ENV = "REPRO_UNDERLAY_CACHE"
+_TREE_ENV = "REPRO_INCREMENTAL_TREE"
+
+
+def _render_outputs(tables: dict) -> dict[str, str]:
+    """Deterministic JSON text per table, for cross-mode comparison."""
+    return {name: tables[name].to_json() for name in sorted(tables)}
+
+
+#: timing repetitions per configuration; the minimum wall time is kept
+TIMING_REPS = 3
 
 
 def _timed_run(
@@ -55,23 +74,26 @@ def _timed_run(
     preset: Preset,
     *,
     jobs: int,
-    underlay_cache: bool,
-) -> float:
-    exp.clear_cache()
-    shutdown_pool()
-    saved = os.environ.get(_CACHE_ENV)
-    os.environ[_CACHE_ENV] = "1" if underlay_cache else "0"
+    incremental: bool,
+) -> tuple[float, dict[str, str]]:
+    saved = os.environ.get(_TREE_ENV)
+    os.environ[_TREE_ENV] = "1" if incremental else "0"
+    best = float("inf")
     try:
-        with Stopwatch() as sw:
-            runner(dataclasses.replace(preset, jobs=jobs))
+        for _ in range(TIMING_REPS):
+            exp.clear_cache()
+            shutdown_pool()
+            with Stopwatch() as sw:
+                tables = runner(dataclasses.replace(preset, jobs=jobs))
+            best = min(best, sw.elapsed)
     finally:
         if saved is None:
-            os.environ.pop(_CACHE_ENV, None)
+            os.environ.pop(_TREE_ENV, None)
         else:
-            os.environ[_CACHE_ENV] = saved
+            os.environ[_TREE_ENV] = saved
         exp.clear_cache()
         shutdown_pool()
-    return sw.elapsed
+    return best, _render_outputs(tables)
 
 
 def generate_perf_report(
@@ -79,9 +101,14 @@ def generate_perf_report(
     *,
     jobs: int = 4,
     groups: Sequence[str] | None = None,
-    path: str | Path = "BENCH_PR1.json",
+    path: str | Path = "BENCH_PR3.json",
 ) -> dict:
-    """Time the requested groups and write the snapshot to ``path``."""
+    """Time the requested groups and write the snapshot to ``path``.
+
+    Raises :class:`RuntimeError` if the full-recompute and incremental
+    runs of any group disagree on any table — a timing number for a mode
+    that changes results would be meaningless.
+    """
     names = list(groups) if groups else list(DEFAULT_GROUPS)
     unknown = sorted(set(names) - set(GROUP_RUNNERS))
     if unknown:
@@ -89,7 +116,7 @@ def generate_perf_report(
             f"unknown perf group(s) {unknown}; choose from {sorted(GROUP_RUNNERS)}"
         )
     report: dict = {
-        "schema": "repro-perf-report/1",
+        "schema": "repro-perf-report/2",
         "preset": preset.name,
         "jobs": jobs,
         "cpu_count": os.cpu_count(),
@@ -99,26 +126,39 @@ def generate_perf_report(
             f"--perf-groups {','.join(names)}"
         ),
         "notes": (
-            "serial_uncached_s = jobs=1 with REPRO_UNDERLAY_CACHE=0 (the "
-            "pre-PR-1 baseline); serial_s = jobs=1 with caches; "
-            "parallel_s = jobs=N with caches.  Parallel speedup is bounded "
-            "by cpu_count."
+            "serial_fulltree_s = jobs=1 with REPRO_INCREMENTAL_TREE=0 "
+            "(recompute-from-scratch baseline); serial_s = jobs=1 with "
+            "incremental tree state; parallel_s = jobs=N.  Each figure is "
+            "the minimum wall time over three runs (noise guard).  "
+            "outputs_identical means the two modes produced byte-identical "
+            "table JSON.  Parallel speedup is bounded by cpu_count."
         ),
         "groups": {},
     }
     for name in names:
         runner = GROUP_RUNNERS[name]
-        uncached = _timed_run(runner, preset, jobs=1, underlay_cache=False)
-        serial = _timed_run(runner, preset, jobs=1, underlay_cache=True)
-        parallel = _timed_run(runner, preset, jobs=jobs, underlay_cache=True)
+        fulltree, full_out = _timed_run(runner, preset, jobs=1, incremental=False)
+        serial, inc_out = _timed_run(runner, preset, jobs=1, incremental=True)
+        if full_out != inc_out:
+            differing = sorted(
+                t
+                for t in full_out.keys() | inc_out.keys()
+                if full_out.get(t) != inc_out.get(t)
+            )
+            raise RuntimeError(
+                f"group {name!r}: incremental tree state changed the results "
+                f"of table(s) {differing} — refusing to write a perf report "
+                "for divergent modes"
+            )
+        parallel, _ = _timed_run(runner, preset, jobs=jobs, incremental=True)
         report["groups"][name] = {
-            "serial_uncached_s": round(uncached, 3),
+            "serial_fulltree_s": round(fulltree, 3),
             "serial_s": round(serial, 3),
             "parallel_s": round(parallel, 3),
             "workers": jobs,
-            "speedup_underlay_cache": round(uncached / serial, 2),
+            "outputs_identical": True,
+            "speedup_incremental_tree": round(fulltree / serial, 2),
             "speedup_parallel_vs_serial": round(serial / parallel, 2),
-            "speedup_vs_uncached_serial": round(uncached / parallel, 2),
         }
     Path(path).write_text(json.dumps(report, indent=2) + "\n")
     return report

@@ -30,12 +30,15 @@ from typing import Callable
 from repro.protocols.base import TreeRegistry
 from repro.protocols.mst import mst_parent_map, tree_cost
 from repro.sim.network import Underlay
+from repro.util.envflags import incremental_tree_enabled
 
 __all__ = [
     "StressStats",
     "StretchStats",
     "HopcountStats",
     "ResourceUsage",
+    "TreeMetrics",
+    "collect_tree_metrics",
     "stress_stats",
     "stretch_stats",
     "hopcount_stats",
@@ -51,10 +54,6 @@ def _reachable_edges(tree: TreeRegistry) -> list[tuple[int, int]]:
         for parent, child in tree.edges()
         if tree.is_reachable(child)
     ]
-
-
-def _reachable_receivers(tree: TreeRegistry) -> list[int]:
-    return [n for n in tree.attached_nodes() if n != tree.source]
 
 
 @dataclass(frozen=True)
@@ -73,19 +72,7 @@ class StressStats:
 
 def stress_stats(tree: TreeRegistry, underlay: Underlay) -> StressStats:
     """Average and max physical-link stress of the current tree (eq. 3.4)."""
-    usage: Counter = Counter()
-    for parent, child in _reachable_edges(tree):
-        for link in underlay.path_links(parent, child):
-            usage[link] += 1
-    if not usage:
-        return StressStats.empty()
-    total = sum(usage.values())
-    return StressStats(
-        average=total / len(usage),
-        maximum=max(usage.values()),
-        links_used=len(usage),
-        total_transmissions=total,
-    )
+    return collect_tree_metrics(tree, underlay).stress
 
 
 @dataclass(frozen=True)
@@ -111,29 +98,7 @@ def stretch_stats(tree: TreeRegistry, underlay: Underlay) -> StretchStats:
     estimate on PlanetLab-style underlays, so minima below 1 are real
     (the paper observes exactly this in Fig. 5.16).
     """
-    values: list[float] = []
-    leaf_values: list[float] = []
-    for node in _reachable_receivers(tree):
-        unicast = underlay.delay_ms(tree.source, node)
-        if unicast <= 0:
-            continue
-        path = tree.path_to_source(node)
-        overlay = sum(
-            underlay.delay_ms(a, b) for a, b in zip(path[:-1], path[1:])
-        )
-        ratio = overlay / unicast
-        values.append(ratio)
-        if not tree.children.get(node):
-            leaf_values.append(ratio)
-    if not values:
-        return StretchStats.empty()
-    return StretchStats(
-        average=sum(values) / len(values),
-        minimum=min(values),
-        maximum=max(values),
-        leaf_average=(sum(leaf_values) / len(leaf_values)) if leaf_values else 0.0,
-        count=len(values),
-    )
+    return collect_tree_metrics(tree, underlay).stretch
 
 
 @dataclass(frozen=True)
@@ -151,13 +116,22 @@ class HopcountStats:
 
 
 def hopcount_stats(tree: TreeRegistry) -> HopcountStats:
+    """Hopcount distribution via a depth-only traversal (no underlay needed)."""
     depths: list[int] = []
     leaf_depths: list[int] = []
-    for node in _reachable_receivers(tree):
-        d = tree.depth(node)
-        depths.append(d)
-        if not tree.children.get(node):
-            leaf_depths.append(d)
+    children = tree.children
+    stack: list[tuple[int, int]] = [(tree.source, 0)]
+    while stack:
+        node, depth = stack.pop()
+        kids = children.get(node)
+        if kids:
+            child_depth = depth + 1
+            for child in sorted(kids, reverse=True):
+                stack.append((child, child_depth))
+        elif node != tree.source:
+            leaf_depths.append(depth)
+        if node != tree.source:
+            depths.append(depth)
     if not depths:
         return HopcountStats.empty()
     return HopcountStats(
@@ -182,18 +156,230 @@ class ResourceUsage:
 
 
 def resource_usage(tree: TreeRegistry, underlay: Underlay) -> ResourceUsage:
-    edges = _reachable_edges(tree)
-    if not edges:
-        return ResourceUsage.empty()
-    total = sum(underlay.delay_ms(p, c) for p, c in edges)
-    star = sum(
-        underlay.delay_ms(tree.source, n) for n in _reachable_receivers(tree)
-    )
-    return ResourceUsage(
-        total_ms=total,
-        normalized=total / star if star > 0 else 0.0,
-        edges=len(edges),
-    )
+    return collect_tree_metrics(tree, underlay).usage
+
+
+@dataclass(frozen=True)
+class TreeMetrics:
+    """All four instantaneous metrics from one traversal."""
+
+    stress: StressStats
+    stretch: StretchStats
+    hopcount: HopcountStats
+    usage: ResourceUsage
+
+
+def collect_tree_metrics(tree: TreeRegistry, underlay: Underlay) -> TreeMetrics:
+    """Compute stress, stretch, hopcount, and resource usage in one pass.
+
+    A single root-down traversal of the reachable tree carries depth and
+    accumulated overlay delay with each frame, so per-node work is one
+    overlay hop (not a ``path_to_source`` walk per metric).  Siblings are
+    visited in sorted order, making float accumulation deterministic
+    regardless of insertion history.
+
+    The measurement loop calls this once per sample instead of invoking
+    the four standalone collectors (which are now thin wrappers).
+
+    With ``REPRO_INCREMENTAL_TREE=0`` this falls back to the
+    pre-incremental implementation — four independent loops, each
+    re-deriving reachability, depth, or the full root path per node —
+    which visits nodes in the same order and accumulates floats in the
+    same association, so both modes return bit-identical values.
+    """
+    if not incremental_tree_enabled():
+        return _reference_tree_metrics(tree, underlay)
+    source = tree.source
+    children = tree.children
+    parent_map = tree.parent
+    link_usage: Counter = Counter()
+    stretch_vals: list[float] = []
+    leaf_stretch: list[float] = []
+    depths: list[int] = []
+    leaf_depths: list[int] = []
+    total_ms = 0.0
+    star_ms = 0.0
+    edge_count = 0
+    # Frames: (node, depth, overlay delay source -> node).  Only reachable
+    # nodes are ever pushed — the walk starts at the source and descends.
+    stack: list[tuple[int, int, float]] = [(source, 0, 0.0)]
+    while stack:
+        node, depth, overlay = stack.pop()
+        kids = children.get(node)
+        if kids:
+            child_depth = depth + 1
+            for child in sorted(kids, reverse=True):
+                stack.append(
+                    (child, child_depth, overlay + underlay.delay_ms(node, child))
+                )
+        if node == source:
+            continue
+        parent = parent_map[node]
+        for link in underlay.path_links(parent, node):
+            link_usage[link] += 1
+        total_ms += underlay.delay_ms(parent, node)
+        edge_count += 1
+        unicast = underlay.delay_ms(source, node)
+        star_ms += unicast
+        depths.append(depth)
+        is_leaf = not kids
+        if is_leaf:
+            leaf_depths.append(depth)
+        if unicast > 0:
+            ratio = overlay / unicast
+            stretch_vals.append(ratio)
+            if is_leaf:
+                leaf_stretch.append(ratio)
+
+    if link_usage:
+        transmissions = sum(link_usage.values())
+        stress = StressStats(
+            average=transmissions / len(link_usage),
+            maximum=max(link_usage.values()),
+            links_used=len(link_usage),
+            total_transmissions=transmissions,
+        )
+    else:
+        stress = StressStats.empty()
+    if stretch_vals:
+        stretch = StretchStats(
+            average=sum(stretch_vals) / len(stretch_vals),
+            minimum=min(stretch_vals),
+            maximum=max(stretch_vals),
+            leaf_average=(
+                sum(leaf_stretch) / len(leaf_stretch) if leaf_stretch else 0.0
+            ),
+            count=len(stretch_vals),
+        )
+    else:
+        stretch = StretchStats.empty()
+    if depths:
+        hopcount = HopcountStats(
+            average=sum(depths) / len(depths),
+            maximum=max(depths),
+            leaf_average=(
+                sum(leaf_depths) / len(leaf_depths) if leaf_depths else 0.0
+            ),
+            count=len(depths),
+        )
+    else:
+        hopcount = HopcountStats.empty()
+    if edge_count:
+        usage = ResourceUsage(
+            total_ms=total_ms,
+            normalized=total_ms / star_ms if star_ms > 0 else 0.0,
+            edges=edge_count,
+        )
+    else:
+        usage = ResourceUsage.empty()
+    return TreeMetrics(stress=stress, stretch=stretch, hopcount=hopcount, usage=usage)
+
+
+def _dfs_order(tree: TreeRegistry) -> list[int]:
+    """Reachable receivers in the exact visit order of the single-pass DFS."""
+    out: list[int] = []
+    stack = [tree.source]
+    while stack:
+        node = stack.pop()
+        if node != tree.source:
+            out.append(node)
+        kids = tree.children.get(node)
+        if kids:
+            stack.extend(sorted(kids, reverse=True))
+    return out
+
+
+def _reference_tree_metrics(tree: TreeRegistry, underlay: Underlay) -> TreeMetrics:
+    """Full-recompute oracle: one independent loop per metric family.
+
+    Mirrors the pre-incremental cost structure — reachability re-verified
+    per node, ``path_to_source`` walked per stretch sample, ``depth``
+    re-derived per hopcount sample — while visiting nodes in the DFS
+    order of :func:`collect_tree_metrics` so float accumulation matches
+    it bit for bit.
+    """
+    source = tree.source
+    order = [n for n in _dfs_order(tree) if tree.is_reachable(n)]
+
+    link_usage: Counter = Counter()
+    for node in order:
+        for link in underlay.path_links(tree.parent[node], node):
+            link_usage[link] += 1
+    if link_usage:
+        transmissions = sum(link_usage.values())
+        stress = StressStats(
+            average=transmissions / len(link_usage),
+            maximum=max(link_usage.values()),
+            links_used=len(link_usage),
+            total_transmissions=transmissions,
+        )
+    else:
+        stress = StressStats.empty()
+
+    stretch_vals: list[float] = []
+    leaf_stretch: list[float] = []
+    for node in order:
+        unicast = underlay.delay_ms(source, node)
+        if unicast <= 0:
+            continue
+        path = tree.path_to_source(node)
+        overlay = 0.0
+        for i in range(len(path) - 1, 0, -1):  # source-outward, as the DFS sums
+            overlay += underlay.delay_ms(path[i], path[i - 1])
+        ratio = overlay / unicast
+        stretch_vals.append(ratio)
+        if not tree.children.get(node):
+            leaf_stretch.append(ratio)
+    if stretch_vals:
+        stretch = StretchStats(
+            average=sum(stretch_vals) / len(stretch_vals),
+            minimum=min(stretch_vals),
+            maximum=max(stretch_vals),
+            leaf_average=(
+                sum(leaf_stretch) / len(leaf_stretch) if leaf_stretch else 0.0
+            ),
+            count=len(stretch_vals),
+        )
+    else:
+        stretch = StretchStats.empty()
+
+    depths: list[int] = []
+    leaf_depths: list[int] = []
+    for node in order:
+        d = tree.depth(node)
+        depths.append(d)
+        if not tree.children.get(node):
+            leaf_depths.append(d)
+    if depths:
+        hopcount = HopcountStats(
+            average=sum(depths) / len(depths),
+            maximum=max(depths),
+            leaf_average=(
+                sum(leaf_depths) / len(leaf_depths) if leaf_depths else 0.0
+            ),
+            count=len(depths),
+        )
+    else:
+        hopcount = HopcountStats.empty()
+
+    total_ms = 0.0
+    star_ms = 0.0
+    edge_count = 0
+    for node in order:
+        if not tree.is_reachable(node):  # pragma: no cover - order is reachable
+            continue
+        total_ms += underlay.delay_ms(tree.parent[node], node)
+        star_ms += underlay.delay_ms(source, node)
+        edge_count += 1
+    if edge_count:
+        usage = ResourceUsage(
+            total_ms=total_ms,
+            normalized=total_ms / star_ms if star_ms > 0 else 0.0,
+            edges=edge_count,
+        )
+    else:
+        usage = ResourceUsage.empty()
+    return TreeMetrics(stress=stress, stretch=stretch, hopcount=hopcount, usage=usage)
 
 
 def mst_ratio(

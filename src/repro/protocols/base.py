@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, NamedTuple
 
 import numpy as np
 
@@ -47,6 +47,7 @@ from repro.protocols.messages import (
 )
 from repro.sim.engine import Event, Simulator
 from repro.sim.network import Underlay
+from repro.util.envflags import incremental_tree_enabled
 
 __all__ = [
     "ProtocolRuntime",
@@ -75,6 +76,21 @@ class TreeRegistry:
 
     Listener signature: ``listener(kind, node, parent, time)`` where kind is
     one of ``"attach"``, ``"orphan"``, ``"depart"``, ``"reparent"``.
+
+    Reachability and depth are maintained *incrementally*: every mutation
+    updates only the affected subtree with one downward pass, so
+    :meth:`is_reachable` and :meth:`depth` are O(1) lookups and
+    :meth:`attached_nodes` is O(n) with no parent-chain walks.  The
+    pre-existing chain-walking implementations are kept as
+    ``_reference_*`` oracles; setting ``REPRO_INCREMENTAL_TREE=0`` in the
+    environment (read at construction) routes all queries through them —
+    the perf report uses that to measure what the maintained state buys,
+    and the equivalence tests assert both paths agree bit for bit.
+
+    The incremental state is valid only for trees mutated through the
+    public mutation methods.  Code that hand-corrupts ``parent`` /
+    ``children`` (the invariant tests do) must validate with the
+    full-sweep oracle, not with these queries.
     """
 
     def __init__(self, source: int) -> None:
@@ -82,6 +98,11 @@ class TreeRegistry:
         self.parent: dict[int, int | None] = {source: None}
         self.children: dict[int, set[int]] = {source: set()}
         self._listeners: list[Callable[[str, int, int | None, float], None]] = []
+        self._incremental = incremental_tree_enabled()
+        #: nodes with an unbroken parent chain to the source (maintained).
+        self._reachable: set[int] = {source}
+        #: overlay hops from the source, for reachable nodes only (maintained).
+        self._depth: dict[int, int] = {source: 0}
 
     # -- listeners ----------------------------------------------------------
 
@@ -111,7 +132,10 @@ class TreeRegistry:
 
     def attached_nodes(self) -> list[int]:
         """Nodes with an unbroken parent chain to the source."""
-        return [n for n in self.parent if self.is_reachable(n)]
+        if self._incremental:
+            reachable = self._reachable
+            return [n for n in self.parent if n in reachable]
+        return [n for n in self.parent if self._reference_is_reachable(n)]
 
     def edges(self) -> list[tuple[int, int]]:
         """All (parent, child) edges currently committed."""
@@ -121,6 +145,12 @@ class TreeRegistry:
 
     def is_reachable(self, node: int) -> bool:
         """Whether ``node`` has an unbroken parent chain to the source."""
+        if self._incremental:
+            return node in self._reachable
+        return self._reference_is_reachable(node)
+
+    def _reference_is_reachable(self, node: int) -> bool:
+        """Full-recompute oracle: walk the parent chain to the source."""
         seen = set()
         while True:
             if node == self.source:
@@ -137,46 +167,130 @@ class TreeRegistry:
         """Node ids from ``node`` up to the source, inclusive.
 
         Raises ``ValueError`` if the chain is broken (orphaned subtree).
+        A step counter bounds the walk instead of a per-call visited set —
+        committed trees are acyclic, so the set only ever paid for the
+        pathological case, which the counter still detects.  The ablation
+        baseline keeps the old set-per-call implementation.
         """
+        if not self._incremental:
+            return self._reference_path_to_source(node)
+        path = [node]
+        limit = len(self.parent)
+        cur = node
+        while cur != self.source:
+            up = self.parent.get(cur)
+            if up is None:
+                raise ValueError(f"node {node} has no path to source")
+            path.append(up)
+            if len(path) > limit:
+                raise ValueError(f"parent cycle detected at {up}")
+            cur = up
+        return path
+
+    def _reference_path_to_source(self, node: int) -> list[int]:
+        """Pre-incremental implementation: visited-set cycle detection."""
         path = [node]
         seen = {node}
-        while path[-1] != self.source:
-            up = self.parent.get(path[-1])
+        cur = node
+        while cur != self.source:
+            up = self.parent.get(cur)
             if up is None:
                 raise ValueError(f"node {node} has no path to source")
             if up in seen:
                 raise ValueError(f"parent cycle detected at {up}")
             seen.add(up)
             path.append(up)
+            cur = up
         return path
 
     def depth(self, node: int) -> int:
         """Overlay hops from the source (source depth is 0)."""
+        if self._incremental:
+            d = self._depth.get(node)
+            if d is None:
+                raise ValueError(f"node {node} has no path to source")
+            return d
+        return self._reference_depth(node)
+
+    def _reference_depth(self, node: int) -> int:
+        """Full-recompute oracle: depth via the whole root path."""
         return len(self.path_to_source(node)) - 1
 
     def is_descendant(self, node: int, ancestor: int) -> bool:
         """Whether ``node`` lies strictly below ``ancestor``."""
         if node == ancestor:
             return False
+        if self._incremental:
+            dn = self._depth.get(node)
+            da = self._depth.get(ancestor)
+            if dn is not None and da is not None:
+                # Both reachable: the only candidate is node's unique
+                # ancestor at ancestor's depth, dn - da hops up.
+                if dn <= da:
+                    return False
+                cur = node
+                for _ in range(dn - da):
+                    cur = self.parent[cur]
+                return cur == ancestor
         cur = self.parent.get(node)
-        seen = set()
-        while cur is not None and cur not in seen:
+        steps = 0
+        limit = len(self.parent)
+        while cur is not None and steps <= limit:
             if cur == ancestor:
                 return True
-            seen.add(cur)
             cur = self.parent.get(cur)
+            steps += 1
         return False
 
     def subtree(self, node: int) -> list[int]:
-        """``node`` and everything below it (committed edges only)."""
+        """``node`` and everything below it (committed edges only).
+
+        Preorder: a node always precedes its descendants, so consumers can
+        derive child state from parent state in one forward scan (the
+        delivery accountant's path-success products rely on this).
+        Siblings appear in ascending id order, making traversal-dependent
+        float accumulations reproducible across interpreter builds.
+        """
         out = [node]
         stack = [node]
         while stack:
             cur = stack.pop()
-            for child in self.children.get(cur, ()):
-                out.append(child)
-                stack.append(child)
+            kids = self.children.get(cur)
+            if kids:
+                ordered = sorted(kids)
+                out.extend(ordered)
+                stack.extend(reversed(ordered))
         return out
+
+    # -- incremental maintenance ----------------------------------------------
+
+    def _refresh_subtree(self, root: int) -> None:
+        """Re-derive reachability and depth for ``root``'s subtree.
+
+        One downward pass, O(subtree size) — the only state a mutation at
+        ``root`` can change.  Everything above and beside ``root`` keeps
+        its maintained values.
+        """
+        up = self.parent.get(root)
+        if root == self.source:
+            reachable, depth = True, 0
+        elif up is not None and up in self._reachable:
+            reachable, depth = True, self._depth[up] + 1
+        else:
+            reachable, depth = False, 0
+        stack = [(root, reachable, depth)]
+        reach_set = self._reachable
+        depth_map = self._depth
+        while stack:
+            node, reach, d = stack.pop()
+            if reach:
+                reach_set.add(node)
+                depth_map[node] = d
+            else:
+                reach_set.discard(node)
+                depth_map.pop(node, None)
+            for child in self.children.get(node, ()):
+                stack.append((child, reach, d + 1))
 
     # -- mutations ------------------------------------------------------------
 
@@ -193,6 +307,8 @@ class TreeRegistry:
         self.parent[node] = parent
         self.children.setdefault(node, set())
         self.children[parent].add(node)
+        if self._incremental:
+            self._refresh_subtree(node)
         self._emit("attach", node, parent, time)
 
     def reparent(self, node: int, new_parent: int, time: float) -> None:
@@ -211,6 +327,8 @@ class TreeRegistry:
         self.children[old].discard(node)
         self.parent[node] = new_parent
         self.children[new_parent].add(node)
+        if self._incremental:
+            self._refresh_subtree(node)
         self._emit("reparent", node, new_parent, time)
 
     def depart(self, node: int, time: float) -> None:
@@ -230,6 +348,11 @@ class TreeRegistry:
         orphans = sorted(self.children.pop(node, set()))
         for child in orphans:
             self.parent[child] = None
+        if self._incremental:
+            self._reachable.discard(node)
+            self._depth.pop(node, None)
+            for child in orphans:
+                self._refresh_subtree(child)
         for child in orphans:
             self._emit("orphan", child, None, time)
         self._emit("depart", node, up, time)
@@ -266,6 +389,9 @@ class TreeRegistry:
             self.children[parent].discard(child)
             self.parent[child] = node
             self.children[node].add(child)
+        if self._incremental:
+            # One pass from the inserted node covers the adopted subtrees too.
+            self._refresh_subtree(node)
         if old != parent:
             self._emit("attach" if old is None else "reparent", node, parent, time)
         for child in adopt:
@@ -277,9 +403,12 @@ class TreeRegistry:
 # --------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
-class JoinRecord:
-    """One completed (or failed) join/reconnect/refine attempt."""
+class JoinRecord(NamedTuple):
+    """One completed (or failed) join/reconnect/refine attempt.
+
+    NamedTuple rather than a dataclass: one is built per join, reconnect,
+    and refinement attempt, which adds up under churn.
+    """
 
     node: int
     kind: str  # "join" | "reconnect" | "refine"
@@ -353,6 +482,21 @@ class ProtocolRuntime:
         self.timeout_ms = timeout_ms
         self.measurement_noise_sigma = measurement_noise_sigma
         self._noise_rng = noise_rng
+        # Measurement-noise draws come out of a block buffer: one
+        # ``Generator.lognormal`` call refills 256 draws, probes then
+        # consume them in stream order.  numpy Generators are
+        # batch-invariant (the draw sequence does not depend on request
+        # granularity), so the values are bit-for-bit what per-call draws
+        # produce.  The ablation baseline (REPRO_INCREMENTAL_TREE=0)
+        # keeps the pre-optimization one-Generator-call-per-probe path,
+        # and likewise the Event-per-delivery scheduling in tell/request.
+        self._fast_path = incremental_tree_enabled()
+        self._noise_buf: list[float] = []
+        self._noise_pos = 0
+        # Bound-method hoists for the per-message hot path.
+        self._sched_fire = sim.schedule_fire_in
+        self._delay_ms = underlay.delay_ms
+        self._timeout_s = timeout_ms / 1000.0
         self.tree = TreeRegistry(source)
         self.agents: dict[int, OverlayAgent] = {}
         self._alive: set[int] = set()
@@ -360,7 +504,10 @@ class ProtocolRuntime:
         #: optional fault-injection hook (see :mod:`repro.sim.faults`).
         #: ``None`` keeps the delivery paths exactly as fast as before.
         self.faults = None
-        self.message_counts: Counter[str] = Counter()
+        #: control messages by concrete type; keying on the class object
+        #: skips a ``__name__`` lookup per message on the counting hot
+        #: path.  The public name-keyed view is :attr:`message_counts`.
+        self._msg_counts: Counter[type] = Counter()
         self.join_records: list[JoinRecord] = []
 
     # -- agent lifecycle ------------------------------------------------------
@@ -412,37 +559,89 @@ class ProtocolRuntime:
             raise ValueError(f"samples must be >= 1, got {samples}")
         base = float(self.metric(a, b))
         if self.measurement_noise_sigma > 0 and a != b:
-            noise = np.mean(
-                self._noise_rng.lognormal(
-                    0.0, self.measurement_noise_sigma, size=samples
+            if self._fast_path:
+                # Inline the single-sample case (the join-time hot path);
+                # multi-sample means go through _noise_mean.
+                pos = self._noise_pos
+                if samples == 1 and pos < len(self._noise_buf):
+                    self._noise_pos = pos + 1
+                    base *= self._noise_buf[pos]
+                else:
+                    base *= self._noise_mean(samples)
+            else:
+                # Pre-buffering behavior: one Generator call per probe.
+                base *= float(
+                    np.mean(
+                        self._noise_rng.lognormal(
+                            0.0, self.measurement_noise_sigma, size=samples
+                        )
+                    )
                 )
-            )
-            base *= float(noise)
         return base
+
+    def _noise_mean(self, samples: int) -> float:
+        """Mean of the next ``samples`` buffered noise draws.
+
+        Values and RNG stream are bit-identical to drawing a fresh
+        ``size=samples`` array per call and taking ``np.mean`` of it:
+        the buffer serves draws in stream order, and for the sample
+        counts the protocols use (< 8) numpy's pairwise mean reduces to
+        the same left-to-right sum this computes directly.
+        """
+        pos = self._noise_pos
+        buf = self._noise_buf
+        if pos + samples > len(buf):
+            fresh = self._noise_rng.lognormal(
+                0.0, self.measurement_noise_sigma, size=max(256, samples)
+            ).tolist()
+            buf = buf[pos:] + fresh
+            self._noise_buf = buf
+            self._noise_pos = pos = 0
+        self._noise_pos = pos + samples
+        if samples == 1:
+            return buf[pos]
+        if samples < 8:
+            total = 0.0
+            for i in range(pos, pos + samples):
+                total += buf[i]
+            return total / samples
+        return float(np.mean(np.array(buf[pos : pos + samples])))
 
     # -- messaging ---------------------------------------------------------------
 
     @property
     def total_control_messages(self) -> int:
-        return sum(self.message_counts.values())
+        return sum(self._msg_counts.values())
 
-    def _count(self, msg: Message) -> None:
-        self.message_counts[type(msg).__name__] += 1
+    @property
+    def message_counts(self) -> Counter[str]:
+        """Control-message counts keyed by message type name."""
+        return Counter(
+            {t.__name__: c for t, c in self._msg_counts.items()}
+        )
 
     def tell(self, src: int, dst: int, msg: Message) -> None:
         """Fire-and-forget control message."""
-        self._count(msg)
-        if not self.is_alive(dst):
+        self._msg_counts[msg.__class__] += 1
+        if dst not in self._alive:
             return
-        delay = self.underlay.delay_ms(src, dst) / 1000.0
+        delay = self._delay_ms(src, dst) / 1000.0
+
+        def deliver() -> None:
+            # is_responsive, inlined: this closure runs once per delivery.
+            if dst in self._alive and dst not in self._frozen:
+                self.agents[dst].handle_tell(src, msg)
+
         if self.faults is None:
+            if self._fast_path:
+                # Fault-free fast path: no cancellation, no debug label,
+                # no Event allocation.  Consumes the same sequence number
+                # a schedule_in call would, so ordering is unchanged.
+                self._sched_fire(delay, deliver)
+                return
             delays: tuple[float, ...] = (delay,)
         else:
             delays = self.faults.delivery_delays(src, dst, msg, delay, leg="tell")
-
-        def deliver() -> None:
-            if self.is_responsive(dst):
-                self.agents[dst].handle_tell(src, msg)
 
         for d in delays:
             self.sim.schedule_in(d, deliver, label=f"tell:{type(msg).__name__}")
@@ -462,60 +661,78 @@ class ProtocolRuntime:
         one-way latency.  If the target is (or dies) unreachable, the
         requester's ``on_timeout`` fires after ``timeout_ms``.
         """
-        self._count(msg)
-        timeout_event = self.sim.schedule_in(
-            self.timeout_ms / 1000.0,
-            lambda: self._fire_timeout(src, on_timeout),
-            label="timeout",
-        )
-        if not self.is_alive(dst):
-            return  # request lost; timeout will fire
-        delay = self.underlay.delay_ms(src, dst) / 1000.0
-        if self.faults is None:
-            req_delays: tuple[float, ...] = (delay,)
-        else:
-            req_delays = self.faults.delivery_delays(
-                src, dst, msg, delay, leg="request"
+        self._msg_counts[msg.__class__] += 1
+
+        def fire_timeout() -> None:
+            if src in self._alive:
+                on_timeout()
+
+        if self._fast_path:
+            timeout_event = self.sim.schedule_cancellable_in(
+                self._timeout_s, fire_timeout
             )
+        else:
+            timeout_event = self.sim.schedule_in(
+                self._timeout_s, fire_timeout, label="timeout"
+            )
+        if dst not in self._alive:
+            return  # request lost; timeout will fire
+        delay = self._delay_ms(src, dst) / 1000.0
+        fast = self.faults is None and self._fast_path
 
         def deliver_request() -> None:
-            if not self.is_responsive(dst):
+            # is_responsive, inlined: these closures run once per delivery.
+            if dst not in self._alive or dst in self._frozen:
                 return
             reply = self.agents[dst].handle_request(src, msg)
             if reply is None:
                 return
-            self._count(reply)
+            self._msg_counts[reply.__class__] += 1
+
+            def deliver_reply() -> None:
+                if src not in self._alive or src in self._frozen:
+                    return
+                timeout_event.cancel()
+                on_reply(reply)
+
+            if fast:
+                self._sched_fire(delay, deliver_reply)
+                return
             if self.faults is None:
                 rep_delays: tuple[float, ...] = (delay,)
             else:
                 rep_delays = self.faults.delivery_delays(
                     dst, src, reply, delay, leg="reply"
                 )
-
-            def deliver_reply() -> None:
-                if not self.is_responsive(src):
-                    return
-                timeout_event.cancel()
-                on_reply(reply)
-
             for d in rep_delays:
                 self.sim.schedule_in(
                     d, deliver_reply, label=f"reply:{type(reply).__name__}"
                 )
 
+        if fast:
+            self._sched_fire(delay, deliver_request)
+            return
+        if self.faults is None:
+            req_delays: tuple[float, ...] = (delay,)
+        else:
+            req_delays = self.faults.delivery_delays(
+                src, dst, msg, delay, leg="request"
+            )
         for d in req_delays:
             self.sim.schedule_in(
                 d, deliver_request, label=f"req:{type(msg).__name__}"
             )
 
-    def _fire_timeout(self, src: int, on_timeout: Callable[[], None]) -> None:
-        if self.is_alive(src):
-            on_timeout()
-
     # -- join bookkeeping ----------------------------------------------------------
 
     def record_join(self, record: JoinRecord) -> None:
         self.join_records.append(record)
+
+
+# Interned probe payloads: immutable values sent hundreds of thousands of
+# times per run — one instance each is enough.
+_INFO_WITH_CHILDREN = InfoRequest(want_children=True)
+_INFO_PROBE = InfoRequest(want_children=False)
 
 
 # --------------------------------------------------------------------------
@@ -599,11 +816,17 @@ class OverlayAgent:
 
     def child_info(self) -> tuple[ChildInfo, ...]:
         env = self.env
+        agents = env.agents
+        alive = env._alive
         infos = []
         for child, dist in sorted(self.children.items()):
-            agent = env.agents.get(child)
-            free = agent.free_degree if agent is not None and env.is_alive(child) else 0
-            infos.append(ChildInfo(node_id=child, distance=dist, free_degree=free))
+            agent = agents.get(child)
+            free = (
+                agent.free_degree
+                if agent is not None and child in alive
+                else 0
+            )
+            infos.append(ChildInfo(child, dist, free))
         return tuple(infos)
 
     # -- lifecycle ---------------------------------------------------------------
@@ -794,14 +1017,17 @@ class OverlayAgent:
     # -- message handlers -----------------------------------------------------------
 
     def handle_request(self, sender: int, msg: Message) -> Message | None:
-        if isinstance(msg, InfoRequest):
+        # Exact type checks: the message vocabulary has no subclasses, and
+        # this dispatch runs once per request in a session.  free_degree
+        # stays a property access — subclasses override it.
+        if type(msg) is InfoRequest:
             return InfoResponse(
-                node_id=self.node_id,
-                free_degree=self.free_degree,
-                parent=self.parent,
-                children=self.child_info() if msg.want_children else (),
+                self.node_id,
+                self.free_degree,
+                self.parent,
+                self.child_info() if msg.want_children else (),
             )
-        if isinstance(msg, ConnRequest):
+        if type(msg) is ConnRequest:
             return self._handle_conn_request(sender, msg)
         raise TypeError(f"unexpected request {type(msg).__name__}")
 
@@ -850,6 +1076,19 @@ class OverlayAgent:
                 # ChildRemove still in flight) is no longer ours to give.
                 and tree.parent.get(c) == self.node_id
             ]
+            # The adopt list was sized from the sender's view of its own
+            # capacity, but that view can be stale (a late duplicate
+            # ChildRemove under message faults) or raced (an attach the
+            # sender accepted while this insert was in flight).  Clamp to
+            # the sender's ground-truth remaining capacity at commit time
+            # so the insert can never overfill the newcomer.
+            sender_agent = env.agents.get(sender)
+            if sender_agent is not None:
+                room = sender_agent.degree_limit - len(
+                    tree.children.get(sender, ())
+                )
+                if len(transferable) > room:
+                    transferable = transferable[: max(room, 0)]
             if not transferable and self.free_degree <= 0:
                 # The directional children vanished and no slot is free, so
                 # neither the insert nor an attach fallback can proceed.
@@ -1008,7 +1247,7 @@ class JoinProcess:
             self._restart_at_source()
 
         self.env.request(
-            me, pivot, InfoRequest(want_children=True), on_reply, on_timeout
+            me, pivot, _INFO_WITH_CHILDREN, on_reply, on_timeout
         )
 
     def _probe_children(self, pivot: int, info: InfoResponse) -> None:
@@ -1042,11 +1281,7 @@ class JoinProcess:
                 # fresher than the parent's cached view.
                 results[child] = (
                     dist,
-                    ChildInfo(
-                        node_id=child,
-                        distance=child_info.distance,
-                        free_degree=reply.free_degree,
-                    ),
+                    ChildInfo(child, child_info.distance, reply.free_degree),
                 )
             if not outstanding:
                 self._decide(pivot, info, results)
@@ -1055,7 +1290,7 @@ class JoinProcess:
             self.env.request(
                 me,
                 ci.node_id,
-                InfoRequest(want_children=False),
+                _INFO_PROBE,
                 lambda reply, ci=ci: finish_one(ci, reply),
                 lambda ci=ci: finish_one(ci, None),
             )

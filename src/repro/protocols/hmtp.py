@@ -163,11 +163,13 @@ class HMTPAgent(OverlayAgent):
             path = self.env.tree.path_to_source(self.node_id)
         except ValueError:
             return self.env.source
-        # Exclude ourselves; the path still includes our parent and root.
-        candidates = path[1:]
-        if not candidates:
+        # Exclude ourselves (index 0); the path still includes our parent
+        # and root.  Indexing instead of slicing skips a tuple copy per
+        # refinement tick.
+        n = len(path) - 1
+        if n <= 0:
             return self.env.source
-        return int(candidates[int(self.rng.integers(len(candidates)))])
+        return int(path[1 + int(self.rng.integers(n))])
 
     def accept_refine_target(self, target: int) -> bool:
         """Switch only to a strictly closer parent (HMTP's rule)."""

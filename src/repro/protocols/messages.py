@@ -3,9 +3,12 @@
 Section 5.2.2 of the paper defines the wire protocol between peers:
 ``information request/response``, ``connection request/response``,
 ``parent change``, and ``grandparent change``; a ``leave`` notification is
-required by the reconnection procedure (Section 3.3).  The dataclasses here
+required by the reconnection procedure (Section 3.3).  The classes here
 are that vocabulary; they are shared by VDM, HMTP, and BTP (the baselines
 use the same request/response plumbing with protocol-specific join logic).
+The per-probe payloads (info request/response and their children entries)
+are NamedTuples — they are constructed hundreds of thousands of times per
+run; the rest are frozen dataclasses under the :class:`Message` marker.
 
 Messages are immutable values.  Latency, loss, and timeouts are the
 runtime's business (:mod:`repro.protocols.base`), not the messages'.
@@ -14,6 +17,7 @@ runtime's business (:mod:`repro.protocols.base`), not the messages'.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 __all__ = [
     "Message",
@@ -34,13 +38,17 @@ class Message:
     """Base class for every control message."""
 
 
-@dataclass(frozen=True)
-class ChildInfo:
+class ChildInfo(NamedTuple):
     """One entry of an information response's children list.
 
     ``distance`` is the *parent's* virtual distance to this child, measured
     when the child connected (the paper: nodes "store... children list and
     distances to them").
+
+    A NamedTuple rather than a dataclass: hundreds of thousands of these
+    are built per run (one per child per information reply), and tuple
+    construction skips the frozen-dataclass ``object.__setattr__`` round
+    trip per field.
     """
 
     node_id: int
@@ -48,21 +56,26 @@ class ChildInfo:
     free_degree: int
 
 
-@dataclass(frozen=True)
-class InfoRequest(Message):
+class InfoRequest(NamedTuple):
     """Ping/probe.  Doubles as an RTT measurement (the reply echoes back).
 
     ``want_children`` asks the target to include its children list — the
     first message of every join iteration.  A bare probe (``False``) is the
     per-child distance measurement.
+
+    NamedTuple for the same hot-construction reason as :class:`ChildInfo`
+    (one per probe).
     """
 
     want_children: bool = False
 
 
-@dataclass(frozen=True)
-class InfoResponse(Message):
-    """Reply to :class:`InfoRequest`."""
+class InfoResponse(NamedTuple):
+    """Reply to :class:`InfoRequest`.
+
+    NamedTuple for the same hot-construction reason as :class:`ChildInfo`
+    (one per probe reply).
+    """
 
     node_id: int
     free_degree: int

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 from repro.protocols.base import TreeRegistry
 from repro.sim.network import Underlay, _cache_enabled_from_env
+from repro.util.envflags import incremental_tree_enabled
 from repro.util.intervals import IntervalSet
 from repro.util.validation import check_positive
 
@@ -109,6 +110,19 @@ class DeliveryAccountant:
         # baseline disables every hot-path memo at once.
         self._memo_enabled = _cache_enabled_from_env()
         self._hop_success: dict[tuple[int, int], float] = {}
+        # Cumulative path-success per reachable node, maintained in the
+        # same top-down pass that refreshes a mutated subtree:
+        # success(child) = success(parent) * hop(parent, child).  Disabled
+        # by REPRO_INCREMENTAL_TREE=0, which falls back to the
+        # full-recompute oracle (_reference_path_success, identical
+        # multiplication order, so the two modes agree bit for bit).
+        self._incremental = incremental_tree_enabled()
+        self._success: dict[int, float] = {tree.source: 1.0}
+        # Window aggregates (loss_rate / mean_node_loss share one pass);
+        # any tree mutation invalidates every memoized window.
+        self._window_memo: dict[
+            tuple[float, float], tuple[float, float, tuple[float, ...]]
+        ] = {}
         tree.add_listener(self._on_tree_event)
 
     # -- event handling ---------------------------------------------------------
@@ -116,7 +130,9 @@ class DeliveryAccountant:
     def _on_tree_event(
         self, kind: str, node: int, parent: int | None, time: float
     ) -> None:
+        self._window_memo.clear()
         if kind == "depart":
+            self._success.pop(node, None)
             ledger = self._ledger.get(node)
             if ledger is not None:
                 ledger.close_segment(time)
@@ -124,8 +140,11 @@ class DeliveryAccountant:
                 ledger.lifetime.close(time)
             return
         # attach / orphan / reparent: the whole subtree's paths changed.
+        # subtree() is preorder, so a member's parent is refreshed (and its
+        # cumulative success stored) before the member itself.
+        source = self.tree.source
         for member in self.tree.subtree(node):
-            if member == self.tree.source:
+            if member == source:
                 continue
             self._refresh(member, time)
 
@@ -137,21 +156,40 @@ class DeliveryAccountant:
             ledger.reachable.open(time)
             ledger.open_new(time, self._path_success(node))
         else:
+            self._success.pop(node, None)
             ledger.close_segment(time)
             ledger.reachable.close(time)
 
+    def _hop(self, parent: int, child: int) -> float:
+        """Per-overlay-hop delivery probability (memoized; links are static)."""
+        if not self._memo_enabled:
+            return 1.0 - self.underlay.path_error(parent, child)
+        hop = self._hop_success.get((parent, child))
+        if hop is None:
+            hop = 1.0 - self.underlay.path_error(parent, child)
+            self._hop_success[(parent, child)] = hop
+        return hop
+
     def _path_success(self, node: int) -> float:
         """Probability a chunk survives the overlay path source -> node."""
-        success = 1.0
+        if self._incremental:
+            # O(1): extend the parent's maintained product by one hop.
+            parent = self.tree.parent[node]
+            success = self._success[parent] * self._hop(parent, node)
+            self._success[node] = success
+            return success
+        return self._reference_path_success(node)
+
+    def _reference_path_success(self, node: int) -> float:
+        """Full-recompute oracle: product over the whole root path.
+
+        Multiplies source-outward so the floating-point association is
+        identical to the incremental parent-times-hop product.
+        """
         path = self.tree.path_to_source(node)
-        memo = self._hop_success
-        for child, parent in zip(path[:-1], path[1:]):
-            hop = memo.get((parent, child)) if self._memo_enabled else None
-            if hop is None:
-                hop = 1.0 - self.underlay.path_error(parent, child)
-                if self._memo_enabled:
-                    memo[(parent, child)] = hop
-            success *= hop
+        success = 1.0
+        for i in range(len(path) - 1, 0, -1):
+            success *= self._hop(path[i], path[i - 1])
         return success
 
     # -- queries --------------------------------------------------------------------
@@ -224,14 +262,47 @@ class DeliveryAccountant:
         received = ledger.expected_received(w0, w1, self.chunk_rate)
         return NodeDeliveryStats(node, expected, min(received, expected))
 
-    def loss_rate(self, w0: float, w1: float) -> float:
-        """Aggregate loss over all tracked nodes in the window (eq. 3.7)."""
-        expected = 0.0
-        received = 0.0
+    def _window_totals(
+        self, w0: float, w1: float
+    ) -> tuple[float, float, tuple[float, ...]]:
+        """One pass over the ledger: (sum expected, sum received, loss rates).
+
+        Backs both :meth:`loss_rate` and :meth:`mean_node_loss` so callers
+        polling both per measurement window walk the ledger once, not
+        twice.  Memoized per window; any tree mutation clears the memo
+        (see :meth:`_on_tree_event`).
+        """
+        if w1 < w0:
+            raise ValueError(f"bad window [{w0}, {w1})")
+        key = (w0, w1)
+        cached = self._window_memo.get(key)
+        if cached is not None:
+            return cached
+        expected_total = 0.0
+        received_total = 0.0
+        rates: list[float] = []
         for node in self._ledger:
             stats = self.node_stats(node, w0, w1)
-            expected += stats.expected_chunks
-            received += stats.received_chunks
+            expected_total += stats.expected_chunks
+            received_total += stats.received_chunks
+            if stats.expected_chunks > 0:
+                rates.append(stats.loss_rate)
+        result = (expected_total, received_total, tuple(rates))
+        self._window_memo[key] = result
+        return result
+
+    def loss_rate(self, w0: float, w1: float) -> float:
+        """Aggregate loss over all tracked nodes in the window (eq. 3.7)."""
+        if not self._incremental:
+            # Pre-incremental behavior: own full pass, no shared memo.
+            expected = 0.0
+            received = 0.0
+            for node in self._ledger:
+                stats = self.node_stats(node, w0, w1)
+                expected += stats.expected_chunks
+                received += stats.received_chunks
+        else:
+            expected, received, _ = self._window_totals(w0, w1)
         if expected <= 0:
             return 0.0
         return max(0.0, 1.0 - received / expected)
@@ -239,11 +310,14 @@ class DeliveryAccountant:
     def mean_node_loss(self, w0: float, w1: float) -> float:
         """Unweighted mean of per-node loss rates (the paper's 'average
         loss rate for all nodes')."""
-        rates = [
-            stats.loss_rate
-            for node in self._ledger
-            if (stats := self.node_stats(node, w0, w1)).expected_chunks > 0
-        ]
+        if not self._incremental:
+            rates = tuple(
+                stats.loss_rate
+                for node in self._ledger
+                if (stats := self.node_stats(node, w0, w1)).expected_chunks > 0
+            )
+        else:
+            _, _, rates = self._window_totals(w0, w1)
         if not rates:
             return 0.0
         return sum(rates) / len(rates)

@@ -2,8 +2,16 @@
 
 The :class:`TreeRegistry` is the ground truth of every session, and every
 protocol action lands there as a mutation.  :class:`InvariantChecker`
-subscribes to the registry's listener stream and re-validates the global
-tree invariants after **every** mutation:
+subscribes to the registry's listener stream and validates the tree
+invariants after **every** mutation.  Per mutation it runs *localized*
+checks — only the touched node, its new ancestry, and the degree of the
+changed parent (O(depth) instead of O(n·depth)); a configurable periodic
+cadence (plus the end-of-run ``verify_all``) re-runs the full structural
+sweep as the oracle.  ``REPRO_INCREMENTAL_TREE=0`` forces the full sweep
+on every mutation — the pre-optimization behavior — which the perf
+report's ablation and the equivalence tests use.
+
+The global invariants the full sweep enforces:
 
 * the source is present and is the root (no parent pointer);
 * the structure maps agree (``parent`` and ``children`` keys coincide,
@@ -30,6 +38,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
+
+from repro.util.envflags import incremental_tree_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.protocols.base import ProtocolRuntime
@@ -94,9 +104,19 @@ class InvariantChecker:
         :attr:`violations` and keeps going.
     trace_len:
         How many recent mutations to keep for violation traces.
+    full_sweep_every:
+        Run the full structural sweep every this many mutations (the
+        localized per-mutation checks run on all the others).  ``1``
+        full-sweeps every mutation — the pre-optimization behavior, also
+        forced when ``REPRO_INCREMENTAL_TREE=0`` is set.  ``None`` uses
+        :attr:`DEFAULT_FULL_SWEEP_EVERY`.
     """
 
     MODES = ("raise", "record")
+    #: default full-sweep cadence, in mutations.  Localized checks catch
+    #: every single-mutation corruption; the sweep is the safety net for
+    #: drift the local view cannot see.
+    DEFAULT_FULL_SWEEP_EVERY = 128
 
     def __init__(
         self,
@@ -104,11 +124,22 @@ class InvariantChecker:
         *,
         mode: str = "raise",
         trace_len: int = 50,
+        full_sweep_every: int | None = None,
     ) -> None:
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        if full_sweep_every is None:
+            full_sweep_every = self.DEFAULT_FULL_SWEEP_EVERY
+        if full_sweep_every < 1:
+            raise ValueError(
+                f"full_sweep_every must be >= 1, got {full_sweep_every}"
+            )
+        if not incremental_tree_enabled():
+            full_sweep_every = 1
         self.env = env
         self.mode = mode
+        self.full_sweep_every = full_sweep_every
+        self._mutations_since_sweep = 0
         self.trace: deque[TreeEvent] = deque(maxlen=trace_len)
         self.violations: list[InvariantViolation] = []
         self.checks_run = 0
@@ -120,7 +151,12 @@ class InvariantChecker:
         self, kind: str, node: int, parent: int | None, time: float
     ) -> None:
         self.trace.append(TreeEvent(time=time, kind=kind, node=node, parent=parent))
-        self.check_tree(time)
+        self._mutations_since_sweep += 1
+        if self._mutations_since_sweep >= self.full_sweep_every:
+            self._mutations_since_sweep = 0
+            self.check_tree(time)
+        else:
+            self.check_mutation(kind, node, parent, time)
 
     # -- checks ---------------------------------------------------------------
 
@@ -130,6 +166,138 @@ class InvariantChecker:
         self.checks_run += 1
         for invariant, node, msg in self._scan_tree():
             self._report(invariant, msg, node=node, time=now)
+
+    def check_mutation(
+        self, kind: str, node: int, parent: int | None, time: float | None = None
+    ) -> None:
+        """Validate only the state one mutation could have touched.
+
+        O(depth of the touched node) instead of the full sweep's
+        O(n·depth): the mutated node's map entries, edge symmetry at the
+        changed parent, the node's *new* ancestry (acyclicity and dangling
+        pointers), and the degree bound at the changed parent only.
+        Everything the mutation could not reach is covered by the periodic
+        full sweep.
+        """
+        now = self.env.sim.now if time is None else time
+        self.checks_run += 1
+        for invariant, n, msg in self._scan_mutation(kind, node, parent):
+            self._report(invariant, msg, node=n, time=now)
+
+    def _scan_mutation(
+        self, kind: str, node: int, parent: int | None
+    ) -> Iterator[tuple[str, int | None, str]]:
+        tree = self.env.tree
+        pmap = tree.parent
+        cmap = tree.children
+        source = tree.source
+
+        # Source anchoring is O(1); keep it on every mutation.
+        if source not in pmap:
+            yield "source-present", source, f"source {source} is absent"
+            return
+        if pmap.get(source) is not None:
+            yield (
+                "source-root",
+                source,
+                f"source {source} has parent {pmap[source]}",
+            )
+
+        if kind == "depart":
+            if node in pmap or node in cmap:
+                yield (
+                    "structure-maps",
+                    node,
+                    f"departed node {node} still present in the registry",
+                )
+            if parent is not None and node in cmap.get(parent, ()):
+                yield (
+                    "edge-symmetry",
+                    node,
+                    f"children[{parent}] still lists departed node {node}",
+                )
+            return
+
+        if kind == "orphan":
+            if node not in pmap or node not in cmap:
+                yield (
+                    "structure-maps",
+                    node,
+                    f"orphan {node} missing from the structure maps",
+                )
+            elif pmap[node] is not None:
+                yield (
+                    "edge-symmetry",
+                    node,
+                    f"orphan event for {node} but parent[{node}] is "
+                    f"{pmap[node]!r}",
+                )
+            return
+
+        # attach / reparent
+        if node not in pmap or node not in cmap:
+            yield (
+                "structure-maps",
+                node,
+                f"node {node} missing from the structure maps",
+            )
+            return
+        if parent is None or parent not in pmap:
+            yield (
+                "dangling-parent",
+                node,
+                f"node {node} has departed parent {parent}",
+            )
+            return
+        if pmap[node] != parent:
+            yield (
+                "edge-symmetry",
+                node,
+                f"{kind} event says {parent} -> {node} but parent[{node}] "
+                f"is {pmap[node]!r}",
+            )
+        if node not in cmap.get(parent, ()):
+            yield (
+                "edge-symmetry",
+                node,
+                f"edge {parent} -> {node} missing from children[{parent}]",
+            )
+
+        # Acyclicity and dangling pointers along the node's new ancestry.
+        cur = node
+        steps = 0
+        limit = len(pmap)
+        while cur != source:
+            up = pmap.get(cur)
+            if up is None:
+                break  # ancestry ends at a (legal) orphan root
+            if up not in pmap:
+                yield (
+                    "dangling-parent",
+                    cur,
+                    f"node {cur} has departed parent {up}",
+                )
+                break
+            steps += 1
+            if steps > limit:
+                yield (
+                    "acyclicity",
+                    node,
+                    f"parent chain from {node} does not terminate "
+                    f"(cycle through {up})",
+                )
+                break
+            cur = up
+
+        # Degree bound, only at the changed parent.
+        agent = self.env.agents.get(parent)
+        if agent is not None and len(cmap.get(parent, ())) > agent.degree_limit:
+            yield (
+                "degree-bound",
+                parent,
+                f"node {parent} has {len(cmap[parent])} registry children, "
+                f"degree limit {agent.degree_limit}",
+            )
 
     def _scan_tree(self) -> Iterator[tuple[str, int | None, str]]:
         tree = self.env.tree

@@ -34,6 +34,7 @@ from typing import Hashable, Sequence
 
 import networkx as nx
 import numpy as np
+from scipy.sparse import csgraph
 
 __all__ = ["Underlay", "RouterUnderlay", "MatrixUnderlay"]
 
@@ -178,8 +179,6 @@ class RouterUnderlay(Underlay):
 
     def _ensure_dijkstra(self, router: int) -> None:
         if router not in self._dist:
-            from scipy.sparse import csgraph
-
             dist, pred = csgraph.dijkstra(
                 self._csr,
                 directed=False,
@@ -330,6 +329,13 @@ class MatrixUnderlay(Underlay):
         # floats, so this matches the historical per-call division bit for
         # bit while keeping the hot path a plain array load).
         self._delay = rtt_arr * 0.5
+        # Nested-list mirrors of both matrices: a Python list-of-lists
+        # subscript is several times cheaper than a numpy scalar index,
+        # and ``tolist()`` yields the exact same Python floats that
+        # ``float(arr[i, j])`` would.  delay_ms/rtt_ms are the hottest
+        # calls in a session (one per message leg, one per probe).
+        self._delay_rows = self._delay.tolist()
+        self._rtt_rows = rtt_arr.tolist()
         self._loss = loss
         self._hosts = list(host_ids)
         self._index = {h: i for i, h in enumerate(self._hosts)}
@@ -342,10 +348,19 @@ class MatrixUnderlay(Underlay):
 
     def delay_ms(self, a: int, b: int) -> float:
         try:
-            i, j = self._index[a], self._index[b]
+            return self._delay_rows[self._index[a]][self._index[b]]
         except KeyError as exc:
             raise KeyError(f"unknown host {exc.args[0]!r}") from None
-        return float(self._delay[i, j])
+
+    def rtt_ms(self, a: int, b: int) -> float:
+        # Overrides the base-class ``2 * delay_ms`` chain with a single
+        # subscript; ``2.0 * (rtt * 0.5) == rtt`` exactly in IEEE floats,
+        # so the value is unchanged.  This is the default virtual-distance
+        # metric, called once per probe.
+        try:
+            return self._rtt_rows[self._index[a]][self._index[b]]
+        except KeyError as exc:
+            raise KeyError(f"unknown host {exc.args[0]!r}") from None
 
     def path_links(self, a: int, b: int) -> tuple[LinkId, ...]:
         self.validate_host(a)

@@ -1,0 +1,29 @@
+"""Process-wide feature toggles read from the environment.
+
+Performance work in this repo always ships with an ablation switch so the
+perf report can measure exactly what an optimization buys and tests can
+assert the optimized and reference code paths agree bit for bit:
+
+* ``REPRO_UNDERLAY_CACHE=0`` — disable the per-pair underlay memos
+  (read in :mod:`repro.sim.network`, PR 1);
+* ``REPRO_INCREMENTAL_TREE=0`` — disable the incrementally maintained
+  tree state: :class:`~repro.protocols.base.TreeRegistry` falls back to
+  parent-chain walks, the invariant checker full-sweeps after every
+  mutation, and the delivery accountant recomputes whole path products.
+
+Flags are read at object construction time, not per call, so a running
+session never changes behavior mid-flight.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["incremental_tree_enabled"]
+
+_FALSE_VALUES = ("0", "false", "no")
+
+
+def incremental_tree_enabled() -> bool:
+    """Whether incrementally maintained tree state is enabled (default on)."""
+    return os.environ.get("REPRO_INCREMENTAL_TREE", "1").lower() not in _FALSE_VALUES

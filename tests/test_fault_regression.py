@@ -21,7 +21,7 @@ from tests.helpers import (
 FIXTURE = FIXTURES_DIR / "worst_fault_schedule.json"
 
 
-def _replay():
+def _replay(*, invariant_sweep_every: int | None = None):
     plan, session, _ = load_fault_fixture(FIXTURE)
     spacing = session["host_spacing_ms"]
     underlay = MatrixUnderlay(
@@ -38,6 +38,7 @@ def _replay():
         seed=session["seed"],
         faults=plan,
         invariant_mode="raise",
+        invariant_sweep_every=invariant_sweep_every,
     )
     factory = getattr(factories, session["protocol"])()
     return MulticastSession(underlay, factory, cfg).run()
@@ -54,6 +55,14 @@ def test_pinned_schedule_stays_clean():
     # the schedule still exercises the fault classes it was pinned for
     assert result.fault_counts.get("drop", 0) > 0
     assert result.fault_counts.get("reply-loss", 0) > 0
+
+
+def test_pinned_schedule_clean_under_localized_checks_only(tmp_path):
+    # A sweep cadence far beyond the schedule's mutation count means the
+    # run is guarded almost exclusively by the localized per-mutation
+    # checks — they alone must keep the pinned worst case clean.
+    result = _replay(invariant_sweep_every=10**9)
+    assert result.violations == []
 
 
 def test_fixture_round_trips_byte_identical(tmp_path):

@@ -16,7 +16,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.harness import experiments
-from repro.harness.parallel import resolve_jobs, run_replications, shutdown_pool
+from repro.harness.parallel import (
+    clamp_jobs,
+    resolve_jobs,
+    run_replications,
+    shutdown_pool,
+)
 from repro.harness.presets import PRESETS
 from repro.sim.network import MatrixUnderlay
 from tests.helpers import line_matrix
@@ -79,6 +84,50 @@ class TestRunReplications:
     def test_resolve_jobs_rejects_nonpositive(self):
         with pytest.raises(ValueError, match="jobs"):
             resolve_jobs(0)
+
+
+class TestClampJobs:
+    def test_none_passes_through(self):
+        assert clamp_jobs(None) is None
+
+    def test_within_cpu_budget_is_untouched(self, monkeypatch):
+        import warnings
+
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning would fail the test
+            assert clamp_jobs(8) == 8
+            assert clamp_jobs(3) == 3
+
+    def test_oversubscription_clamps_with_warning(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
+        with pytest.warns(RuntimeWarning, match="clamping to 2"):
+            assert clamp_jobs(16) == 2
+
+    def test_unknown_cpu_count_assumes_one(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: None)
+        with pytest.warns(RuntimeWarning, match="clamping to 1"):
+            assert clamp_jobs(4) == 1
+
+    def test_cli_jobs_flow_through_clamp(self, monkeypatch):
+        from repro.harness import __main__ as cli
+
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
+        seen: dict = {}
+
+        def fake_run(fig_id, preset, jobs=None, faults=None):
+            seen["jobs"] = jobs
+
+            class _T:
+                def render(self):
+                    return ""
+
+            return _T()
+
+        monkeypatch.setattr(cli, "run_experiment", fake_run)
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            cli.main(["fig3_25", "--jobs", "9", "--preset", "smoke"])
+        assert seen["jobs"] == 2
 
 
 # ---------------------------------------------------------------------------

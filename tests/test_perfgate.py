@@ -1,0 +1,81 @@
+"""Unit tests for the CI perf-regression gate (harness/perfgate.py)."""
+
+import json
+
+import pytest
+
+from repro.harness.perfgate import DEFAULT_MAX_RATIO, compare_reports, main
+
+
+def _report(**groups):
+    return {
+        "schema": "repro-perf-report/2",
+        "groups": {
+            name: {"serial_s": serial} for name, serial in groups.items()
+        },
+    }
+
+
+class TestCompareReports:
+    def test_within_budget_passes(self):
+        current = _report(ch5_churn=10.0)
+        baseline = _report(ch5_churn=9.0)
+        assert compare_reports(current, baseline) == []
+
+    def test_regression_beyond_ratio_fails(self):
+        current = _report(ch5_churn=20.0)
+        baseline = _report(ch5_churn=10.0)
+        failures = compare_reports(current, baseline)
+        assert len(failures) == 1
+        assert "ch5_churn" in failures[0]
+
+    def test_exactly_at_ratio_passes(self):
+        current = _report(ch3_churn=15.0)
+        baseline = _report(ch3_churn=10.0)
+        assert compare_reports(current, baseline, max_ratio=1.5) == []
+
+    def test_missing_group_in_current_fails(self):
+        current = _report(ch3_churn=1.0)
+        baseline = _report(ch3_churn=1.0, ch5_churn=9.0)
+        failures = compare_reports(
+            current, baseline, groups=["ch3_churn", "ch5_churn"]
+        )
+        assert any("ch5_churn" in f for f in failures)
+
+    def test_missing_group_in_baseline_is_skipped(self):
+        current = _report(ch3_churn=1.0, brand_new=50.0)
+        baseline = _report(ch3_churn=1.0)
+        assert compare_reports(current, baseline) == []
+
+    def test_zero_baseline_is_skipped(self):
+        current = _report(ch3_churn=5.0)
+        baseline = _report(ch3_churn=0.0)
+        assert compare_reports(current, baseline) == []
+
+    def test_default_ratio(self):
+        assert DEFAULT_MAX_RATIO == 1.5
+
+
+class TestMain:
+    def _write(self, tmp_path, name, report):
+        p = tmp_path / name
+        p.write_text(json.dumps(report))
+        return str(p)
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        cur = self._write(tmp_path, "cur.json", _report(ch5_churn=10.0))
+        base = self._write(tmp_path, "base.json", _report(ch5_churn=10.0))
+        assert main([cur, base]) == 0
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        cur = self._write(tmp_path, "cur.json", _report(ch5_churn=30.0))
+        base = self._write(tmp_path, "base.json", _report(ch5_churn=10.0))
+        assert main([cur, base]) == 1
+        err = capsys.readouterr().err
+        assert "ch5_churn" in err
+
+    def test_max_regression_flag(self, tmp_path):
+        cur = self._write(tmp_path, "cur.json", _report(ch5_churn=18.0))
+        base = self._write(tmp_path, "base.json", _report(ch5_churn=10.0))
+        assert main([cur, base]) == 1
+        assert main([cur, base, "--max-regression", "2.0"]) == 0
