@@ -27,6 +27,7 @@ from repro.harness.parallel import clamp_jobs
 from repro.harness.presets import PRESETS
 from repro.harness.registry import REGISTRY, run_experiment
 from repro.sim.faults import FAULT_PRESETS
+from repro.util import artifacts
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -61,11 +62,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--perf-report",
         nargs="?",
-        const="BENCH_PR3.json",
+        const="BENCH_PR4.json",
         default=None,
         metavar="PATH",
-        help="time experiment groups (full-recompute/serial/parallel) and "
-        "write a JSON perf snapshot (default path: BENCH_PR3.json)",
+        help="time experiment groups (lazy baseline / cold compile / warm "
+        "cache / parallel) and write a JSON perf snapshot "
+        "(default path: BENCH_PR4.json)",
+    )
+    parser.add_argument(
+        "--no-substrate-cache",
+        action="store_true",
+        help="disable the on-disk compiled-substrate cache for this run "
+        "(substrates are still compiled in memory; equivalent to "
+        "REPRO_SUBSTRATE_CACHE=0)",
     )
     parser.add_argument(
         "--perf-groups",
@@ -88,6 +97,9 @@ def main(argv: list[str] | None = None) -> int:
     # Oversubscribed pools thrash; warn-and-clamp rather than silently
     # running slower than serial.
     args.jobs = clamp_jobs(args.jobs)
+    if args.no_substrate_cache:
+        # Via the environment so pool workers inherit the choice too.
+        os.environ[artifacts.CACHE_ENABLED_ENV] = "0"
 
     if args.list:
         width = max(len(k) for k in REGISTRY)

@@ -128,7 +128,14 @@ def _hmtp_spec(refine_period_s: float) -> ProtocolSpec:
 
 # Substrates are deterministic functions of their parameters, so workers
 # rebuild them locally instead of unpickling graph blobs per task; the
-# memo makes that a once-per-process cost.
+# memo makes that a once-per-process cost.  Since PR 4 the builders under
+# these memos compile their underlays (batched all-pairs Dijkstra, dense
+# matrices) and consult the on-disk artifact cache, so "rebuild" in a
+# warm process usually means mmap-loading shared read-only arrays rather
+# than regenerating the topology.  ``clear_cache`` drops only in-process
+# state — the disk cache is content-addressed and never stale by
+# construction, so timed cold runs must point REPRO_CACHE_DIR elsewhere
+# (harness/perfreport.py does exactly that).
 
 
 @lru_cache(maxsize=32)

@@ -24,9 +24,12 @@ Worker count resolution, in priority order:
 3. ``1`` — the exact historical in-process code path (no pool, no pickling).
 
 The pool is created lazily and kept alive across calls (fork start
-method where available), so per-process substrate memos stay warm across
-sweep points.  :func:`shutdown_pool` tears it down — the perf report uses
-that to keep timed runs honest.
+method where available, overridable via ``REPRO_START_METHOD``), so
+per-process substrate memos stay warm across sweep points.  The pool is
+recreated whenever the requested worker count *or* the resolved start
+method changes, so a test forcing ``spawn`` never inherits a stale fork
+pool.  :func:`shutdown_pool` tears it down — the perf report uses that
+to keep timed runs honest.
 """
 
 from __future__ import annotations
@@ -45,8 +48,12 @@ T = TypeVar("T")
 #: environment variable consulted when no explicit job count is given
 JOBS_ENV_VAR = "REPRO_JOBS"
 
+#: environment variable forcing a multiprocessing start method
+START_METHOD_ENV = "REPRO_START_METHOD"
+
 _POOL: ProcessPoolExecutor | None = None
 _POOL_WORKERS: int = 0
+_POOL_METHOD: str | None = None
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -94,29 +101,47 @@ def clamp_jobs(jobs: int | None) -> int | None:
     return jobs
 
 
+def _resolve_start_method() -> str:
+    """The start method the shared pool should use right now.
+
+    ``REPRO_START_METHOD`` wins when set (tests force ``spawn`` this
+    way); otherwise fork where available — it keeps per-process substrate
+    memos cheap to build (copy-on-write), avoids re-importing the package
+    in each worker, and lets workers share the parent's memory-mapped
+    substrate artifacts as read-only pages.
+    """
+    requested = os.environ.get(START_METHOD_ENV, "").strip()
+    methods = multiprocessing.get_all_start_methods()
+    if requested:
+        if requested not in methods:
+            raise ValueError(
+                f"{START_METHOD_ENV}={requested!r} is not one of {methods}"
+            )
+        return requested
+    return "fork" if "fork" in methods else multiprocessing.get_start_method()
+
+
 def _get_pool(workers: int) -> ProcessPoolExecutor:
-    global _POOL, _POOL_WORKERS
-    if _POOL is not None and _POOL_WORKERS != workers:
+    global _POOL, _POOL_WORKERS, _POOL_METHOD
+    method = _resolve_start_method()
+    if _POOL is not None and (_POOL_WORKERS != workers or _POOL_METHOD != method):
         shutdown_pool()
     if _POOL is None:
-        # fork keeps per-process substrate memos cheap to build (copy-on-
-        # write) and avoids re-importing the package in each worker.
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
-        )
+        ctx = multiprocessing.get_context(method)
         _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
         _POOL_WORKERS = workers
+        _POOL_METHOD = method
     return _POOL
 
 
 def shutdown_pool() -> None:
     """Tear down the shared worker pool (tests and perf timing use this)."""
-    global _POOL, _POOL_WORKERS
+    global _POOL, _POOL_WORKERS, _POOL_METHOD
     if _POOL is not None:
         _POOL.shutdown(wait=True)
         _POOL = None
         _POOL_WORKERS = 0
+        _POOL_METHOD = None
 
 
 atexit.register(shutdown_pool)

@@ -31,7 +31,7 @@ def compare_reports(
     baseline: dict,
     *,
     groups: Sequence[str] | None = None,
-    field: str = "serial_s",
+    field: str | Sequence[str] = "serial_s",
     max_ratio: float = DEFAULT_MAX_RATIO,
 ) -> list[str]:
     """Return a list of human-readable failures (empty = gate passes).
@@ -40,9 +40,18 @@ def compare_reports(
     missing from the current report is a failure (the gate must not pass
     because a timing silently disappeared); a group missing from the
     baseline is skipped (new groups have no reference yet).
+
+    ``field`` may be a single timing field or a sequence of them — the
+    PR 4 reports carry several per group (``serial_s``, ``serial_cold_s``,
+    ...) and CI gates the warm *and* cold paths in one invocation.  A
+    field absent from *both* reports is skipped (older baselines predate
+    newer fields); present on only one side it is a failure.
     """
     if max_ratio <= 0:
         raise ValueError(f"max_ratio must be > 0, got {max_ratio}")
+    fields = [field] if isinstance(field, str) else list(field)
+    if not fields:
+        raise ValueError("need at least one field to gate on")
     base_groups = baseline.get("groups", {})
     cur_groups = current.get("groups", {})
     names = list(groups) if groups else sorted(base_groups)
@@ -55,22 +64,25 @@ def compare_reports(
         if cur is None:
             failures.append(f"{name}: missing from current report")
             continue
-        base_t = base.get(field)
-        cur_t = cur.get(field)
-        if base_t is None or cur_t is None:
-            failures.append(
-                f"{name}: field {field!r} missing "
-                f"(baseline={base_t!r}, current={cur_t!r})"
-            )
-            continue
-        if base_t <= 0:
-            continue  # degenerate baseline timing; nothing to compare
-        ratio = cur_t / base_t
-        if ratio > max_ratio:
-            failures.append(
-                f"{name}: {field} {cur_t:.3f}s is {ratio:.2f}x the baseline "
-                f"{base_t:.3f}s (limit {max_ratio:.2f}x)"
-            )
+        for fld in fields:
+            base_t = base.get(fld)
+            cur_t = cur.get(fld)
+            if base_t is None and cur_t is None:
+                continue  # field predates one of the schemas; nothing to gate
+            if base_t is None or cur_t is None:
+                failures.append(
+                    f"{name}: field {fld!r} missing "
+                    f"(baseline={base_t!r}, current={cur_t!r})"
+                )
+                continue
+            if base_t <= 0:
+                continue  # degenerate baseline timing; nothing to compare
+            ratio = cur_t / base_t
+            if ratio > max_ratio:
+                failures.append(
+                    f"{name}: {fld} {cur_t:.3f}s is {ratio:.2f}x the baseline "
+                    f"{base_t:.3f}s (limit {max_ratio:.2f}x)"
+                )
     return failures
 
 
@@ -93,6 +105,13 @@ def main(argv: list[str] | None = None) -> int:
         help="per-group timing field to compare (default: serial_s)",
     )
     parser.add_argument(
+        "--fields",
+        default=None,
+        metavar="F1,F2,...",
+        help="comma-separated timing fields to gate together "
+        "(overrides --field; e.g. serial_s,serial_cold_s)",
+    )
+    parser.add_argument(
         "--max-regression",
         type=float,
         default=DEFAULT_MAX_RATIO,
@@ -107,11 +126,16 @@ def main(argv: list[str] | None = None) -> int:
         if args.groups
         else None
     )
+    fields = (
+        [f.strip() for f in args.fields.split(",") if f.strip()]
+        if args.fields
+        else args.field
+    )
     failures = compare_reports(
         current,
         baseline,
         groups=groups,
-        field=args.field,
+        field=fields,
         max_ratio=args.max_regression,
     )
     if failures:
@@ -119,8 +143,9 @@ def main(argv: list[str] | None = None) -> int:
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
+    shown = ",".join(fields) if isinstance(fields, list) else fields
     print(
-        f"perf gate passed ({args.field}, limit {args.max_regression:.2f}x)"
+        f"perf gate passed ({shown}, limit {args.max_regression:.2f}x)"
     )
     return 0
 

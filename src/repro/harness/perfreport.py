@@ -1,41 +1,54 @@
-"""Machine-readable performance snapshots (``BENCH_PR3.json``).
+"""Machine-readable performance snapshots (``BENCH_PR4.json``).
 
-Each snapshot times experiment groups under three configurations —
+Each snapshot times experiment groups under four configurations —
 
-* ``serial_fulltree_s`` — one process, ``REPRO_INCREMENTAL_TREE=0``
-  (every registry query, invariant sweep, and path-success product
-  recomputed from scratch: the pre-incremental baseline);
-* ``serial_s`` — one process, incremental tree state on (the default);
-* ``parallel_s`` — ``jobs`` worker processes, incremental state on;
+* ``serial_lazy_s`` — one process, ``REPRO_COMPILED_UNDERLAY=0``: the
+  lazy per-source-Dijkstra substrate path (the pre-PR 4 baseline);
+* ``serial_cold_s`` — one process, compiled underlays, artifact cache
+  wiped before every run: pays topology generation, the batched
+  all-pairs Dijkstra, *and* the cache store;
+* ``serial_s`` — one process, compiled underlays, warm artifact cache:
+  substrate setup is an mmap load (the default user experience, and the
+  field :mod:`repro.harness.perfgate` gates in CI);
+* ``parallel_s`` — ``jobs`` worker processes over the warm cache;
 
-— and records the derived speedups.  Committing the JSON gives later PRs a
-perf trajectory to regress against: rerun the same command and compare
-(:mod:`repro.harness.perfgate` automates the comparison in CI).
+— plus *substrate-only* timings (``substrate_lazy_s`` /
+``substrate_cold_s`` / ``substrate_warm_s``): the wall time of just the
+group's substrate builder calls in each mode, which isolates what the
+compilation layer and the cache buy at setup time.
 
-The full-recompute and incremental runs must be *equivalent*, not just
-both plausible: their rendered table JSON is compared byte for byte and a
-mismatch aborts the report.  That check is what licenses reading the
-timing delta as pure overhead removed.
+The lazy and compiled runs must be *equivalent*, not just both
+plausible: their rendered table JSON is compared byte for byte across
+all three serial modes and a mismatch aborts the report.  That check is
+what licenses reading the timing delta as pure overhead removed.
 
 Timed runs are isolated: the experiment cache, the substrate memos, and
-the worker pool are all torn down before and after every measurement, so
-a run never pays for (or benefits from) a previous run's warm state.
-Every configuration is timed three times and the *minimum* wall time is
-reported — the standard defense against scheduler noise on shared
-machines (the minimum is the run least disturbed by unrelated load).
+the worker pool are all torn down before and after every measurement,
+and the artifact cache lives in a private temporary directory for the
+duration of the report (so user caches are never polluted and "cold"
+really means cold).  Every configuration is timed five times and the
+*minimum* wall time is reported, with the configurations *interleaved*
+within each rep: shared machines drift in effective clock speed on
+minute scales, and timing one mode's reps back to back would hand
+whichever mode lands in a fast epoch an unearned win.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import json
 import os
+import shutil
+import tempfile
 from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.harness import experiments as exp
 from repro.harness.parallel import shutdown_pool
 from repro.harness.presets import Preset
+from repro.topology.linkmodel import LinkErrorConfig
+from repro.util.artifacts import CACHE_DIR_ENV, CACHE_ENABLED_ENV
 from repro.util.timing import Stopwatch
 
 __all__ = ["GROUP_RUNNERS", "DEFAULT_GROUPS", "generate_perf_report"]
@@ -54,10 +67,42 @@ GROUP_RUNNERS: dict[str, Callable[[Preset], dict]] = {
     "extensions": exp.extension_tables,
 }
 
-#: groups timed when none are requested — one per evaluation environment
-DEFAULT_GROUPS: tuple[str, ...] = ("ch3_churn", "ch3_degree", "ch5_churn")
+#: groups timed when none are requested — one per evaluation environment,
+#: plus the node sweep (several distinct substrates, so it exercises the
+#: compile-vs-lazy gap and the artifact cache hardest)
+DEFAULT_GROUPS: tuple[str, ...] = (
+    "ch3_churn",
+    "ch3_nodes",
+    "ch3_degree",
+    "ch5_churn",
+)
 
-_TREE_ENV = "REPRO_INCREMENTAL_TREE"
+_COMPILED_ENV = "REPRO_COMPILED_UNDERLAY"
+
+#: timing repetitions per configuration; the minimum wall time is kept.
+#: Five reps (not three) because the minimum is only as good as the
+#: number of drift epochs it samples — see the interleaving note on
+#: :func:`_timed_modes`.
+TIMING_REPS = 5
+
+
+@contextlib.contextmanager
+def _env(**overrides: str):
+    saved = {name: os.environ.get(name) for name in overrides}
+    os.environ.update(overrides)
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def _wipe(cache_root: Path) -> None:
+    shutil.rmtree(cache_root, ignore_errors=True)
+    cache_root.mkdir(parents=True, exist_ok=True)
 
 
 def _render_outputs(tables: dict) -> dict[str, str]:
@@ -65,35 +110,130 @@ def _render_outputs(tables: dict) -> dict[str, str]:
     return {name: tables[name].to_json() for name in sorted(tables)}
 
 
-#: timing repetitions per configuration; the minimum wall time is kept
-TIMING_REPS = 3
-
-
-def _timed_run(
+def _timed_modes(
     runner: Callable[[Preset], dict],
     preset: Preset,
     *,
     jobs: int,
-    incremental: bool,
-) -> tuple[float, dict[str, str]]:
-    saved = os.environ.get(_TREE_ENV)
-    os.environ[_TREE_ENV] = "1" if incremental else "0"
-    best = float("inf")
-    try:
+    cache_root: Path,
+) -> tuple[dict[str, float], dict[str, dict[str, str]]]:
+    """Time all four configurations of one group, reps interleaved.
+
+    Shared machines throttle and un-throttle on minute scales, so timing
+    one mode's reps back to back hands whichever mode lands in a fast
+    epoch an unearned win.  Interleaving runs every mode once per rep —
+    each drift window scores all four — and the per-mode minimum over
+    reps discards contended epochs for all modes alike.
+
+    Rep order matters: ``cold`` wipes the artifact cache and repopulates
+    it, and ``warm``/``parallel`` ride on the cache ``cold`` just built.
+    """
+    specs = (
+        ("lazy", False, 1, True),
+        ("cold", True, 1, True),
+        ("warm", True, 1, False),
+        ("parallel", True, jobs, False),
+    )
+    best = {mode: float("inf") for mode, _, _, _ in specs}
+    outputs: dict[str, dict[str, str]] = {}
+    with _env(**{CACHE_DIR_ENV: str(cache_root), CACHE_ENABLED_ENV: "1"}):
         for _ in range(TIMING_REPS):
-            exp.clear_cache()
-            shutdown_pool()
-            with Stopwatch() as sw:
-                tables = runner(dataclasses.replace(preset, jobs=jobs))
-            best = min(best, sw.elapsed)
-    finally:
-        if saved is None:
-            os.environ.pop(_TREE_ENV, None)
-        else:
-            os.environ[_TREE_ENV] = saved
+            for mode, compiled, mode_jobs, wipe in specs:
+                with _env(**{_COMPILED_ENV: "1" if compiled else "0"}):
+                    if wipe:
+                        _wipe(cache_root)
+                    exp.clear_cache()
+                    shutdown_pool()
+                    with Stopwatch() as sw:
+                        tables = runner(
+                            dataclasses.replace(preset, jobs=mode_jobs)
+                        )
+                    best[mode] = min(best[mode], sw.elapsed)
+                    outputs[mode] = _render_outputs(tables)
         exp.clear_cache()
         shutdown_pool()
-    return best, _render_outputs(tables)
+    return best, outputs
+
+
+def _group_substrate_builders(
+    name: str, preset: Preset
+) -> list[Callable[[], object]]:
+    """Zero-arg builders reproducing exactly the substrates a group uses."""
+    from repro.harness.experiments import _pl_seed
+    from repro.harness.substrates import (
+        build_planetlab_underlay,
+        build_transit_stub_underlay,
+    )
+
+    def ts(n_hosts: int, errors: LinkErrorConfig | None = None):
+        return lambda: build_transit_stub_underlay(
+            n_hosts=n_hosts,
+            seed=preset.seed,
+            ts_config=preset.ts_config,
+            link_errors=errors,
+        )
+
+    def pl(n_select: int, seed: int):
+        return lambda: build_planetlab_underlay(
+            n_select=n_select, seed=seed, n_us=preset.pl_pool_us
+        )
+
+    if name in ("ch3_churn", "ch3_degree", "ablations", "extensions"):
+        return [ts(preset.ch3_hosts)]
+    if name == "ch3_nodes":
+        return [ts(max(preset.ch3_hosts, 2 * n)) for n in preset.node_counts]
+    if name == "ch4_time":
+        return [
+            ts(
+                max(preset.ch3_hosts, 2 * preset.ch4_nodes),
+                LinkErrorConfig(max_error=preset.ch4_max_link_error),
+            )
+        ]
+    if name in ("ch5_churn", "ch5_degree"):
+        return [pl(preset.pl_select, _pl_seed(preset, name.removeprefix("ch5_")))]
+    if name == "ch5_nodes":
+        return [
+            pl(n + 1, _pl_seed(preset, f"nodes{n}")) for n in preset.pl_node_counts
+        ]
+    if name == "ch5_refinement":
+        return [
+            pl(n + 1, _pl_seed(preset, f"refine{n}"))
+            for n in preset.pl_refine_node_counts
+        ]
+    if name == "ch5_mst":
+        return [
+            pl(n + 1, _pl_seed(preset, f"mst{n}")) for n in preset.pl_mst_node_counts
+        ]
+    return []
+
+
+def _time_substrates(
+    builders: Sequence[Callable[[], object]],
+    *,
+    cache_root: Path,
+) -> dict[str, float] | None:
+    """Best-of-reps wall time of one pass over a group's substrate builders.
+
+    ``lazy`` builds the uncompiled underlay; ``cold`` compiles with an
+    empty cache (generation + Dijkstra + store); ``warm`` rides on the
+    cache the cold pass just populated, so it times pure mmap loads.
+    Reps interleave the three modes for the same drift-fairness reason
+    as :func:`_timed_modes`.
+    """
+    if not builders:
+        return None
+    best = {"lazy": float("inf"), "cold": float("inf"), "warm": float("inf")}
+    with _env(**{CACHE_DIR_ENV: str(cache_root), CACHE_ENABLED_ENV: "1"}):
+        for _ in range(TIMING_REPS):
+            for mode in ("lazy", "cold", "warm"):
+                with _env(**{_COMPILED_ENV: "0" if mode == "lazy" else "1"}):
+                    if mode != "warm":
+                        _wipe(cache_root)
+                    with Stopwatch() as sw:
+                        for build in builders:
+                            build()
+                    best[mode] = min(best[mode], sw.elapsed)
+    return best
 
 
 def generate_perf_report(
@@ -101,13 +241,13 @@ def generate_perf_report(
     *,
     jobs: int = 4,
     groups: Sequence[str] | None = None,
-    path: str | Path = "BENCH_PR3.json",
+    path: str | Path = "BENCH_PR4.json",
 ) -> dict:
     """Time the requested groups and write the snapshot to ``path``.
 
-    Raises :class:`RuntimeError` if the full-recompute and incremental
-    runs of any group disagree on any table — a timing number for a mode
-    that changes results would be meaningless.
+    Raises :class:`RuntimeError` if the lazy and compiled runs of any
+    group disagree on any table — a timing number for a mode that changes
+    results would be meaningless, so the report refuses to be written.
     """
     names = list(groups) if groups else list(DEFAULT_GROUPS)
     unknown = sorted(set(names) - set(GROUP_RUNNERS))
@@ -116,7 +256,7 @@ def generate_perf_report(
             f"unknown perf group(s) {unknown}; choose from {sorted(GROUP_RUNNERS)}"
         )
     report: dict = {
-        "schema": "repro-perf-report/2",
+        "schema": "repro-perf-report/3",
         "preset": preset.name,
         "jobs": jobs,
         "cpu_count": os.cpu_count(),
@@ -126,39 +266,74 @@ def generate_perf_report(
             f"--perf-groups {','.join(names)}"
         ),
         "notes": (
-            "serial_fulltree_s = jobs=1 with REPRO_INCREMENTAL_TREE=0 "
-            "(recompute-from-scratch baseline); serial_s = jobs=1 with "
-            "incremental tree state; parallel_s = jobs=N.  Each figure is "
-            "the minimum wall time over three runs (noise guard).  "
-            "outputs_identical means the two modes produced byte-identical "
-            "table JSON.  Parallel speedup is bounded by cpu_count."
+            "serial_lazy_s = jobs=1 with REPRO_COMPILED_UNDERLAY=0 (lazy "
+            "per-source-Dijkstra baseline); serial_cold_s = compiled "
+            "underlays with the artifact cache wiped each run; serial_s = "
+            "compiled underlays over a warm cache (the default mode, gated "
+            "in CI); parallel_s = jobs=N over the warm cache.  "
+            "substrate_*_s time only the group's substrate builder calls "
+            "in the same three modes.  Each figure is the minimum wall "
+            "time over five reps, with the modes interleaved inside each "
+            "rep so host-speed drift on shared machines cannot favor one "
+            "mode.  outputs_identical means "
+            "lazy/cold/warm produced byte-identical table JSON.  Parallel "
+            "speedup is bounded by cpu_count."
         ),
         "groups": {},
     }
-    for name in names:
-        runner = GROUP_RUNNERS[name]
-        fulltree, full_out = _timed_run(runner, preset, jobs=1, incremental=False)
-        serial, inc_out = _timed_run(runner, preset, jobs=1, incremental=True)
-        if full_out != inc_out:
-            differing = sorted(
-                t
-                for t in full_out.keys() | inc_out.keys()
-                if full_out.get(t) != inc_out.get(t)
+    cache_root = Path(tempfile.mkdtemp(prefix="repro-perf-cache-"))
+    try:
+        for name in names:
+            runner = GROUP_RUNNERS[name]
+            times, outputs = _timed_modes(
+                runner, preset, jobs=jobs, cache_root=cache_root
             )
-            raise RuntimeError(
-                f"group {name!r}: incremental tree state changed the results "
-                f"of table(s) {differing} — refusing to write a perf report "
-                "for divergent modes"
+            lazy_out = outputs["lazy"]
+            for mode_name in ("cold", "warm"):
+                out = outputs[mode_name]
+                if out != lazy_out:
+                    differing = sorted(
+                        t
+                        for t in out.keys() | lazy_out.keys()
+                        if out.get(t) != lazy_out.get(t)
+                    )
+                    raise RuntimeError(
+                        f"group {name!r}: compiled substrates ({mode_name} "
+                        f"cache) changed the results of table(s) {differing} "
+                        "— refusing to write a perf report for divergent "
+                        "modes"
+                    )
+            lazy, cold = times["lazy"], times["cold"]
+            warm, parallel = times["warm"], times["parallel"]
+            subs = _time_substrates(
+                _group_substrate_builders(name, preset), cache_root=cache_root
             )
-        parallel, _ = _timed_run(runner, preset, jobs=jobs, incremental=True)
-        report["groups"][name] = {
-            "serial_fulltree_s": round(fulltree, 3),
-            "serial_s": round(serial, 3),
-            "parallel_s": round(parallel, 3),
-            "workers": jobs,
-            "outputs_identical": True,
-            "speedup_incremental_tree": round(fulltree / serial, 2),
-            "speedup_parallel_vs_serial": round(serial / parallel, 2),
-        }
+            entry = {
+                "serial_lazy_s": round(lazy, 3),
+                "serial_cold_s": round(cold, 3),
+                "serial_s": round(warm, 3),
+                "parallel_s": round(parallel, 3),
+                "workers": jobs,
+                "outputs_identical": True,
+                "speedup_compiled_cold": round(lazy / cold, 2),
+                "speedup_compiled_warm": round(lazy / warm, 2),
+                "speedup_parallel_vs_serial": round(warm / parallel, 2),
+            }
+            if subs:
+                entry.update(
+                    {
+                        "substrate_lazy_s": round(subs["lazy"], 4),
+                        "substrate_cold_s": round(subs["cold"], 4),
+                        "substrate_warm_s": round(subs["warm"], 4),
+                        "substrate_speedup_warm_vs_cold": round(
+                            subs["cold"] / subs["warm"], 1
+                        )
+                        if subs["warm"] > 0
+                        else None,
+                    }
+                )
+            report["groups"][name] = entry
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
     Path(path).write_text(json.dumps(report, indent=2) + "\n")
     return report

@@ -5,15 +5,30 @@ attached at random stub routers; Chapter 5 runs on a synthesized PlanetLab
 pool filtered down to working nodes, with the source at a Colorado-like
 site.  These builders package that setup (and its seeding discipline) so
 experiments and tests share one code path.
+
+Since PR 4 both builders route through the substrate compilation layer:
+the transit-stub path returns a :class:`~repro.sim.compiled.CompiledUnderlay`
+(one batched all-pairs Dijkstra, dense delay/error matrices) and both
+consult the content-addressed artifact cache of
+:mod:`repro.util.artifacts`, keyed by the complete build recipe, so a
+warm cache skips topology generation and compilation entirely and loads
+memory-mapped arrays instead.  ``REPRO_COMPILED_UNDERLAY=0`` restores the
+lazy :class:`~repro.sim.network.RouterUnderlay` path (and bypasses the
+cache); ``REPRO_SUBSTRATE_CACHE=0`` keeps compilation but disables the
+disk cache.  Compiled and lazy substrates answer every query
+byte-identically — ``tests/test_compiled_underlay.py`` pins that.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.sim.compiled import ARTIFACT_SCHEMA, CompiledUnderlay
 from repro.sim.network import MatrixUnderlay, RouterUnderlay
+from repro.topology.geo import GeoSite
 from repro.topology.linkmodel import LinkErrorConfig, assign_link_errors
 from repro.topology.planetlab import PlanetLabNode, generate_planetlab_pool
 from repro.topology.transit_stub import (
@@ -21,6 +36,8 @@ from repro.topology.transit_stub import (
     generate_transit_stub,
     stub_routers,
 )
+from repro.util import artifacts
+from repro.util.envflags import compiled_underlay_enabled
 from repro.util.rngtools import spawn_rng
 
 __all__ = [
@@ -28,6 +45,17 @@ __all__ = [
     "build_planetlab_underlay",
     "PlanetLabSubstrate",
 ]
+
+
+def _transit_stub_attachments(
+    graph, n_hosts: int, seed: int
+) -> dict[int, int]:
+    """The paper's attachment rule: uniform stub routers, shared only when
+    the host count exceeds the stub-router count."""
+    stubs = stub_routers(graph)
+    rng = spawn_rng(seed, "attach")
+    routers = rng.choice(stubs, size=n_hosts, replace=n_hosts > len(stubs))
+    return {host: int(r) for host, r in enumerate(routers)}
 
 
 def build_transit_stub_underlay(
@@ -44,21 +72,50 @@ def build_transit_stub_underlay(
     uniformly *without* replacement while possible (the paper's 1000-node
     sweep exceeds the stub-router count, at which point routers are
     shared).  Pass ``link_errors`` to enable the Chapter 4 loss model.
+
+    Returns a :class:`CompiledUnderlay` (possibly loaded straight from the
+    artifact cache) unless ``REPRO_COMPILED_UNDERLAY=0``, in which case
+    the historical lazy :class:`RouterUnderlay` is built instead.
     """
     if n_hosts < 2:
         raise ValueError(f"need at least 2 hosts, got {n_hosts}")
     config = ts_config or TransitStubConfig()
+
+    if not compiled_underlay_enabled():
+        graph = generate_transit_stub(config, seed=spawn_rng(seed, "topology"))
+        if link_errors is not None:
+            assign_link_errors(graph, link_errors, seed=spawn_rng(seed, "errors"))
+        attachments = _transit_stub_attachments(graph, n_hosts, seed)
+        return RouterUnderlay(graph, attachments, access_delay_ms=access_delay_ms)
+
+    key = artifacts.artifact_key(
+        {
+            "kind": "transit-stub",
+            "schema": ARTIFACT_SCHEMA,
+            "ts_config": config,
+            "link_errors": link_errors,
+            "seed": int(seed),
+            "n_hosts": int(n_hosts),
+            "access_delay_ms": float(access_delay_ms),
+        }
+    )
+    use_cache = artifacts.cache_enabled()
+    if use_cache:
+        artifact = artifacts.load_artifact(key)
+        if artifact is not None:
+            try:
+                return CompiledUnderlay.from_artifact(artifact)
+            except (KeyError, ValueError):
+                pass  # inconsistent entry: fall through and rebuild
     graph = generate_transit_stub(config, seed=spawn_rng(seed, "topology"))
     if link_errors is not None:
         assign_link_errors(graph, link_errors, seed=spawn_rng(seed, "errors"))
-    stubs = stub_routers(graph)
-    rng = spawn_rng(seed, "attach")
-    if n_hosts <= len(stubs):
-        routers = rng.choice(stubs, size=n_hosts, replace=False)
-    else:
-        routers = rng.choice(stubs, size=n_hosts, replace=True)
-    attachments = {host: int(r) for host, r in enumerate(routers)}
-    return RouterUnderlay(graph, attachments, access_delay_ms=access_delay_ms)
+    attachments = _transit_stub_attachments(graph, n_hosts, seed)
+    underlay = CompiledUnderlay(graph, attachments, access_delay_ms=access_delay_ms)
+    if use_cache:
+        arrays, meta = underlay.to_artifact()
+        artifacts.store_artifact(key, arrays, meta)
+    return underlay
 
 
 @dataclass
@@ -72,6 +129,39 @@ class PlanetLabSubstrate:
     @property
     def n_hosts(self) -> int:
         return len(self.nodes)
+
+
+def _node_to_json(node: PlanetLabNode) -> dict:
+    record = dataclasses.asdict(node)
+    record["site"] = dataclasses.asdict(node.site)
+    return record
+
+
+def _node_from_json(record: dict) -> PlanetLabNode:
+    site = GeoSite(**record["site"])
+    return PlanetLabNode(**{**record, "site": site})
+
+
+def _planetlab_loss_matrix(
+    n: int, seed: int, loss_sigma: float
+) -> np.ndarray:
+    """Pairwise lognormal loss rates around 0.5%, capped at 20%.
+
+    One block draw over the upper triangle replaces the historical
+    per-pair scalar loop; ``Generator`` methods consume the bit stream
+    identically for sized and scalar draws (the PR 3 block-draw
+    technique), and the row-major order of ``triu_indices`` matches the
+    old nested-loop visit order, so the matrix is bit-identical.
+    """
+    loss_rng = spawn_rng(seed, "loss")
+    iu, ju = np.triu_indices(n, k=1)
+    rates = np.minimum(
+        0.2, loss_rng.lognormal(np.log(0.005), loss_sigma, size=iu.size)
+    )
+    loss = np.zeros((n, n))
+    loss[iu, ju] = rates
+    loss[ju, iu] = rates
+    return loss
 
 
 def build_planetlab_underlay(
@@ -93,7 +183,32 @@ def build_planetlab_underlay(
     ``loss_sigma``, when set, attaches a pairwise loss matrix whose rates
     are lognormal around 0.5% — used by loss-metric experiments on this
     substrate.
+
+    The finished slice (RTT matrix, loss matrix, roster, source index) is
+    a deterministic function of the arguments, so it round-trips through
+    the artifact cache: warm runs skip pool generation and the pairwise
+    RTT synthesis and load the matrices with ``mmap_mode="r"``.
     """
+    use_cache = compiled_underlay_enabled() and artifacts.cache_enabled()
+    key = artifacts.artifact_key(
+        {
+            "kind": "planetlab",
+            "schema": ARTIFACT_SCHEMA,
+            "n_select": int(n_select),
+            "seed": int(seed),
+            "n_us": int(n_us),
+            "n_eu": int(n_eu),
+            "loss_sigma": None if loss_sigma is None else float(loss_sigma),
+        }
+    )
+    if use_cache:
+        artifact = artifacts.load_artifact(key)
+        if artifact is not None:
+            try:
+                return _planetlab_from_artifact(artifact)
+            except (KeyError, ValueError, TypeError):
+                pass  # inconsistent entry: fall through and rebuild
+
     pool = generate_planetlab_pool(
         n_us=n_us, n_eu=n_eu, seed=int(spawn_rng(seed, "pool").integers(2**31))
     )
@@ -109,13 +224,37 @@ def build_planetlab_underlay(
     rtt = pool.rtt_matrix(selected)
     loss = None
     if loss_sigma is not None:
-        loss_rng = spawn_rng(seed, "loss")
-        n = len(selected)
-        loss = np.zeros((n, n))
-        for i in range(n):
-            for j in range(i + 1, n):
-                rate = min(0.2, float(loss_rng.lognormal(np.log(0.005), loss_sigma)))
-                loss[i, j] = loss[j, i] = rate
+        loss = _planetlab_loss_matrix(len(selected), seed, loss_sigma)
     underlay = MatrixUnderlay(rtt, host_ids=list(range(len(selected))), loss=loss)
     source = pool.colorado_like_index(selected)
-    return PlanetLabSubstrate(underlay=underlay, source=source, nodes=selected)
+    substrate = PlanetLabSubstrate(underlay=underlay, source=source, nodes=selected)
+    if use_cache:
+        arrays = {"rtt": rtt}
+        if loss is not None:
+            arrays["loss"] = loss
+        meta = {
+            "kind": "planetlab",
+            "schema": ARTIFACT_SCHEMA,
+            "source": int(source),
+            "nodes": [_node_to_json(node) for node in selected],
+            "has_loss": loss is not None,
+        }
+        artifacts.store_artifact(key, arrays, meta)
+    return substrate
+
+
+def _planetlab_from_artifact(artifact: artifacts.Artifact) -> PlanetLabSubstrate:
+    meta = artifact.meta
+    if meta.get("kind") != "planetlab" or meta.get("schema") != ARTIFACT_SCHEMA:
+        raise ValueError("not a planetlab substrate artifact")
+    loss = artifact.arrays.get("loss")
+    if meta["has_loss"] and loss is None:
+        raise ValueError("artifact advertises a loss matrix but has none")
+    rtt = artifact.arrays["rtt"]
+    nodes = [_node_from_json(record) for record in meta["nodes"]]
+    underlay = MatrixUnderlay(
+        rtt, host_ids=list(range(rtt.shape[0])), loss=loss
+    )
+    return PlanetLabSubstrate(
+        underlay=underlay, source=int(meta["source"]), nodes=nodes
+    )

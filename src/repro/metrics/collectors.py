@@ -192,6 +192,15 @@ def collect_tree_metrics(tree: TreeRegistry, underlay: Underlay) -> TreeMetrics:
     source = tree.source
     children = tree.children
     parent_map = tree.parent
+    # Bound-method hoist: these two run once per tree edge per sample, and
+    # on compiled substrates they are dense-artifact lookups whose attribute
+    # dispatch would otherwise dominate.
+    delay_ms = underlay.delay_ms
+    path_links = underlay.path_links
+    # Substrates with a materialized delay matrix hand out whole rows
+    # (bit-identical to per-pair delay_ms); others return None and the
+    # per-pair calls below are used instead.
+    source_row = underlay.delay_row(source)
     link_usage: Counter = Counter()
     stretch_vals: list[float] = []
     leaf_stretch: list[float] = []
@@ -200,26 +209,32 @@ def collect_tree_metrics(tree: TreeRegistry, underlay: Underlay) -> TreeMetrics:
     total_ms = 0.0
     star_ms = 0.0
     edge_count = 0
-    # Frames: (node, depth, overlay delay source -> node).  Only reachable
-    # nodes are ever pushed — the walk starts at the source and descends.
-    stack: list[tuple[int, int, float]] = [(source, 0, 0.0)]
+    # Frames: (node, depth, overlay delay source -> node, delay of the
+    # overlay edge parent -> node).  The edge delay is computed once at
+    # push time and reused for resource usage at pop time.  Only
+    # reachable nodes are ever pushed — the walk starts at the source
+    # and descends.
+    stack: list[tuple[int, int, float, float]] = [(source, 0, 0.0, 0.0)]
     while stack:
-        node, depth, overlay = stack.pop()
+        node, depth, overlay, edge_ms = stack.pop()
         kids = children.get(node)
         if kids:
             child_depth = depth + 1
-            for child in sorted(kids, reverse=True):
-                stack.append(
-                    (child, child_depth, overlay + underlay.delay_ms(node, child))
-                )
+            row = underlay.delay_row(node)
+            if row is None:
+                for child in sorted(kids, reverse=True):
+                    d = delay_ms(node, child)
+                    stack.append((child, child_depth, overlay + d, d))
+            else:
+                for child in sorted(kids, reverse=True):
+                    d = row[child]
+                    stack.append((child, child_depth, overlay + d, d))
         if node == source:
             continue
-        parent = parent_map[node]
-        for link in underlay.path_links(parent, node):
-            link_usage[link] += 1
-        total_ms += underlay.delay_ms(parent, node)
+        link_usage.update(path_links(parent_map[node], node))
+        total_ms += edge_ms
         edge_count += 1
-        unicast = underlay.delay_ms(source, node)
+        unicast = source_row[node] if source_row is not None else delay_ms(source, node)
         star_ms += unicast
         depths.append(depth)
         is_leaf = not kids
@@ -300,10 +315,12 @@ def _reference_tree_metrics(tree: TreeRegistry, underlay: Underlay) -> TreeMetri
     """
     source = tree.source
     order = [n for n in _dfs_order(tree) if tree.is_reachable(n)]
+    delay_ms = underlay.delay_ms
+    path_links = underlay.path_links
 
     link_usage: Counter = Counter()
     for node in order:
-        for link in underlay.path_links(tree.parent[node], node):
+        for link in path_links(tree.parent[node], node):
             link_usage[link] += 1
     if link_usage:
         transmissions = sum(link_usage.values())
@@ -319,13 +336,13 @@ def _reference_tree_metrics(tree: TreeRegistry, underlay: Underlay) -> TreeMetri
     stretch_vals: list[float] = []
     leaf_stretch: list[float] = []
     for node in order:
-        unicast = underlay.delay_ms(source, node)
+        unicast = delay_ms(source, node)
         if unicast <= 0:
             continue
         path = tree.path_to_source(node)
         overlay = 0.0
         for i in range(len(path) - 1, 0, -1):  # source-outward, as the DFS sums
-            overlay += underlay.delay_ms(path[i], path[i - 1])
+            overlay += delay_ms(path[i], path[i - 1])
         ratio = overlay / unicast
         stretch_vals.append(ratio)
         if not tree.children.get(node):
@@ -368,8 +385,8 @@ def _reference_tree_metrics(tree: TreeRegistry, underlay: Underlay) -> TreeMetri
     for node in order:
         if not tree.is_reachable(node):  # pragma: no cover - order is reachable
             continue
-        total_ms += underlay.delay_ms(tree.parent[node], node)
-        star_ms += underlay.delay_ms(source, node)
+        total_ms += delay_ms(tree.parent[node], node)
+        star_ms += delay_ms(source, node)
         edge_count += 1
     if edge_count:
         usage = ResourceUsage(

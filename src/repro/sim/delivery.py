@@ -109,6 +109,14 @@ class DeliveryAccountant:
         # Honors REPRO_UNDERLAY_CACHE so the perf report's uncached
         # baseline disables every hot-path memo at once.
         self._memo_enabled = _cache_enabled_from_env()
+        # Substrates that hold their full loss picture (compiled
+        # artifacts, matrix underlays) advertise global loss-freedom via
+        # ``zero_error``; every hop success is then exactly 1.0 and the
+        # cumulative products below can only ever multiply exact 1.0s,
+        # so they are skipped outright.  Lazy substrates don't carry
+        # that knowledge and take the general path — the two paths agree
+        # bit for bit.
+        self._zero_loss = bool(getattr(underlay, "zero_error", False))
         self._hop_success: dict[tuple[int, int], float] = {}
         # Cumulative path-success per reachable node, maintained in the
         # same top-down pass that refreshes a mutated subtree:
@@ -172,6 +180,8 @@ class DeliveryAccountant:
 
     def _path_success(self, node: int) -> float:
         """Probability a chunk survives the overlay path source -> node."""
+        if self._zero_loss:
+            return 1.0
         if self._incremental:
             # O(1): extend the parent's maintained product by one hop.
             parent = self.tree.parent[node]

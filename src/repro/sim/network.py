@@ -24,6 +24,12 @@ on every measurement window.  :class:`RouterUnderlay` therefore memoizes
 environment variable ``REPRO_UNDERLAY_CACHE=0`` (read at construction
 time) disables the per-pair caches — the perf report uses that to measure
 what they buy.
+
+:class:`RouterUnderlay` discovers shortest paths *lazily*, one Dijkstra
+source at a time.  :class:`repro.sim.compiled.CompiledUnderlay` subclasses
+it to run one batched all-pairs Dijkstra up front and serve every query
+from dense arrays; the lazy implementations below double as its
+``_reference_*`` oracle, so the two must stay bit-for-bit equivalent.
 """
 
 from __future__ import annotations
@@ -80,6 +86,18 @@ class Underlay(ABC):
     def rtt_ms(self, a: int, b: int) -> float:
         """Round-trip time between two hosts."""
         return 2.0 * self.delay_ms(a, b)
+
+    def delay_row(self, a: int) -> list[float] | None:
+        """Host ``a``'s full delay row indexed *by host id*, or ``None``.
+
+        Substrates that hold a materialized delay matrix and whose host
+        ids coincide with matrix indices return the row list; every
+        other substrate returns ``None`` and callers fall back to
+        per-pair :meth:`delay_ms`.  A returned row must be treated as
+        read-only, and ``row[b]`` is bit-identical to ``delay_ms(a, b)``
+        for every valid ``b``.
+        """
+        return None
 
     def path_error(self, a: int, b: int) -> float:
         """End-to-end loss probability of the unicast path from a to b."""
@@ -142,6 +160,7 @@ class RouterUnderlay(Underlay):
         self.graph = graph
         self.attachments = dict(attachments)
         self._hosts = sorted(self.attachments)
+        self._host_idx = {h: i for i, h in enumerate(self._hosts)}
         self._access_delay = self._per_host(access_delay_ms)
         self._access_error = self._per_host(access_error)
         # Router graph in CSR form for scipy's Dijkstra (profiling showed
@@ -337,10 +356,18 @@ class MatrixUnderlay(Underlay):
         self._delay_rows = self._delay.tolist()
         self._rtt_rows = rtt_arr.tolist()
         self._loss = loss
+        # The matrix substrate holds the full loss table, so "is the
+        # whole substrate loss-free" is global knowledge available up
+        # front — consumers (delivery accounting) short-circuit on it.
+        self._zero_error = loss is None or not bool(loss.any())
         self._hosts = list(host_ids)
         self._index = {h: i for i, h in enumerate(self._hosts)}
         if len(self._index) != n:
             raise ValueError("host_ids must be unique")
+        # Host ids usually coincide with matrix indices (PlanetLab hosts
+        # are numbered 0..n-1); when they do, whole rows can be handed to
+        # bulk readers via delay_row without per-call id translation.
+        self._ids_are_indices = all(h == i for i, h in enumerate(self._hosts))
 
     @property
     def hosts(self) -> Sequence[int]:
@@ -359,6 +386,19 @@ class MatrixUnderlay(Underlay):
         # metric, called once per probe.
         try:
             return self._rtt_rows[self._index[a]][self._index[b]]
+        except KeyError as exc:
+            raise KeyError(f"unknown host {exc.args[0]!r}") from None
+
+    @property
+    def zero_error(self) -> bool:
+        """Whether the substrate is globally loss-free (no loss matrix)."""
+        return self._zero_error
+
+    def delay_row(self, a: int) -> list[float] | None:
+        if not self._ids_are_indices:
+            return None
+        try:
+            return self._delay_rows[self._index[a]]
         except KeyError as exc:
             raise KeyError(f"unknown host {exc.args[0]!r}") from None
 

@@ -9,7 +9,15 @@ assert the optimized and reference code paths agree bit for bit:
 * ``REPRO_INCREMENTAL_TREE=0`` — disable the incrementally maintained
   tree state: :class:`~repro.protocols.base.TreeRegistry` falls back to
   parent-chain walks, the invariant checker full-sweeps after every
-  mutation, and the delivery accountant recomputes whole path products.
+  mutation, and the delivery accountant recomputes whole path products;
+* ``REPRO_COMPILED_UNDERLAY=0`` — disable underlay compilation: the
+  substrate builders return the lazy per-source-Dijkstra
+  :class:`~repro.sim.network.RouterUnderlay` instead of a
+  :class:`~repro.sim.compiled.CompiledUnderlay`, and the PlanetLab
+  builder regenerates its pool instead of consulting the artifact cache
+  (PR 4).  The related cache knobs (``REPRO_CACHE_DIR``,
+  ``REPRO_SUBSTRATE_CACHE``, ``REPRO_CACHE_MAX_BYTES``) live in
+  :mod:`repro.util.artifacts`.
 
 Flags are read at object construction time, not per call, so a running
 session never changes behavior mid-flight.
@@ -19,7 +27,7 @@ from __future__ import annotations
 
 import os
 
-__all__ = ["incremental_tree_enabled"]
+__all__ = ["compiled_underlay_enabled", "incremental_tree_enabled"]
 
 _FALSE_VALUES = ("0", "false", "no")
 
@@ -27,3 +35,8 @@ _FALSE_VALUES = ("0", "false", "no")
 def incremental_tree_enabled() -> bool:
     """Whether incrementally maintained tree state is enabled (default on)."""
     return os.environ.get("REPRO_INCREMENTAL_TREE", "1").lower() not in _FALSE_VALUES
+
+
+def compiled_underlay_enabled() -> bool:
+    """Whether substrate builders compile underlays up front (default on)."""
+    return os.environ.get("REPRO_COMPILED_UNDERLAY", "1").lower() not in _FALSE_VALUES

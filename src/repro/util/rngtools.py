@@ -27,6 +27,22 @@ def rng_from_seed(seed: int | np.random.Generator | None) -> np.random.Generator
     return np.random.default_rng(seed)
 
 
+# Key strings repeat heavily (every replication re-derives the same
+# component streams), so the byte-wise FNV fold is memoized.  The cached
+# value is exactly what the loop would produce, so streams are unchanged.
+_KEY_HASHES: dict[str, int] = {}
+
+
+def _hash_key(key: str) -> int:
+    acc = _KEY_HASHES.get(key)
+    if acc is None:
+        acc = 2166136261  # FNV-1a
+        for byte in key.encode("utf-8"):
+            acc = ((acc ^ byte) * 16777619) & 0xFFFFFFFF
+        _KEY_HASHES[key] = acc
+    return acc
+
+
 def spawn_rng(seed: int, *keys: int | str) -> np.random.Generator:
     """Derive an independent generator from ``seed`` and a key path.
 
@@ -36,10 +52,7 @@ def spawn_rng(seed: int, *keys: int | str) -> np.random.Generator:
     ints: list[int] = [int(seed) & 0xFFFFFFFF]
     for key in keys:
         if isinstance(key, str):
-            acc = 2166136261  # FNV-1a
-            for byte in key.encode("utf-8"):
-                acc = ((acc ^ byte) * 16777619) & 0xFFFFFFFF
-            ints.append(acc)
+            ints.append(_hash_key(key))
         else:
             ints.append(int(key) & 0xFFFFFFFF)
     return np.random.default_rng(np.random.SeedSequence(ints))

@@ -6,8 +6,20 @@ suite stays fast; the benchmark harness covers paper-scale runs.
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import numpy as np
 import pytest
+
+# Isolate the substrate artifact cache for the whole suite: tests build
+# substrates at import time (e.g. test_parallel_harness), and the default
+# cache root is ``.repro_cache`` under the cwd — which would litter the
+# repo.  ``setdefault`` keeps an explicit REPRO_CACHE_DIR (CI's
+# cache-round-trip job sets one) authoritative.
+os.environ.setdefault(
+    "REPRO_CACHE_DIR", tempfile.mkdtemp(prefix="repro-test-cache-")
+)
 
 from repro.sim.engine import Simulator
 from repro.sim.network import MatrixUnderlay, RouterUnderlay

@@ -131,6 +131,77 @@ class TestClampJobs:
 
 
 # ---------------------------------------------------------------------------
+# start-method handling (PR 4 satellite): the shared pool must be torn
+# down and rebuilt when the *resolved* start method changes, not only
+# when the worker count does — a stale fork pool would silently ignore a
+# test (or user) forcing spawn via REPRO_START_METHOD.
+# ---------------------------------------------------------------------------
+
+
+class TestStartMethodRecreation:
+    def _methods(self):
+        import multiprocessing
+
+        available = multiprocessing.get_all_start_methods()
+        if "fork" not in available or "spawn" not in available:
+            pytest.skip("needs both fork and spawn start methods")
+        return "fork", "spawn"
+
+    def test_pool_recreated_when_method_changes(self, monkeypatch):
+        from repro.harness import parallel
+
+        first, second = self._methods()
+        monkeypatch.setenv(parallel.START_METHOD_ENV, first)
+        out_first = run_replications(_echo_worker, ("m",), [1, 2], jobs=2)
+        initial_pool = parallel._POOL
+        assert parallel._POOL_METHOD == first
+        monkeypatch.setenv(parallel.START_METHOD_ENV, second)
+        out_second = run_replications(_echo_worker, ("m",), [1, 2], jobs=2)
+        assert parallel._POOL is not initial_pool
+        assert parallel._POOL_METHOD == second
+        assert out_first == out_second  # results are method-independent
+
+    def test_pool_reused_when_method_stable(self, monkeypatch):
+        from repro.harness import parallel
+
+        first, _ = self._methods()
+        monkeypatch.setenv(parallel.START_METHOD_ENV, first)
+        run_replications(_echo_worker, ("m",), [1, 2], jobs=2)
+        initial_pool = parallel._POOL
+        run_replications(_echo_worker, ("m",), [3, 4], jobs=2)
+        assert parallel._POOL is initial_pool
+
+    def test_worker_count_change_still_recreates(self, monkeypatch):
+        from repro.harness import parallel
+
+        first, _ = self._methods()
+        monkeypatch.setenv(parallel.START_METHOD_ENV, first)
+        run_replications(_echo_worker, ("m",), [1, 2], jobs=2)
+        initial_pool = parallel._POOL
+        run_replications(_echo_worker, ("m",), [1, 2, 3], jobs=3)
+        assert parallel._POOL is not initial_pool
+        assert parallel._POOL_WORKERS == 3
+
+    def test_unknown_method_rejected(self, monkeypatch):
+        from repro.harness import parallel
+
+        monkeypatch.setenv(parallel.START_METHOD_ENV, "teleport")
+        with pytest.raises(ValueError, match="REPRO_START_METHOD"):
+            run_replications(_echo_worker, ("m",), [1, 2], jobs=2)
+
+    def test_shutdown_clears_method_state(self, monkeypatch):
+        from repro.harness import parallel
+
+        first, _ = self._methods()
+        monkeypatch.setenv(parallel.START_METHOD_ENV, first)
+        run_replications(_echo_worker, ("m",), [1, 2], jobs=2)
+        shutdown_pool()
+        assert parallel._POOL is None
+        assert parallel._POOL_WORKERS == 0
+        assert parallel._POOL_METHOD is None
+
+
+# ---------------------------------------------------------------------------
 # serial / parallel experiment equivalence
 # ---------------------------------------------------------------------------
 

@@ -79,3 +79,69 @@ class TestMain:
         base = self._write(tmp_path, "base.json", _report(ch5_churn=10.0))
         assert main([cur, base]) == 1
         assert main([cur, base, "--max-regression", "2.0"]) == 0
+
+
+def _multi_report(**groups):
+    """Groups mapping name -> dict of timing fields (PR 4 schema)."""
+    return {"schema": "repro-perf-report/3", "groups": dict(groups)}
+
+
+class TestMultiFieldGate:
+    def test_all_fields_within_budget_pass(self):
+        current = _multi_report(ch3_churn={"serial_s": 10.0, "serial_cold_s": 12.0})
+        baseline = _multi_report(ch3_churn={"serial_s": 9.0, "serial_cold_s": 11.0})
+        assert (
+            compare_reports(
+                current, baseline, field=["serial_s", "serial_cold_s"]
+            )
+            == []
+        )
+
+    def test_any_regressed_field_fails(self):
+        current = _multi_report(ch3_churn={"serial_s": 10.0, "serial_cold_s": 40.0})
+        baseline = _multi_report(ch3_churn={"serial_s": 10.0, "serial_cold_s": 10.0})
+        failures = compare_reports(
+            current, baseline, field=["serial_s", "serial_cold_s"]
+        )
+        assert len(failures) == 1
+        assert "serial_cold_s" in failures[0]
+
+    def test_field_absent_from_both_schemas_is_skipped(self):
+        # gating a PR 4 field against a PR 1-era baseline must not fail
+        current = _multi_report(ch3_churn={"serial_s": 10.0, "serial_cold_s": 8.0})
+        baseline = _multi_report(ch3_churn={"serial_s": 10.0})
+        failures = compare_reports(
+            current, baseline, field=["serial_s", "substrate_warm_s"]
+        )
+        assert failures == []
+
+    def test_field_on_one_side_only_fails(self):
+        current = _multi_report(ch3_churn={"serial_s": 10.0})
+        baseline = _multi_report(ch3_churn={"serial_s": 10.0, "serial_cold_s": 9.0})
+        failures = compare_reports(
+            current, baseline, field=["serial_s", "serial_cold_s"]
+        )
+        assert len(failures) == 1
+        assert "serial_cold_s" in failures[0]
+
+    def test_empty_field_list_rejected(self):
+        with pytest.raises(ValueError, match="field"):
+            compare_reports(_multi_report(), _multi_report(), field=[])
+
+    def test_cli_fields_flag(self, tmp_path):
+        cur = tmp_path / "cur.json"
+        base = tmp_path / "base.json"
+        cur.write_text(
+            json.dumps(
+                _multi_report(ch3={"serial_s": 10.0, "serial_cold_s": 40.0})
+            )
+        )
+        base.write_text(
+            json.dumps(
+                _multi_report(ch3={"serial_s": 10.0, "serial_cold_s": 10.0})
+            )
+        )
+        # --field alone gates only the warm path and passes
+        assert main([str(cur), str(base)]) == 0
+        # --fields widens the gate to the cold path and catches it
+        assert main([str(cur), str(base), "--fields", "serial_s,serial_cold_s"]) == 1
