@@ -10,6 +10,12 @@ Reproduce a whole chapter at paper scale (slow)::
 
     python -m repro.harness fig5_9 fig5_10 --preset paper
 
+Journal a long run so Ctrl-C / ``kill`` / a crash loses nothing, then
+resume it (output is byte-identical to an uninterrupted run)::
+
+    python -m repro.harness fig5_9 fig5_10 --preset paper --journal run1
+    python -m repro.harness fig5_9 fig5_10 --preset paper --journal run1 --resume
+
 List everything::
 
     python -m repro.harness --list
@@ -22,10 +28,12 @@ import json
 import os
 import sys
 
+from repro.harness import journal as journal_mod
 from repro.harness.experiments import ch5_sample_tree
 from repro.harness.parallel import clamp_jobs
 from repro.harness.presets import PRESETS
 from repro.harness.registry import REGISTRY, run_experiment
+from repro.harness.supervisor import SweepAborted
 from repro.sim.faults import FAULT_PRESETS
 from repro.util import artifacts
 
@@ -93,7 +101,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--chart", action="store_true", help="draw an ASCII chart under each table"
     )
+    parser.add_argument(
+        "--journal",
+        default=os.environ.get(journal_mod.JOURNAL_DIR_ENV) or None,
+        metavar="DIR",
+        help="checkpoint completed replications to DIR/journal.jsonl as "
+        "they land (plus a run.json manifest), so an interrupted sweep "
+        "can be resumed (default: REPRO_JOURNAL_DIR)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the journaled run in --journal: replay completed "
+        "replications and execute only the missing ones; output is "
+        "byte-identical to an uninterrupted run",
+    )
     args = parser.parse_args(argv)
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal DIR (or REPRO_JOURNAL_DIR)")
     # Oversubscribed pools thrash; warn-and-clamp rather than silently
     # running slower than serial.
     args.jobs = clamp_jobs(args.jobs)
@@ -134,18 +159,69 @@ def main(argv: list[str] | None = None) -> int:
         parser.print_help()
         return 2
 
-    for fig_id in args.figures:
-        table = run_experiment(
-            fig_id, args.preset, jobs=args.jobs, faults=args.faults
-        )
-        print(table.to_json() if args.json else table.render())
-        if args.chart and not args.json:
-            from repro.metrics.ascii_chart import ascii_chart
+    def render_figures() -> None:
+        for fig_id in args.figures:
+            table = run_experiment(
+                fig_id, args.preset, jobs=args.jobs, faults=args.faults
+            )
+            print(table.to_json() if args.json else table.render())
+            if args.chart and not args.json:
+                from repro.metrics.ascii_chart import ascii_chart
 
+                print()
+                print(ascii_chart(table))
             print()
-            print(ascii_chart(table))
-        print()
+
+    if args.journal is None:
+        render_figures()
+        return 0
+
+    resume_cmd = _resume_command(args)
+    try:
+        with journal_mod.run_context(
+            args.journal,
+            resume=args.resume,
+            manifest={
+                "figures": list(args.figures),
+                "preset": args.preset,
+                "jobs": args.jobs,
+                "faults": args.faults,
+            },
+        ):
+            render_figures()
+    except KeyboardInterrupt:
+        print(
+            f"\ninterrupted — completed replications are journaled in "
+            f"{args.journal!s}; resume with:\n  {resume_cmd}",
+            file=sys.stderr,
+        )
+        return 130
+    except SweepAborted as exc:
+        print(f"\n{exc}", file=sys.stderr)
+        for failure in exc.failures:
+            print(f"  quarantined: {failure}", file=sys.stderr)
+        print(
+            f"completed replications are journaled in {args.journal!s}; "
+            f"after fixing the cause, resume with:\n  {resume_cmd}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
+
+
+def _resume_command(args: argparse.Namespace) -> str:
+    """The exact invocation that continues this run from its journal."""
+    parts = ["python -m repro.harness", *args.figures, "--preset", args.preset]
+    if args.jobs is not None:
+        parts += ["--jobs", str(args.jobs)]
+    if args.faults:
+        parts += ["--faults", args.faults]
+    if args.json:
+        parts.append("--json")
+    if args.chart:
+        parts.append("--chart")
+    parts += ["--journal", str(args.journal), "--resume"]
+    return " ".join(parts)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,163 @@
+"""Deterministic worker-fault injection for supervisor self-tests.
+
+PR 2 gave the *simulated* overlay a fault arm (``sim/faults.py``); this
+module is the same idea one level up — faults injected into the
+*replication harness itself*, so tests and the CI ``chaos-smoke`` job can
+prove that :mod:`repro.harness.supervisor` finishes a sweep with
+complete, byte-identical tables despite worker deaths, hangs, and raised
+exceptions.
+
+A chaos *plan* is a list of rules loaded from the ``REPRO_CHAOS``
+environment variable — either inline JSON or ``@path`` to a JSON file.
+Unset (the default) means no plan, and the supervisor pays nothing.  Each
+rule selects tasks by their journal key fields and says what to do on
+which attempts::
+
+    [{"action": "kill", "group": "ch3_churn", "rep": 1},
+     {"action": "hang", "group": "ch3_churn", "rep": 3, "hang_s": 600},
+     {"action": "raise", "rep": 0, "max_attempt": 2}]
+
+* ``action`` — ``kill`` (``os._exit`` inside the worker: simulates an
+  OOM-killed or segfaulted process and breaks the pool), ``hang``
+  (sleep ``hang_s`` inside the worker: simulates a wedged scenario, to
+  be reaped by the supervisor's ``REPRO_TASK_TIMEOUT_S``), or ``raise``
+  (raise :class:`ChaosError` inside the worker);
+* ``group`` — match tasks whose sweep key starts with this group name
+  (omit to match any group, including un-keyed tasks);
+* ``rep`` — match this replication index (omit to match every rep);
+* ``max_attempt`` — fire while the task's attempt number is <= this
+  (default 1: only the first attempt faults, so the supervisor's retry
+  succeeds and the sweep must still complete bit-identically).
+
+Matching happens **supervisor-side** against the same (key, rep,
+attempt) triple the retry bookkeeping uses, which is what makes the
+injection deterministic: scheduling order, worker identity, and wall
+clock never enter the decision.  The *arm* — the code that actually
+kills, hangs, or raises — runs **worker-side**: the supervisor submits
+:func:`chaos_apply` wrapping the real worker, so a ``kill`` takes down a
+genuine pool process and exercises the real ``BrokenProcessPool``
+recovery path, not a simulation of it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosError",
+    "ChaosRule",
+    "chaos_apply",
+    "load_plan",
+    "match",
+]
+
+CHAOS_ENV = "REPRO_CHAOS"
+
+_ACTIONS = ("kill", "hang", "raise")
+
+#: exit status used by the ``kill`` action — distinctive, so a worker
+#: that died of injected chaos is distinguishable from a real crash in
+#: supervisor failure records.
+KILL_EXIT_CODE = 117
+
+
+class ChaosError(RuntimeError):
+    """The exception raised inside a worker by the ``raise`` action."""
+
+
+@dataclass(frozen=True)
+class ChaosRule:
+    """One deterministic fault: which tasks, which attempts, what to do."""
+
+    action: str
+    group: str | None = None
+    rep: int | None = None
+    max_attempt: int = 1
+    hang_s: float = 3600.0
+
+    def applies(self, key: tuple | None, rep: int, attempt: int) -> bool:
+        if attempt > self.max_attempt:
+            return False
+        if self.rep is not None and rep != self.rep:
+            return False
+        if self.group is not None:
+            if key is None or not key or str(key[0]) != self.group:
+                return False
+        return True
+
+
+def load_plan(raw: str | None = None) -> tuple[ChaosRule, ...]:
+    """Parse the chaos plan from ``raw`` or the ``REPRO_CHAOS`` variable.
+
+    Returns ``()`` when unset.  Raises :class:`ValueError` on a malformed
+    plan — silently ignoring a typo'd chaos spec would make a chaos test
+    vacuously green.
+    """
+    if raw is None:
+        raw = os.environ.get(CHAOS_ENV, "")
+    raw = raw.strip()
+    if not raw:
+        return ()
+    if raw.startswith("@"):
+        raw = Path(raw[1:]).read_text()
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{CHAOS_ENV} is not valid JSON: {exc}") from None
+    if not isinstance(data, list):
+        raise ValueError(f"{CHAOS_ENV} must be a JSON list of rules")
+    rules = []
+    for i, entry in enumerate(data):
+        if not isinstance(entry, dict):
+            raise ValueError(f"{CHAOS_ENV}[{i}] must be an object")
+        unknown = set(entry) - {"action", "group", "rep", "max_attempt", "hang_s"}
+        if unknown:
+            raise ValueError(f"{CHAOS_ENV}[{i}] has unknown field(s) {sorted(unknown)}")
+        action = entry.get("action")
+        if action not in _ACTIONS:
+            raise ValueError(
+                f"{CHAOS_ENV}[{i}].action must be one of {_ACTIONS}, got {action!r}"
+            )
+        rules.append(
+            ChaosRule(
+                action=action,
+                group=entry.get("group"),
+                rep=entry.get("rep"),
+                max_attempt=int(entry.get("max_attempt", 1)),
+                hang_s=float(entry.get("hang_s", 3600.0)),
+            )
+        )
+    return tuple(rules)
+
+
+def match(
+    plan: tuple[ChaosRule, ...], key: tuple | None, rep: int, attempt: int
+) -> ChaosRule | None:
+    """First rule that applies to this (task, attempt), or ``None``."""
+    for rule in plan:
+        if rule.applies(key, rep, attempt):
+            return rule
+    return None
+
+
+def chaos_apply(action: str, hang_s: float, worker, *args):
+    """Worker-side fault arm: perform ``action`` instead of the real work.
+
+    Module-level (pickled by reference) so the supervisor can submit it
+    to the pool wrapping any replication worker.  The ``worker``/``args``
+    tail is carried so a rule with ``max_attempt=0`` (or future partial
+    actions) can fall through to the real computation.
+    """
+    if action == "kill":
+        os._exit(KILL_EXIT_CODE)
+    if action == "hang":
+        time.sleep(hang_s)
+        raise ChaosError(f"injected hang outlived its {hang_s}s sleep")
+    if action == "raise":
+        raise ChaosError("injected worker exception")
+    return worker(*args)

@@ -17,6 +17,12 @@ sweep value, and the seed — rebuild substrates behind a per-process memo,
 and return reduced per-replication metrics.  Results are merged in
 replication order, so ``jobs=1`` and ``jobs=N`` produce bit-identical
 tables.
+
+Every call site also names its sweep point with a ``key=`` tuple —
+``("ch5_churn", "VDM", 0.06)`` and friends — which is what the journaled
+checkpoint/resume layer (:mod:`repro.harness.journal`) keys completed
+replications by, and what chaos rules (:mod:`repro.harness.chaos`) match
+against.
 """
 
 from __future__ import annotations
@@ -308,6 +314,7 @@ def ch3_churn_tables(preset: Preset) -> dict[str, SeriesTable]:
                 run_replications(
                     _ch3_churn_rep, (preset, spec, churn), seeds,
                     jobs=preset.jobs,
+                    key=("ch3_churn", proto_name, churn),
                 )
                 for churn in preset.churn_rates
             ]
@@ -352,6 +359,7 @@ def ch3_nodes_tables(preset: Preset) -> dict[str, SeriesTable]:
                 (preset, n),
                 _rep_seeds(preset, preset.replications, "ch3nodes", n),
                 jobs=preset.jobs,
+                key=("ch3_nodes", n),
             )
             for n in preset.node_counts
         ]
@@ -396,6 +404,7 @@ def ch3_degree_tables(preset: Preset) -> dict[str, SeriesTable]:
                 (preset, degree),
                 _rep_seeds(preset, preset.replications, "ch3deg", str(degree)),
                 jobs=preset.jobs,
+                key=("ch3_degree", float(degree)),
             )
             for degree in preset.degree_values
         ]
@@ -487,6 +496,7 @@ def ch4_time_tables(preset: Preset) -> dict[str, SeriesTable]:
                 (preset, use_loss),
                 _rep_seeds(preset, preset.replications, "ch4", name),
                 jobs=preset.jobs,
+                key=("ch4_time", name),
             )
             collected[name] = {
                 m: [[rep[m][i] for rep in reps] for i in range(n_points)]
@@ -602,6 +612,7 @@ def ch5_churn_tables(preset: Preset) -> dict[str, SeriesTable]:
                     (preset, spec, preset.pl_select, substrate_seed, churn, None, None),
                     seeds,
                     jobs=preset.jobs,
+                    key=("ch5_churn", proto_name, churn),
                 )
                 for churn in preset.pl_churn_rates
             ]
@@ -650,6 +661,7 @@ def ch5_nodes_tables(preset: Preset) -> dict[str, SeriesTable]:
                 ),
                 _rep_seeds(preset, preset.pl_replications, "ch5nodes", n),
                 jobs=preset.jobs,
+                key=("ch5_nodes", n),
             )
             for n in preset.pl_node_counts
         ]
@@ -711,6 +723,7 @@ def ch5_degree_tables(preset: Preset) -> dict[str, SeriesTable]:
                 ),
                 _rep_seeds(preset, preset.pl_replications, "ch5deg", degree),
                 jobs=preset.jobs,
+                key=("ch5_degree", float(degree)),
             )
             for degree in preset.pl_degree_values
         ]
@@ -780,6 +793,7 @@ def ch5_refinement_tables(preset: Preset) -> dict[str, SeriesTable]:
                     ),
                     _rep_seeds(preset, preset.pl_replications, "ch5ref", name, n),
                     jobs=preset.jobs,
+                    key=("ch5_refinement", name, n),
                 )
                 for n in preset.pl_refine_node_counts
             ]
@@ -832,6 +846,7 @@ def ch5_mst_table(preset: Preset) -> dict[str, SeriesTable]:
                 (preset, n, _pl_seed(preset, f"mst{n}")),
                 _rep_seeds(preset, preset.pl_replications, "ch5mst", n),
                 jobs=preset.jobs,
+                key=("ch5_mst", n),
             )
             for n in preset.pl_mst_node_counts
         ]
@@ -956,6 +971,7 @@ def ablation_tables(preset: Preset) -> dict[str, SeriesTable]:
                 (preset, config),
                 _rep_seeds(preset, preset.replications, "abl", name),
                 jobs=preset.jobs,
+                key=("ablations", name),
             )
             for name, config in variants.items()
         }
@@ -992,6 +1008,7 @@ def ablation_tables(preset: Preset) -> dict[str, SeriesTable]:
                 (preset, period),
                 _rep_seeds(preset, preset.replications, "ablref", str(period)),
                 jobs=preset.jobs,
+                key=("abl_refine", period),
             )
             for period in periods
         ]
@@ -1067,6 +1084,7 @@ def extension_tables(preset: Preset) -> dict[str, SeriesTable]:
                 (preset, fraction),
                 _rep_seeds(preset, preset.replications, "extfr", str(fraction)),
                 jobs=preset.jobs,
+                key=("ext_free_riders", fraction),
             )
             for fraction in fractions
         ]
@@ -1090,6 +1108,7 @@ def extension_tables(preset: Preset) -> dict[str, SeriesTable]:
                 (preset, stripes),
                 _rep_seeds(preset, preset.replications, "extstripe", stripes),
                 jobs=preset.jobs,
+                key=("ext_striping", stripes),
             )
             for stripes in stripe_counts
         ]

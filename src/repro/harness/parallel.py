@@ -35,13 +35,22 @@ to keep timed runs honest.
 from __future__ import annotations
 
 import atexit
+import contextlib
 import multiprocessing
 import os
+import signal
+import threading
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
-__all__ = ["clamp_jobs", "resolve_jobs", "run_replications", "shutdown_pool"]
+__all__ = [
+    "clamp_jobs",
+    "kill_pool",
+    "resolve_jobs",
+    "run_replications",
+    "shutdown_pool",
+]
 
 T = TypeVar("T")
 
@@ -128,10 +137,27 @@ def _get_pool(workers: int) -> ProcessPoolExecutor:
         shutdown_pool()
     if _POOL is None:
         ctx = multiprocessing.get_context(method)
-        _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        _POOL = ProcessPoolExecutor(
+            max_workers=workers, mp_context=ctx, initializer=_worker_init
+        )
         _POOL_WORKERS = workers
         _POOL_METHOD = method
+        _install_sigterm_handler()
     return _POOL
+
+
+def _worker_init() -> None:
+    """Reset inherited signal dispositions in pool workers.
+
+    Fork workers inherit the parent's SIGTERM handlers (pool teardown,
+    journal's SIGTERM-to-KeyboardInterrupt conversion); both are
+    supervisor-side policies that make no sense inside a worker and turn
+    a plain ``terminate()`` into a traceback.
+    """
+    with contextlib.suppress(ValueError, OSError):
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    with contextlib.suppress(ValueError, OSError):
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
 def shutdown_pool() -> None:
@@ -144,6 +170,83 @@ def shutdown_pool() -> None:
         _POOL_METHOD = None
 
 
+def kill_pool() -> list[int]:
+    """Hard-stop the shared pool: terminate workers without waiting.
+
+    Used on the failure path (hung or dead workers — a graceful
+    ``shutdown(wait=True)`` would block on the hang forever) and by the
+    SIGTERM handler.  Returns the nonzero exit codes of workers that were
+    *already* dead when called, so the supervisor can attach the fatal
+    signal/status to its :class:`~repro.harness.supervisor.TaskFailure`
+    records; workers we terminate ourselves are not reported.
+    """
+    global _POOL, _POOL_WORKERS, _POOL_METHOD
+    if _POOL is None:
+        return []
+    procs = list(getattr(_POOL, "_processes", {}).values())
+    exit_codes = sorted(
+        {p.exitcode for p in procs if p.exitcode not in (None, 0)}
+    )
+    for proc in procs:
+        with contextlib.suppress(Exception):
+            proc.terminate()
+    with contextlib.suppress(Exception):
+        _POOL.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:  # reap briefly so terminated workers don't zombie
+        with contextlib.suppress(Exception):
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # SIGTERM not enough (wedged worker)
+                proc.kill()
+                proc.join(timeout=2.0)
+    _POOL = None
+    _POOL_WORKERS = 0
+    _POOL_METHOD = None
+    return exit_codes
+
+
+# ---------------------------------------------------------------------------
+# SIGTERM teardown: the atexit hook never runs when the process is
+# SIGTERM'd (CI cancellation, ``kill``), which used to leak orphaned fork
+# workers.  Installed lazily with the first pool; chains to whatever
+# handler was there before, or re-raises the default disposition so the
+# exit status still says "terminated by SIGTERM".
+# ---------------------------------------------------------------------------
+
+_SIGTERM_INSTALLED = False
+_PREV_SIGTERM: object = None
+
+
+def _handle_sigterm(signum, frame):
+    from repro.harness import journal
+
+    # Inside a journaled run the converted KeyboardInterrupt drives the
+    # supervisor's graceful drain (which kills the pool itself after the
+    # grace window); killing here would discard the in-flight results
+    # that drain exists to flush.
+    if journal.active() is None:
+        kill_pool()
+    prev = _PREV_SIGTERM
+    if callable(prev):
+        prev(signum, frame)
+    else:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        os.kill(os.getpid(), signal.SIGTERM)
+
+
+def _install_sigterm_handler() -> None:
+    global _SIGTERM_INSTALLED, _PREV_SIGTERM
+    if _SIGTERM_INSTALLED:
+        return
+    if threading.current_thread() is not threading.main_thread():
+        return  # signal.signal is main-thread-only; embedders keep theirs
+    try:
+        _PREV_SIGTERM = signal.getsignal(signal.SIGTERM)
+        signal.signal(signal.SIGTERM, _handle_sigterm)
+    except (ValueError, OSError):
+        return
+    _SIGTERM_INSTALLED = True
+
+
 atexit.register(shutdown_pool)
 
 
@@ -153,6 +256,7 @@ def run_replications(
     seeds: Sequence[int],
     *,
     jobs: int | None = None,
+    key: tuple | None = None,
 ) -> list[T]:
     """Run ``worker(*args, rep, seed)`` for each seed, in replication order.
 
@@ -160,14 +264,57 @@ def run_replications(
     deriving seeds *before* fan-out is what makes worker scheduling
     irrelevant to the results.  With ``jobs == 1`` (the default) every
     call happens in-process exactly as the historical serial loops did;
-    with ``jobs > 1`` tasks are submitted to the shared process pool and
-    results are gathered back in submission order, so the returned list
-    is identical either way.
+    with ``jobs > 1`` tasks run under the supervision state machine of
+    :mod:`repro.harness.supervisor` (per-task timeouts, bounded retries,
+    broken-pool recovery) and results are merged back by replication
+    index, so the returned list is identical either way — including when
+    a worker crashed and the task was retried.
+
+    ``key`` names the sweep point for durability: when a journaled run
+    context (:mod:`repro.harness.journal`) is active, completed results
+    are checkpointed under ``(key, rep, seed, recipe-hash)`` as they
+    land, already-journaled tasks are **not** re-executed, and the holes
+    left by an interrupt or quarantine are all a resumed run pays for.
+    Without a key (or outside a journaled run) nothing is recorded.
     """
     tasks = list(enumerate(seeds))
     n_jobs = resolve_jobs(jobs)
-    if n_jobs <= 1 or len(tasks) <= 1:
-        return [worker(*args, rep, seed) for rep, seed in tasks]
-    pool = _get_pool(n_jobs)
-    futures = [pool.submit(worker, *args, rep, seed) for rep, seed in tasks]
-    return [f.result() for f in futures]
+
+    ctx = None
+    recipe = None
+    results: list[T] = [None] * len(tasks)  # type: ignore[list-item]
+    pending = tasks
+    if key is not None:
+        from repro.harness import journal as journal_mod
+
+        ctx = journal_mod.active()
+        if ctx is not None:
+            recipe = journal_mod.recipe_hash(worker, args)
+            ctx.note_recipe(key, recipe)
+            pending = []
+            for rep, seed in tasks:
+                hit = ctx.journal.lookup(key, rep, seed, recipe)
+                if ctx.journal.is_miss(hit):
+                    pending.append((rep, seed))
+                else:
+                    results[rep] = hit
+
+    def deliver(rep: int, seed: int, result) -> None:
+        results[rep] = result
+        if ctx is not None:
+            ctx.journal.record(key, rep, seed, recipe, result)
+
+    if n_jobs <= 1 or len(pending) <= 1:
+        # The exact historical in-process path (no pool, no pickling) —
+        # also taken when the journal already holds all but <=1 task.
+        for rep, seed in pending:
+            deliver(rep, seed, worker(*args, rep, seed))
+    else:
+        from repro.harness.supervisor import run_supervised
+
+        run_supervised(
+            worker, args, pending, workers=n_jobs, key=key, on_result=deliver
+        )
+    if ctx is not None:
+        ctx.write_manifest()  # keep run.json current batch by batch
+    return results

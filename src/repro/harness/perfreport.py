@@ -1,6 +1,6 @@
 """Machine-readable performance snapshots (``BENCH_PR4.json``).
 
-Each snapshot times experiment groups under four configurations —
+Each snapshot times experiment groups under five configurations —
 
 * ``serial_lazy_s`` — one process, ``REPRO_COMPILED_UNDERLAY=0``: the
   lazy per-source-Dijkstra substrate path (the pre-PR 4 baseline);
@@ -11,15 +11,19 @@ Each snapshot times experiment groups under four configurations —
   substrate setup is an mmap load (the default user experience, and the
   field :mod:`repro.harness.perfgate` gates in CI);
 * ``parallel_s`` — ``jobs`` worker processes over the warm cache;
+* ``resume_s`` — one process replaying a fully populated run journal
+  (:mod:`repro.harness.journal`): no worker executes, so this isolates
+  the fixed replay + render cost a ``--resume`` run pays up front;
 
 — plus *substrate-only* timings (``substrate_lazy_s`` /
 ``substrate_cold_s`` / ``substrate_warm_s``): the wall time of just the
 group's substrate builder calls in each mode, which isolates what the
 compilation layer and the cache buy at setup time.
 
-The lazy and compiled runs must be *equivalent*, not just both
-plausible: their rendered table JSON is compared byte for byte across
-all three serial modes and a mismatch aborts the report.  That check is
+The lazy, compiled, and journal-replay runs must be *equivalent*, not
+just all plausible: their rendered table JSON is compared byte for byte
+across the serial modes and the resume replay, and a mismatch aborts
+the report.  That check is
 what licenses reading the timing delta as pure overhead removed.
 
 Timed runs are isolated: the experiment cache, the substrate memos, and
@@ -127,31 +131,59 @@ def _timed_modes(
 
     Rep order matters: ``cold`` wipes the artifact cache and repopulates
     it, and ``warm``/``parallel`` ride on the cache ``cold`` just built.
+
+    The ``resume`` mode times a *journal replay*: an untimed populate run
+    first fills a private journal (:mod:`repro.harness.journal`) with
+    every replication result, then each timed rep re-runs the group under
+    ``resume=True`` — every task is a journal hit, so no worker executes
+    and the figure isolates the pure replay + table-render cost a resumed
+    run pays before reaching its first missing task.  Its outputs join
+    the byte-identity check, pinning the journal's float round-trip end
+    to end.
     """
+    from repro.harness import journal as journal_mod
+
     specs = (
         ("lazy", False, 1, True),
         ("cold", True, 1, True),
         ("warm", True, 1, False),
         ("parallel", True, jobs, False),
+        ("resume", True, 1, False),
     )
     best = {mode: float("inf") for mode, _, _, _ in specs}
     outputs: dict[str, dict[str, str]] = {}
-    with _env(**{CACHE_DIR_ENV: str(cache_root), CACHE_ENABLED_ENV: "1"}):
-        for _ in range(TIMING_REPS):
-            for mode, compiled, mode_jobs, wipe in specs:
-                with _env(**{_COMPILED_ENV: "1" if compiled else "0"}):
-                    if wipe:
-                        _wipe(cache_root)
-                    exp.clear_cache()
-                    shutdown_pool()
-                    with Stopwatch() as sw:
-                        tables = runner(
-                            dataclasses.replace(preset, jobs=mode_jobs)
-                        )
-                    best[mode] = min(best[mode], sw.elapsed)
-                    outputs[mode] = _render_outputs(tables)
-        exp.clear_cache()
-        shutdown_pool()
+    journal_root = Path(tempfile.mkdtemp(prefix="repro-perf-journal-"))
+    try:
+        with _env(**{CACHE_DIR_ENV: str(cache_root), CACHE_ENABLED_ENV: "1"}):
+            # Untimed populate pass for the resume mode: record every
+            # replication of this group into the private journal once.
+            with _env(**{_COMPILED_ENV: "1"}):
+                exp.clear_cache()
+                shutdown_pool()
+                with journal_mod.run_context(journal_root):
+                    runner(dataclasses.replace(preset, jobs=1))
+            for _ in range(TIMING_REPS):
+                for mode, compiled, mode_jobs, wipe in specs:
+                    with _env(**{_COMPILED_ENV: "1" if compiled else "0"}):
+                        if wipe:
+                            _wipe(cache_root)
+                        exp.clear_cache()
+                        shutdown_pool()
+                        replay = contextlib.nullcontext()
+                        if mode == "resume":
+                            replay = journal_mod.run_context(
+                                journal_root, resume=True
+                            )
+                        with replay, Stopwatch() as sw:
+                            tables = runner(
+                                dataclasses.replace(preset, jobs=mode_jobs)
+                            )
+                        best[mode] = min(best[mode], sw.elapsed)
+                        outputs[mode] = _render_outputs(tables)
+            exp.clear_cache()
+            shutdown_pool()
+    finally:
+        shutil.rmtree(journal_root, ignore_errors=True)
     return best, outputs
 
 
@@ -256,7 +288,7 @@ def generate_perf_report(
             f"unknown perf group(s) {unknown}; choose from {sorted(GROUP_RUNNERS)}"
         )
     report: dict = {
-        "schema": "repro-perf-report/3",
+        "schema": "repro-perf-report/4",
         "preset": preset.name,
         "jobs": jobs,
         "cpu_count": os.cpu_count(),
@@ -270,14 +302,16 @@ def generate_perf_report(
             "per-source-Dijkstra baseline); serial_cold_s = compiled "
             "underlays with the artifact cache wiped each run; serial_s = "
             "compiled underlays over a warm cache (the default mode, gated "
-            "in CI); parallel_s = jobs=N over the warm cache.  "
+            "in CI); parallel_s = jobs=N over the warm cache; resume_s = "
+            "jobs=1 replaying a fully populated run journal (no worker "
+            "executes — the fixed cost a resumed run pays up front).  "
             "substrate_*_s time only the group's substrate builder calls "
             "in the same three modes.  Each figure is the minimum wall "
             "time over five reps, with the modes interleaved inside each "
             "rep so host-speed drift on shared machines cannot favor one "
             "mode.  outputs_identical means "
-            "lazy/cold/warm produced byte-identical table JSON.  Parallel "
-            "speedup is bounded by cpu_count."
+            "lazy/cold/warm/resume produced byte-identical table JSON.  "
+            "Parallel speedup is bounded by cpu_count."
         ),
         "groups": {},
     }
@@ -289,7 +323,7 @@ def generate_perf_report(
                 runner, preset, jobs=jobs, cache_root=cache_root
             )
             lazy_out = outputs["lazy"]
-            for mode_name in ("cold", "warm"):
+            for mode_name in ("cold", "warm", "resume"):
                 out = outputs[mode_name]
                 if out != lazy_out:
                     differing = sorted(
@@ -298,13 +332,13 @@ def generate_perf_report(
                         if out.get(t) != lazy_out.get(t)
                     )
                     raise RuntimeError(
-                        f"group {name!r}: compiled substrates ({mode_name} "
-                        f"cache) changed the results of table(s) {differing} "
-                        "— refusing to write a perf report for divergent "
-                        "modes"
+                        f"group {name!r}: mode {mode_name!r} changed the "
+                        f"results of table(s) {differing} — refusing to "
+                        "write a perf report for divergent modes"
                     )
             lazy, cold = times["lazy"], times["cold"]
             warm, parallel = times["warm"], times["parallel"]
+            resume = times["resume"]
             subs = _time_substrates(
                 _group_substrate_builders(name, preset), cache_root=cache_root
             )
@@ -313,6 +347,7 @@ def generate_perf_report(
                 "serial_cold_s": round(cold, 3),
                 "serial_s": round(warm, 3),
                 "parallel_s": round(parallel, 3),
+                "resume_s": round(resume, 3),
                 "workers": jobs,
                 "outputs_identical": True,
                 "speedup_compiled_cold": round(lazy / cold, 2),

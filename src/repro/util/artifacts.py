@@ -25,6 +25,11 @@ reused by every later process.  This module provides the storage layer:
   array file, a byte-size/shape/dtype mismatch, or an ``np.load``
   failure causes the whole entry to be deleted and ``None`` returned, so
   the caller transparently rebuilds and re-stores.
+* **Graceful degradation** — a cache that cannot take writes (full
+  disk, exceeded quota, read-only or permission-restricted directory)
+  warns once and degrades to in-memory operation; hits from a read-only
+  cache still load even though their LRU mtime cannot be touched.  The
+  cache is an accelerator, never a correctness dependency.
 * **Eviction** — after every store the cache is trimmed to
   ``REPRO_CACHE_MAX_BYTES`` (default 2 GiB) by removing the
   least-recently-*used* entries; :func:`load_artifact` touches the
@@ -42,12 +47,15 @@ Environment knobs (also see ``--no-substrate-cache`` on the harness CLI):
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
+import errno
 import hashlib
 import json
 import os
 import shutil
 import uuid
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -153,6 +161,34 @@ def _drop_entry(path: Path) -> None:
     shutil.rmtree(path, ignore_errors=True)
 
 
+#: errno values that mean "this cache location cannot accept writes right
+#: now" — full disk, quota, read-only or permission-restricted mount.  A
+#: cache is an accelerator, never a correctness dependency, so these
+#: degrade to a warning + in-memory operation instead of aborting the run.
+_DEGRADE_ERRNOS = frozenset(
+    getattr(errno, name)
+    for name in ("ENOSPC", "EDQUOT", "EROFS", "EACCES", "EPERM")
+    if hasattr(errno, name)
+)
+
+_degrade_warned = False
+
+
+def _warn_degraded(exc: OSError) -> None:
+    global _degrade_warned
+    if _degrade_warned:
+        return
+    _degrade_warned = True
+    warnings.warn(
+        f"substrate cache at {cache_dir()} is not writable "
+        f"({exc.__class__.__name__}: {exc}); continuing with in-memory "
+        "substrates only — compiled arrays will not persist across "
+        "processes this run",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
 def store_artifact(
     key: str,
     arrays: dict[str, np.ndarray],
@@ -164,14 +200,25 @@ def store_artifact(
 
     Returns the entry path, or ``None`` when a concurrent writer won the
     rename race (their entry is byte-identical by keying discipline, so
-    losing is free).  Trims the cache to the size cap afterwards.
+    losing is free) **or** when the cache location cannot take writes —
+    full disk, exceeded quota, read-only or unwritable directory.  The
+    latter warns once per process and degrades to in-memory operation:
+    callers already treat ``None`` as "keep your arrays", so a dying disk
+    costs persistence, never the run.  Trims the cache to the size cap
+    after a successful store.
     """
     root = base_dir if base_dir is not None else cache_dir()
     final = root / key
     if final.exists():
         return final
     tmp = root / f".tmp-{key[:16]}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
-    tmp.mkdir(parents=True)
+    try:
+        tmp.mkdir(parents=True)
+    except OSError as exc:
+        if exc.errno in _DEGRADE_ERRNOS:
+            _warn_degraded(exc)
+            return None
+        raise
     try:
         manifest_arrays = {}
         for name, arr in arrays.items():
@@ -191,6 +238,12 @@ def store_artifact(
             # check and the rename; keep theirs.
             _drop_entry(tmp)
             return None
+    except OSError as exc:
+        _drop_entry(tmp)
+        if exc.errno in _DEGRADE_ERRNOS:
+            _warn_degraded(exc)
+            return None
+        raise
     except BaseException:
         _drop_entry(tmp)
         raise
@@ -226,7 +279,10 @@ def load_artifact(key: str, *, base_dir: Path | None = None) -> Artifact | None:
     except (OSError, ValueError, KeyError, json.JSONDecodeError):
         _drop_entry(entry)
         return None
-    os.utime(manifest_path)
+    with contextlib.suppress(OSError):
+        # The LRU clock is best-effort: a read-only cache dir (shared CI
+        # cache, root-owned mount) must still serve hits.
+        os.utime(manifest_path)
     return Artifact(key=key, meta=meta, arrays=arrays)
 
 

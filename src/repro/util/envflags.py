@@ -19,6 +19,27 @@ assert the optimized and reference code paths agree bit for bit:
   ``REPRO_SUBSTRATE_CACHE``, ``REPRO_CACHE_MAX_BYTES``) live in
   :mod:`repro.util.artifacts`.
 
+Robustness work ships with knobs too (PR 5) — all inert by default so
+the fault-free hot path is unchanged:
+
+* ``REPRO_TASK_TIMEOUT_S`` — per-replication wall-clock timeout in the
+  supervised pooled path of :mod:`repro.harness.supervisor`; a hung
+  worker is killed and the task retried.  Unset or ``0`` disables
+  timeouts (the default: simulations have no natural upper bound).
+* ``REPRO_TASK_RETRIES`` — attempts per task before the supervisor
+  quarantines it (default 3; the first run counts as attempt 1).
+* ``REPRO_RETRY_BACKOFF_S`` — base of the exponential backoff with
+  decorrelated jitter slept before a retry (default 0.25; ``0`` retries
+  immediately — tests and CI chaos jobs use that).
+* ``REPRO_GRACE_S`` — how long an interrupted supervised run waits for
+  in-flight replications to finish before killing the pool, so their
+  results still reach the journal (default 5).
+* ``REPRO_JOURNAL_DIR`` — default journal directory for the harness CLI
+  (equivalent to ``--journal DIR``); see :mod:`repro.harness.journal`.
+* ``REPRO_CHAOS`` — deterministic worker-fault plan (JSON, or ``@path``
+  to a JSON file) injected by the supervisor for self-tests; see
+  :mod:`repro.harness.chaos`.  Unset = no chaos, zero overhead.
+
 Flags are read at object construction time, not per call, so a running
 session never changes behavior mid-flight.
 """
@@ -27,7 +48,14 @@ from __future__ import annotations
 
 import os
 
-__all__ = ["compiled_underlay_enabled", "incremental_tree_enabled"]
+__all__ = [
+    "compiled_underlay_enabled",
+    "incremental_tree_enabled",
+    "interrupt_grace_s",
+    "retry_backoff_s",
+    "task_max_attempts",
+    "task_timeout_s",
+]
 
 _FALSE_VALUES = ("0", "false", "no")
 
@@ -40,3 +68,51 @@ def incremental_tree_enabled() -> bool:
 def compiled_underlay_enabled() -> bool:
     """Whether substrate builders compile underlays up front (default on)."""
     return os.environ.get("REPRO_COMPILED_UNDERLAY", "1").lower() not in _FALSE_VALUES
+
+
+def _positive_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def task_timeout_s() -> float | None:
+    """Per-task wall-clock timeout for supervised pooled replications.
+
+    ``REPRO_TASK_TIMEOUT_S``; unset or ``0`` means no timeout (default).
+    """
+    value = _positive_float("REPRO_TASK_TIMEOUT_S", 0.0)
+    return value if value > 0 else None
+
+
+def task_max_attempts() -> int:
+    """Attempts per task before quarantine (``REPRO_TASK_RETRIES``, default 3)."""
+    raw = os.environ.get("REPRO_TASK_RETRIES", "").strip()
+    if not raw:
+        return 3
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_TASK_RETRIES must be an integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"REPRO_TASK_RETRIES must be >= 1, got {value}")
+    return value
+
+
+def retry_backoff_s() -> float:
+    """Base retry backoff in seconds (``REPRO_RETRY_BACKOFF_S``, default 0.25)."""
+    return _positive_float("REPRO_RETRY_BACKOFF_S", 0.25)
+
+
+def interrupt_grace_s() -> float:
+    """Seconds an interrupted run waits for in-flight tasks (``REPRO_GRACE_S``)."""
+    return _positive_float("REPRO_GRACE_S", 5.0)

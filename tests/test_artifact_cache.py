@@ -281,3 +281,83 @@ class TestEviction:
         monkeypatch.setenv(artifacts.CACHE_MAX_BYTES_ENV, "0")
         with pytest.raises(ValueError):
             artifacts.cache_max_bytes()
+
+
+class TestGracefulDegradation:
+    """A cache that cannot take writes must warn once and degrade, never
+    abort the run (PR 5 satellite): the cache is an accelerator, not a
+    correctness dependency."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_warn_latch(self):
+        artifacts._degrade_warned = False
+        yield
+        artifacts._degrade_warned = False
+
+    def _failing_save(self, errno_value):
+        def fail(*a, **k):
+            raise OSError(errno_value, os.strerror(errno_value))
+
+        return fail
+
+    def test_enospc_during_save_degrades_with_warning(
+        self, cache_root, monkeypatch
+    ):
+        import errno
+
+        monkeypatch.setattr(np, "save", self._failing_save(errno.ENOSPC))
+        with pytest.warns(RuntimeWarning, match="not writable"):
+            out = store_artifact(artifact_key({"x": 1}), _arrays(), {},
+                                 base_dir=cache_root)
+        assert out is None
+        # No half-written tmp dirs may survive the failure.
+        assert not any(p.name.startswith(".tmp-") for p in cache_root.iterdir())
+
+    def test_degradation_warns_only_once(self, cache_root, monkeypatch):
+        import errno
+        import warnings as warnings_mod
+
+        monkeypatch.setattr(np, "save", self._failing_save(errno.ENOSPC))
+        with pytest.warns(RuntimeWarning):
+            store_artifact(artifact_key({"x": 1}), _arrays(), {},
+                           base_dir=cache_root)
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")  # a second warning would raise
+            assert store_artifact(artifact_key({"x": 2}), _arrays(), {},
+                                  base_dir=cache_root) is None
+
+    def test_readonly_root_degrades_at_mkdir(self, tmp_path, monkeypatch):
+        import errno
+
+        real_mkdir = os.makedirs
+
+        def refuse(path, *a, **k):
+            raise OSError(errno.EROFS, "read-only file system")
+
+        monkeypatch.setattr("pathlib.Path.mkdir",
+                            lambda self, *a, **k: refuse(self))
+        with pytest.warns(RuntimeWarning, match="not writable"):
+            out = store_artifact(artifact_key({"ro": 1}), _arrays(), {},
+                                 base_dir=tmp_path / "ro-cache")
+        assert out is None
+        assert real_mkdir is os.makedirs  # only Path.mkdir was patched
+
+    def test_unrelated_oserror_still_raises(self, cache_root, monkeypatch):
+        import errno
+
+        monkeypatch.setattr(np, "save", self._failing_save(errno.EIO))
+        with pytest.raises(OSError):
+            store_artifact(artifact_key({"x": 3}), _arrays(), {},
+                           base_dir=cache_root)
+
+    def test_load_tolerates_failed_utime(self, cache_root, monkeypatch):
+        key = artifact_key({"hit": 1})
+        store_artifact(key, _arrays(), {"m": 1}, base_dir=cache_root)
+
+        def refuse_utime(*a, **k):
+            raise PermissionError("read-only cache")
+
+        monkeypatch.setattr(os, "utime", refuse_utime)
+        loaded = load_artifact(key, base_dir=cache_root)
+        assert loaded is not None
+        assert loaded.meta == {"m": 1}
