@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shlex
 import sys
 
 from repro.harness import journal as journal_mod
@@ -211,7 +212,8 @@ def main(argv: list[str] | None = None) -> int:
 
 def _resume_command(args: argparse.Namespace) -> str:
     """The exact invocation that continues this run from its journal."""
-    parts = ["python -m repro.harness", *args.figures, "--preset", args.preset]
+    parts = ["python", "-m", "repro.harness", *args.figures]
+    parts += ["--preset", args.preset]
     if args.jobs is not None:
         parts += ["--jobs", str(args.jobs)]
     if args.faults:
@@ -221,7 +223,7 @@ def _resume_command(args: argparse.Namespace) -> str:
     if args.chart:
         parts.append("--chart")
     parts += ["--journal", str(args.journal), "--resume"]
-    return " ".join(parts)
+    return shlex.join(parts)
 
 
 if __name__ == "__main__":

@@ -143,10 +143,19 @@ class RunJournal:
         self._fh = open(self.path, "a", encoding="utf-8")
 
     def _replay(self) -> None:
-        """Load completed entries; tolerate one torn trailing line."""
-        lines = self.path.read_text(encoding="utf-8").split("\n")
-        if lines and lines[-1] == "":
+        """Load completed entries; tolerate one torn trailing line.
+
+        A torn trailing line is not only dropped from the index — it is
+        truncated from the file before the append handle opens, so the
+        resumed run's first entry starts on a clean line boundary.
+        Leaving the fragment in place would concatenate the next entry
+        onto it, making the merged line unparseable by every later
+        ``--resume``.
+        """
+        lines = self.path.read_bytes().split(b"\n")
+        if lines and lines[-1] == b"":
             lines.pop()
+        parsed_end = 0  # byte offset just past the last good line's "\n"
         for lineno, line in enumerate(lines, start=1):
             try:
                 entry = json.loads(line)
@@ -155,7 +164,9 @@ class RunJournal:
                     entry["recipe"],
                 )
                 result = entry["result"]
-            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            except (
+                json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError,
+            ) as exc:
                 if lineno == len(lines):
                     # The torn write of the crash that this resume is
                     # recovering from: drop it, the task just re-runs.
@@ -165,12 +176,16 @@ class RunJournal:
                         RuntimeWarning,
                         stacklevel=3,
                     )
+                    with open(self.path, "r+b") as fh:
+                        fh.truncate(parsed_end)
+                        os.fsync(fh.fileno())
                     break
                 raise RunJournalError(
                     f"{self.path}:{lineno}: corrupt journal entry mid-file "
                     f"({exc}); refusing to resume from a damaged journal"
                 ) from None
             self._index[key] = result
+            parsed_end += len(line) + 1
         self.replayed = len(self._index)
 
     def lookup(self, key: tuple, rep: int, seed: int, recipe: str):
@@ -314,14 +329,18 @@ def run_context(
             signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
             installed_handler = _sigterm_to_interrupt
     _ACTIVE = ctx
-    ctx.write_manifest()
     try:
+        ctx.write_manifest()
         yield ctx
     except KeyboardInterrupt:
-        ctx.write_manifest("interrupted")
+        with contextlib.suppress(OSError):
+            ctx.write_manifest("interrupted")
         raise
     except BaseException:
-        ctx.write_manifest("failed")
+        # Best-effort stamp: if the manifest itself is unwritable (ENOSPC,
+        # read-only dir) the original failure must still propagate.
+        with contextlib.suppress(OSError):
+            ctx.write_manifest("failed")
         raise
     else:
         ctx.write_manifest("complete")

@@ -100,6 +100,29 @@ class TestRunJournal:
         assert j2.lookup(("g",), 1, 2, "r") == 2.0
         j2.close()
 
+    def test_torn_line_truncated_before_append(self, tmp_path):
+        """Crash -> resume -> record -> resume again must stay parseable.
+
+        The torn fragment has to be truncated from the file, not just
+        dropped from the index: otherwise the resumed run's first append
+        concatenates onto it and every later resume refuses the journal.
+        """
+        j = RunJournal(tmp_path)
+        j.record(("g",), 0, 1, "r", 1.0)
+        j.close()
+        path = tmp_path / journal.JOURNAL_NAME
+        path.write_text(path.read_text() + '{"key": ["g"], "rep": 1')
+        with pytest.warns(RuntimeWarning, match="torn trailing"):
+            j2 = RunJournal(tmp_path, resume=True)
+        j2.record(("g",), 1, 2, "r", 2.0)
+        j2.record(("g",), 2, 3, "r", 3.0)
+        j2.close()
+        j3 = RunJournal(tmp_path, resume=True)  # must not warn or raise
+        assert len(j3) == 3
+        assert j3.lookup(("g",), 1, 2, "r") == 2.0
+        assert j3.lookup(("g",), 2, 3, "r") == 3.0
+        j3.close()
+
     def test_midfile_corruption_refused(self, tmp_path):
         j = RunJournal(tmp_path)
         j.record(("g",), 0, 1, "r", 1.0)
@@ -228,6 +251,27 @@ class TestRunContext:
                 os.kill(os.getpid(), signal.SIGTERM)
                 signal.sigtimedwait([], 1)  # let the handler run
         assert self._manifest(tmp_path)["status"] == "interrupted"
+
+    def test_setup_failure_releases_active_slot(self, tmp_path, monkeypatch):
+        """A failed initial manifest write must not wedge the process.
+
+        If the up-front ``write_manifest`` raises (ENOSPC, unwritable
+        dir), the context must still clear the process-wide active slot
+        and close the journal, or every later run_context would refuse
+        with "already active".
+        """
+        monkeypatch.setattr(
+            journal.RunContext,
+            "write_manifest",
+            lambda self, status=None: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        with pytest.raises(OSError, match="disk full"):
+            with run_context(tmp_path / "a"):
+                pass  # pragma: no cover - never entered
+        assert journal.active() is None
+        monkeypatch.undo()
+        with run_context(tmp_path / "b"):  # slot was released
+            pass
 
     def test_previous_sigterm_handler_restored(self, tmp_path):
         before = signal.getsignal(signal.SIGTERM)
