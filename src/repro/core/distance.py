@@ -24,6 +24,8 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 from repro.sim.network import Underlay
 from repro.util.validation import check_non_negative
 
@@ -49,6 +51,18 @@ class VirtualDistance(ABC):
     def __call__(self, a: int, b: int) -> float:
         """Virtual distance between hosts ``a`` and ``b``."""
 
+    def row(self, a: int, hosts) -> np.ndarray:
+        """Distances from ``a`` to every host in ``hosts`` as one array.
+
+        Element ``i`` is bit-identical to ``self(a, hosts[i])``.  The
+        generic implementation loops the scalar call; metrics with dense
+        backing (``DelayDistance`` over a matrix-holding underlay)
+        override it with a vectorized gather.  The batched engine
+        classifies whole candidate sets against such rows in one
+        :func:`repro.core.cases.classify_case_array` sweep.
+        """
+        return np.array([self(a, b) for b in hosts], dtype=np.float64)
+
     @property
     def name(self) -> str:
         return type(self).__name__
@@ -59,6 +73,15 @@ class DelayDistance(VirtualDistance):
 
     def __call__(self, a: int, b: int) -> float:
         return self.underlay.rtt_ms(a, b)
+
+    def row(self, a: int, hosts) -> np.ndarray:
+        base = self.underlay.delay_row(a)
+        if base is None:
+            return super().row(a, hosts)
+        # Doubling only bumps the float64 exponent, so 2*delay gathered
+        # from the dense row matches per-pair ``rtt_ms`` bit for bit.
+        row = np.asarray(base, dtype=np.float64)
+        return 2.0 * row[np.asarray(hosts, dtype=np.intp)]
 
 
 class LossDistance(VirtualDistance):

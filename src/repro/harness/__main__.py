@@ -71,12 +71,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--perf-report",
         nargs="?",
-        const="BENCH_PR4.json",
+        const="BENCH_PR6.json",
         default=None,
         metavar="PATH",
         help="time experiment groups (lazy baseline / cold compile / warm "
-        "cache / parallel) and write a JSON perf snapshot "
-        "(default path: BENCH_PR4.json)",
+        "cache / batched engine / parallel) and write a JSON perf "
+        "snapshot (default path: BENCH_PR6.json)",
     )
     parser.add_argument(
         "--no-substrate-cache",
@@ -91,6 +91,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="G1,G2,...",
         help="comma-separated experiment groups for --perf-report "
         "(default: ch3_churn,ch3_degree,ch5_churn)",
+    )
+    parser.add_argument(
+        "--perf-reps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="timing repetitions per mode for --perf-report (default: "
+        "REPRO_PERF_REPS or 5; the report records the value used)",
     )
     parser.add_argument(
         "--sample-tree",
@@ -151,6 +159,7 @@ def main(argv: list[str] | None = None) -> int:
             jobs=args.jobs if args.jobs is not None else default_jobs,
             groups=groups,
             path=args.perf_report,
+            reps=args.perf_reps,
         )
         print(json.dumps(report, indent=2))
         print(f"\nperf snapshot written to {args.perf_report}", file=sys.stderr)

@@ -1,0 +1,120 @@
+"""Sweep-cell adapter for the batched multi-replication engine (PR 6).
+
+:mod:`repro.sim.batched` runs *one* replication fast; this module turns
+it into the ``batch=`` hook that
+:func:`repro.harness.parallel.run_replications` understands, so the
+experiment runners in :mod:`repro.harness.experiments` batch whole sweep
+cells with a one-line change per call site.
+
+A *cell* is one ``run_replications`` call: one underlay, one protocol,
+one parameter value, many ``(rep, seed)`` replications.  That is also the
+right unit for ``--jobs`` composition — with batching on, the process
+pool shards *cells* across workers while each cell's replications share
+one in-process :class:`~repro.sim.batched.BatchedCell` (they reuse the
+same underlay rows), instead of paying per-replication pickling for work
+the batched engine finishes in milliseconds.
+
+The adapter is fail-safe by construction: any
+:class:`~repro.sim.batched.BatchedUnsupported` — wrong protocol, probe
+noise, faults, refinement, an underlay without dense rows — makes the
+hook decline, and ``run_replications`` falls back to the scalar engine
+for exactly the replications the batch did not take.  ``REPRO_BATCHED_REPS``
+(:func:`repro.util.envflags.batched_reps`) is the ablation knob: ``0``
+declines everything (the byte-identity oracle mode), a positive value
+caps how many replications each cell takes batched (the remainder runs
+scalar — equivalence tests use that to mix both engines in one table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.vdm import VDMConfig
+from repro.sim.batched import BatchedCell, BatchedUnsupported
+from repro.sim.session import SessionConfig, SessionResult
+from repro.util import envflags
+
+__all__ = ["CellSpec", "cell_batch"]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Everything the batched engine needs to run one sweep cell.
+
+    Factories rather than values so that declining stays free: the
+    underlay is only built (or mmap-loaded) once the hook has decided the
+    protocol can batch at all, and per-replication configs are derived
+    from seeds exactly like the scalar workers derive them.
+    """
+
+    #: builds (usually: returns the memoized) underlay of the cell
+    underlay_factory: Callable[[], object]
+    #: seed -> the session config the scalar worker would build
+    config_factory: Callable[[int], SessionConfig]
+    #: the experiment's ``(kind, config)`` protocol spec; only ``"vdm"``
+    #: can batch, anything else declines
+    protocol: tuple[str, object]
+    #: metric extractors applied to each session result — must be the
+    #: same mapping the scalar worker's ``_reduce`` uses
+    metrics: dict[str, Callable[[SessionResult], float]] = field(hash=False)
+
+
+# BatchedCell memo: underlays are memoized per process (lru_cache in
+# repro.harness.experiments), so identity keys are stable; the stored
+# references keep both objects alive so an id can never be recycled
+# while its entry exists.
+_CELLS: dict[tuple[int, int], tuple[object, object, BatchedCell]] = {}
+
+
+def _get_cell(underlay, vdm_config) -> BatchedCell:
+    key = (id(underlay), id(vdm_config))
+    hit = _CELLS.get(key)
+    if hit is None:
+        cell = BatchedCell(underlay, vdm_config)
+        _CELLS[key] = (underlay, vdm_config, cell)
+        return cell
+    return hit[2]
+
+
+def clear_cells() -> None:
+    """Drop memoized cells (tests that rebuild underlays in-place use this)."""
+    _CELLS.clear()
+
+
+def cell_batch(spec: CellSpec):
+    """The ``batch=`` hook for one sweep cell, or the reasons it declines.
+
+    Returns a callable ``batch(pending) -> {rep: reduced metrics} | None``
+    fitting :func:`repro.harness.parallel.run_replications`.  The hook
+    re-reads ``REPRO_BATCHED_REPS`` on every call (the perf report flips
+    it between timed modes within one process) and reduces each session
+    with ``spec.metrics`` exactly as the scalar worker does, so a batched
+    result is bit-identical to the scalar worker's return value.
+    """
+
+    def batch(pending: Sequence[tuple[int, int]]):
+        cap = envflags.batched_reps()
+        if cap == 0:
+            return None
+        kind, proto_config = spec.protocol
+        if kind != "vdm":
+            return None
+        if proto_config is not None and not isinstance(proto_config, VDMConfig):
+            return None
+        take = list(pending) if cap is None else list(pending)[:cap]
+        if not take:
+            return None
+        try:
+            cell = _get_cell(spec.underlay_factory(), proto_config)
+            out = {}
+            for rep, seed in take:
+                res = cell.run_session(spec.config_factory(seed))
+                out[rep] = {
+                    name: extract(res) for name, extract in spec.metrics.items()
+                }
+            return out
+        except BatchedUnsupported:
+            return None
+
+    return batch

@@ -36,6 +36,7 @@ from repro.core.capacity import UplinkPopulation
 from repro.core.vdm import VDMConfig
 from repro.factories import hmtp, loss_metric, vdm
 from repro.protocols.multitree import StripedSession
+from repro.harness.batchrun import CellSpec, cell_batch
 from repro.harness.parallel import run_replications
 from repro.harness.presets import Preset
 from repro.harness.substrates import (
@@ -301,6 +302,24 @@ def _ch3_churn_rep(
     return _reduce(res, CH3_METRICS)
 
 
+# Batched-engine hooks (PR 6): each mirrors its replication worker above —
+# same memoized underlay, same config derivation, same metric reduction —
+# so a batched replication is bit-identical to a scalar one.  Cells the
+# batched engine cannot take exactly (HMTP, fault plans, probe noise)
+# decline inside the hook and run scalar as before.
+
+
+def _ch3_churn_batch(preset: Preset, proto: ProtocolSpec, churn: float):
+    return cell_batch(
+        CellSpec(
+            underlay_factory=lambda: _ch3_underlay(preset),
+            config_factory=lambda seed: _ch3_config(preset, churn=churn, seed=seed),
+            protocol=proto,
+            metrics=CH3_METRICS,
+        )
+    )
+
+
 def ch3_churn_tables(preset: Preset) -> dict[str, SeriesTable]:
     """Figs 3.25-3.28: stress/stretch/loss/overhead vs churn, VDM vs HMTP."""
 
@@ -315,6 +334,7 @@ def ch3_churn_tables(preset: Preset) -> dict[str, SeriesTable]:
                     _ch3_churn_rep, (preset, spec, churn), seeds,
                     jobs=preset.jobs,
                     key=("ch3_churn", proto_name, churn),
+                    batch=_ch3_churn_batch(preset, spec, churn),
                 )
                 for churn in preset.churn_rates
             ]
@@ -349,6 +369,21 @@ def _ch3_nodes_rep(preset: Preset, n: int, rep: int, seed: int) -> dict[str, flo
     return _reduce(res, CH3_METRICS)
 
 
+def _ch3_nodes_batch(preset: Preset, n: int):
+    return cell_batch(
+        CellSpec(
+            underlay_factory=lambda: _ch3_underlay(
+                preset, n_hosts=max(preset.ch3_hosts, 2 * n)
+            ),
+            config_factory=lambda seed: _ch3_config(
+                preset, churn=0.05, seed=seed, n_nodes=n
+            ),
+            protocol=_vdm_spec(),
+            metrics=CH3_METRICS,
+        )
+    )
+
+
 def ch3_nodes_tables(preset: Preset) -> dict[str, SeriesTable]:
     """Figs 3.29-3.32: the four metrics vs population size, VDM only."""
 
@@ -360,6 +395,7 @@ def ch3_nodes_tables(preset: Preset) -> dict[str, SeriesTable]:
                 _rep_seeds(preset, preset.replications, "ch3nodes", n),
                 jobs=preset.jobs,
                 key=("ch3_nodes", n),
+                batch=_ch3_nodes_batch(preset, n),
             )
             for n in preset.node_counts
         ]
@@ -394,6 +430,19 @@ def _ch3_degree_rep(
     return _reduce(res, CH3_METRICS)
 
 
+def _ch3_degree_batch(preset: Preset, degree: float):
+    return cell_batch(
+        CellSpec(
+            underlay_factory=lambda: _ch3_underlay(preset),
+            config_factory=lambda seed: _ch3_config(
+                preset, churn=0.05, seed=seed, degree=float(degree)
+            ),
+            protocol=_vdm_spec(),
+            metrics=CH3_METRICS,
+        )
+    )
+
+
 def ch3_degree_tables(preset: Preset) -> dict[str, SeriesTable]:
     """Figs 3.33-3.36: the four metrics vs average node degree, VDM only."""
 
@@ -405,6 +454,7 @@ def ch3_degree_tables(preset: Preset) -> dict[str, SeriesTable]:
                 _rep_seeds(preset, preset.replications, "ch3deg", str(degree)),
                 jobs=preset.jobs,
                 key=("ch3_degree", float(degree)),
+                batch=_ch3_degree_batch(preset, degree),
             )
             for degree in preset.degree_values
         ]
@@ -596,6 +646,41 @@ def _ch5_rep(
     return _reduce(res, CH5_METRICS)
 
 
+def _ch5_batch(
+    preset: Preset,
+    proto: ProtocolSpec,
+    n_select: int,
+    substrate_seed: int,
+    churn: float,
+    n_nodes: int | None = None,
+    degree: int | None = None,
+):
+    """Batched hook for a Ch. 5 cell.
+
+    With the paper's probe noise (``pl_noise_sigma`` > 0) the hook
+    declines and the cell runs scalar; a noise-free preset batches.
+    """
+
+    def substrate():
+        return _pl_substrate_cached(n_select, substrate_seed, preset.pl_pool_us)
+
+    return cell_batch(
+        CellSpec(
+            underlay_factory=lambda: substrate().underlay,
+            config_factory=lambda seed: _pl_config(
+                preset,
+                substrate(),
+                churn=churn,
+                seed=seed,
+                n_nodes=n_nodes,
+                degree=degree,
+            ),
+            protocol=proto,
+            metrics=CH5_METRICS,
+        )
+    )
+
+
 def ch5_churn_tables(preset: Preset) -> dict[str, SeriesTable]:
     """Figs 5.7-5.13: seven metrics vs churn rate, VDM vs HMTP."""
 
@@ -613,6 +698,9 @@ def ch5_churn_tables(preset: Preset) -> dict[str, SeriesTable]:
                     seeds,
                     jobs=preset.jobs,
                     key=("ch5_churn", proto_name, churn),
+                    batch=_ch5_batch(
+                        preset, spec, preset.pl_select, substrate_seed, churn
+                    ),
                 )
                 for churn in preset.pl_churn_rates
             ]

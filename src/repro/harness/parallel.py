@@ -257,6 +257,7 @@ def run_replications(
     *,
     jobs: int | None = None,
     key: tuple | None = None,
+    batch: Callable[[Sequence[tuple[int, int]]], "dict[int, T] | None"] | None = None,
 ) -> list[T]:
     """Run ``worker(*args, rep, seed)`` for each seed, in replication order.
 
@@ -276,6 +277,18 @@ def run_replications(
     land, already-journaled tasks are **not** re-executed, and the holes
     left by an interrupt or quarantine are all a resumed run pays for.
     Without a key (or outside a journaled run) nothing is recorded.
+
+    ``batch`` is the batched-engine hook (PR 6): a callable given the
+    pending ``(rep, seed)`` tasks that returns ``{rep: result}`` for the
+    replications it took (normally all of them; fewer when
+    ``REPRO_BATCHED_REPS`` caps the batch), or ``None`` to decline
+    entirely (unsupported cell, or disabled via ``REPRO_BATCHED_REPS=0``).
+    It runs in-process after the journal lookup, so journaling, resume,
+    and the recipe hash are identical whichever engine produced a result;
+    replications the batch did not take fall through to the scalar
+    serial/pool paths unchanged.  ``batch`` must return results
+    bit-identical to ``worker`` — the scalar engine stays the oracle, and
+    the byte-identity CI step holds the two to that.
     """
     tasks = list(enumerate(seeds))
     n_jobs = resolve_jobs(jobs)
@@ -303,6 +316,17 @@ def run_replications(
         results[rep] = result
         if ctx is not None:
             ctx.journal.record(key, rep, seed, recipe, result)
+
+    if batch is not None and pending:
+        done = batch(pending)
+        if done:
+            leftover = []
+            for rep, seed in pending:
+                if rep in done:
+                    deliver(rep, seed, done[rep])
+                else:
+                    leftover.append((rep, seed))
+            pending = leftover
 
     if n_jobs <= 1 or len(pending) <= 1:
         # The exact historical in-process path (no pool, no pickling) —

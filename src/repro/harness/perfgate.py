@@ -25,6 +25,21 @@ __all__ = ["compare_reports", "main"]
 
 DEFAULT_MAX_RATIO = 1.5
 
+#: figures whose measured coefficient of variation (schema 5's per-group
+#: ``cv`` map) exceeds this are skipped with a warning instead of gated:
+#: at 25% spread across reps, a 1.5x "regression" is indistinguishable
+#: from the machine having a bad minute, and failing CI on it would just
+#: teach people to re-run until it passes.  Figures without cv
+#: information (older schemas, single-rep snapshots) are gated as before.
+DEFAULT_MAX_CV = 0.25
+
+
+def _figure_cv(group_entry: dict, fld: str) -> float | None:
+    cv = group_entry.get("cv")
+    if isinstance(cv, dict):
+        return cv.get(fld)
+    return None
+
 
 def compare_reports(
     current: dict,
@@ -33,6 +48,8 @@ def compare_reports(
     groups: Sequence[str] | None = None,
     field: str | Sequence[str] = "serial_s",
     max_ratio: float = DEFAULT_MAX_RATIO,
+    max_cv: float = DEFAULT_MAX_CV,
+    warnings: list[str] | None = None,
 ) -> list[str]:
     """Return a list of human-readable failures (empty = gate passes).
 
@@ -42,13 +59,23 @@ def compare_reports(
     baseline is skipped (new groups have no reference yet).
 
     ``field`` may be a single timing field or a sequence of them — the
-    PR 4 reports carry several per group (``serial_s``, ``serial_cold_s``,
-    ...) and CI gates the warm *and* cold paths in one invocation.  A
-    field absent from *both* reports is skipped (older baselines predate
-    newer fields); present on only one side it is a failure.
+    PR 4+ reports carry several per group (``serial_s``,
+    ``serial_cold_s``, ``batched_s``, ...) and CI gates several paths in
+    one invocation.  A field absent from *both* reports is skipped
+    (older baselines predate newer fields); present on only one side it
+    is a failure.
+
+    A figure whose reported cv (on either side) exceeds ``max_cv`` is
+    *skipped*, with a line appended to ``warnings`` (when a list is
+    passed): the measurement is too noisy to read a ratio off.  Skipping
+    is deliberately not a failure — the alternative punishes whoever
+    draws the contended CI runner — but it is loud, so a permanently
+    noisy figure gets investigated rather than silently ungated forever.
     """
     if max_ratio <= 0:
         raise ValueError(f"max_ratio must be > 0, got {max_ratio}")
+    if max_cv <= 0:
+        raise ValueError(f"max_cv must be > 0, got {max_cv}")
     fields = [field] if isinstance(field, str) else list(field)
     if not fields:
         raise ValueError("need at least one field to gate on")
@@ -77,6 +104,22 @@ def compare_reports(
                 continue
             if base_t <= 0:
                 continue  # degenerate baseline timing; nothing to compare
+            noisy = [
+                (side, cv)
+                for side, cv in (
+                    ("current", _figure_cv(cur, fld)),
+                    ("baseline", _figure_cv(base, fld)),
+                )
+                if cv is not None and cv > max_cv
+            ]
+            if noisy:
+                if warnings is not None:
+                    detail = ", ".join(f"{side} cv={cv:.3f}" for side, cv in noisy)
+                    warnings.append(
+                        f"{name}: {fld} skipped — too noisy to gate "
+                        f"({detail}, limit {max_cv:.2f})"
+                    )
+                continue
             ratio = cur_t / base_t
             if ratio > max_ratio:
                 failures.append(
@@ -118,6 +161,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="RATIO",
         help=f"fail above current/baseline ratio (default: {DEFAULT_MAX_RATIO})",
     )
+    parser.add_argument(
+        "--max-cv",
+        type=float,
+        default=DEFAULT_MAX_CV,
+        metavar="CV",
+        help="skip (with a warning) figures whose coefficient of variation "
+        f"across timing reps exceeds this (default: {DEFAULT_MAX_CV})",
+    )
     args = parser.parse_args(argv)
     current = json.loads(Path(args.current).read_text())
     baseline = json.loads(Path(args.baseline).read_text())
@@ -131,13 +182,18 @@ def main(argv: list[str] | None = None) -> int:
         if args.fields
         else args.field
     )
+    warnings: list[str] = []
     failures = compare_reports(
         current,
         baseline,
         groups=groups,
         field=fields,
         max_ratio=args.max_regression,
+        max_cv=args.max_cv,
+        warnings=warnings,
     )
+    for line in warnings:
+        print(f"perf gate warning: {line}", file=sys.stderr)
     if failures:
         print("perf gate FAILED:", file=sys.stderr)
         for line in failures:

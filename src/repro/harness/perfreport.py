@@ -1,6 +1,6 @@
-"""Machine-readable performance snapshots (``BENCH_PR4.json``).
+"""Machine-readable performance snapshots (``BENCH_PR6.json``).
 
-Each snapshot times experiment groups under five configurations —
+Each snapshot times experiment groups under six configurations —
 
 * ``serial_lazy_s`` — one process, ``REPRO_COMPILED_UNDERLAY=0``: the
   lazy per-source-Dijkstra substrate path (the pre-PR 4 baseline);
@@ -8,9 +8,14 @@ Each snapshot times experiment groups under five configurations —
   wiped before every run: pays topology generation, the batched
   all-pairs Dijkstra, *and* the cache store;
 * ``serial_s`` — one process, compiled underlays, warm artifact cache:
-  substrate setup is an mmap load (the default user experience, and the
-  field :mod:`repro.harness.perfgate` gates in CI);
-* ``parallel_s`` — ``jobs`` worker processes over the warm cache;
+  substrate setup is an mmap load (the default scalar experience, and
+  the field :mod:`repro.harness.perfgate` gates in CI);
+* ``batched_s`` — one process, warm cache, the batched
+  multi-replication engine (:mod:`repro.harness.batchrun`) enabled:
+  every sweep cell's replications run through
+  :class:`~repro.sim.batched.BatchedCell` (PR 6's headline figure);
+* ``parallel_s`` — ``jobs`` worker processes over the warm cache,
+  scalar engine;
 * ``resume_s`` — one process replaying a fully populated run journal
   (:mod:`repro.harness.journal`): no worker executes, so this isolates
   the fixed replay + render cost a ``--resume`` run pays up front;
@@ -20,21 +25,28 @@ Each snapshot times experiment groups under five configurations —
 group's substrate builder calls in each mode, which isolates what the
 compilation layer and the cache buy at setup time.
 
-The lazy, compiled, and journal-replay runs must be *equivalent*, not
-just all plausible: their rendered table JSON is compared byte for byte
-across the serial modes and the resume replay, and a mismatch aborts
-the report.  That check is
-what licenses reading the timing delta as pure overhead removed.
+Every mode except ``batched`` pins ``REPRO_BATCHED_REPS=0``, so the five
+legacy figures keep meaning exactly what they meant in the PR 4/5
+reports: scalar-engine wall clock.  ``batched`` leaves the flag unset
+(unlimited batching), and its rendered table JSON joins the byte-for-byte
+identity check against the lazy scalar run — alongside cold, warm,
+parallel, and the journal replay.  A mismatch aborts the report: that
+check is what licenses reading ``serial_s / batched_s`` as pure overhead
+removed rather than a different computation.
 
 Timed runs are isolated: the experiment cache, the substrate memos, and
 the worker pool are all torn down before and after every measurement,
 and the artifact cache lives in a private temporary directory for the
-duration of the report (so user caches are never polluted and "cold"
-really means cold).  Every configuration is timed five times and the
-*minimum* wall time is reported, with the configurations *interleaved*
-within each rep: shared machines drift in effective clock speed on
-minute scales, and timing one mode's reps back to back would hand
-whichever mode lands in a fast epoch an unearned win.
+duration of the report.  Every configuration is timed ``timing_reps``
+times (default 5, ``REPRO_PERF_REPS`` or ``--perf-reps`` to override —
+the report records the value used) and the *minimum* wall time is
+reported, with the configurations *interleaved* within each rep: shared
+machines drift in effective clock speed on minute scales, and timing one
+mode's reps back to back would hand whichever mode lands in a fast epoch
+an unearned win.  Each figure also carries its coefficient of variation
+across reps (``cv``), so downstream consumers — the CI gate above all —
+can tell a stable measurement from one taken on a noisy box and skip
+gating the latter.
 """
 
 from __future__ import annotations
@@ -42,6 +54,7 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import json
+import math
 import os
 import shutil
 import tempfile
@@ -55,7 +68,7 @@ from repro.topology.linkmodel import LinkErrorConfig
 from repro.util.artifacts import CACHE_DIR_ENV, CACHE_ENABLED_ENV
 from repro.util.timing import Stopwatch
 
-__all__ = ["GROUP_RUNNERS", "DEFAULT_GROUPS", "generate_perf_report"]
+__all__ = ["GROUP_RUNNERS", "DEFAULT_GROUPS", "generate_perf_report", "timing_reps"]
 
 GROUP_RUNNERS: dict[str, Callable[[Preset], dict]] = {
     "ch3_churn": exp.ch3_churn_tables,
@@ -82,12 +95,54 @@ DEFAULT_GROUPS: tuple[str, ...] = (
 )
 
 _COMPILED_ENV = "REPRO_COMPILED_UNDERLAY"
+_BATCHED_ENV = "REPRO_BATCHED_REPS"
 
-#: timing repetitions per configuration; the minimum wall time is kept.
-#: Five reps (not three) because the minimum is only as good as the
-#: number of drift epochs it samples — see the interleaving note on
+#: default timing repetitions per configuration; the minimum wall time is
+#: kept.  Five reps (not three) because the minimum is only as good as
+#: the number of drift epochs it samples — see the interleaving note on
 #: :func:`_timed_modes`.
 TIMING_REPS = 5
+
+#: report field each timed mode lands in (also the cv key for the mode)
+_MODE_FIELDS = {
+    "lazy": "serial_lazy_s",
+    "cold": "serial_cold_s",
+    "warm": "serial_s",
+    "batched": "batched_s",
+    "parallel": "parallel_s",
+    "resume": "resume_s",
+}
+
+
+def timing_reps(requested: int | None = None) -> int:
+    """Resolve the timing rep count: argument, then ``REPRO_PERF_REPS``, then 5.
+
+    Paper-preset groups take minutes per rep, so CI and local paper-scale
+    snapshots dial this down; the report records whatever was used so a
+    single-rep snapshot can never masquerade as a best-of-five.
+    """
+    if requested is None:
+        raw = os.environ.get("REPRO_PERF_REPS", "").strip()
+        requested = int(raw) if raw else TIMING_REPS
+    if requested < 1:
+        raise ValueError(f"timing reps must be >= 1, got {requested}")
+    return requested
+
+
+def _cv(samples: Sequence[float]) -> float | None:
+    """Coefficient of variation (population stdev / mean), or ``None``.
+
+    ``None`` when fewer than two reps were taken (no spread to measure)
+    or the mean is zero — the gate treats missing cv as "no stability
+    information", not as "stable".
+    """
+    if len(samples) < 2:
+        return None
+    mean = sum(samples) / len(samples)
+    if mean <= 0:
+        return None
+    var = sum((s - mean) ** 2 for s in samples) / len(samples)
+    return math.sqrt(var) / mean
 
 
 @contextlib.contextmanager
@@ -120,17 +175,24 @@ def _timed_modes(
     *,
     jobs: int,
     cache_root: Path,
-) -> tuple[dict[str, float], dict[str, dict[str, str]]]:
-    """Time all four configurations of one group, reps interleaved.
+    reps: int,
+) -> tuple[dict[str, list[float]], dict[str, dict[str, str]]]:
+    """Time all six configurations of one group, reps interleaved.
 
     Shared machines throttle and un-throttle on minute scales, so timing
     one mode's reps back to back hands whichever mode lands in a fast
     epoch an unearned win.  Interleaving runs every mode once per rep —
-    each drift window scores all four — and the per-mode minimum over
-    reps discards contended epochs for all modes alike.
+    each drift window scores all six — and the per-mode minimum over
+    reps discards contended epochs for all modes alike.  The full
+    per-rep sample lists are returned so the caller can also report each
+    figure's spread (cv).
 
     Rep order matters: ``cold`` wipes the artifact cache and repopulates
-    it, and ``warm``/``parallel`` ride on the cache ``cold`` just built.
+    it, and ``warm``/``batched``/``parallel`` ride on the cache ``cold``
+    just built.  Every mode except ``batched`` pins
+    ``REPRO_BATCHED_REPS=0`` — the scalar oracle — so the legacy figures
+    stay comparable against PR 4/5 baselines; ``batched`` unsets the cap
+    and is the only mode exercising :mod:`repro.harness.batchrun`.
 
     The ``resume`` mode times a *journal replay*: an untimed populate run
     first fills a private journal (:mod:`repro.harness.journal`) with
@@ -143,28 +205,36 @@ def _timed_modes(
     """
     from repro.harness import journal as journal_mod
 
+    # (mode, compiled, jobs, wipe_cache, REPRO_BATCHED_REPS value)
     specs = (
-        ("lazy", False, 1, True),
-        ("cold", True, 1, True),
-        ("warm", True, 1, False),
-        ("parallel", True, jobs, False),
-        ("resume", True, 1, False),
+        ("lazy", False, 1, True, "0"),
+        ("cold", True, 1, True, "0"),
+        ("warm", True, 1, False, "0"),
+        ("batched", True, 1, False, ""),
+        ("parallel", True, jobs, False, "0"),
+        ("resume", True, 1, False, "0"),
     )
-    best = {mode: float("inf") for mode, _, _, _ in specs}
+    times: dict[str, list[float]] = {mode: [] for mode, *_ in specs}
     outputs: dict[str, dict[str, str]] = {}
     journal_root = Path(tempfile.mkdtemp(prefix="repro-perf-journal-"))
     try:
         with _env(**{CACHE_DIR_ENV: str(cache_root), CACHE_ENABLED_ENV: "1"}):
             # Untimed populate pass for the resume mode: record every
-            # replication of this group into the private journal once.
-            with _env(**{_COMPILED_ENV: "1"}):
+            # replication of this group into the private journal once,
+            # on the scalar engine (the journal is oracle-produced).
+            with _env(**{_COMPILED_ENV: "1", _BATCHED_ENV: "0"}):
                 exp.clear_cache()
                 shutdown_pool()
                 with journal_mod.run_context(journal_root):
                     runner(dataclasses.replace(preset, jobs=1))
-            for _ in range(TIMING_REPS):
-                for mode, compiled, mode_jobs, wipe in specs:
-                    with _env(**{_COMPILED_ENV: "1" if compiled else "0"}):
+            for _ in range(reps):
+                for mode, compiled, mode_jobs, wipe, batched in specs:
+                    with _env(
+                        **{
+                            _COMPILED_ENV: "1" if compiled else "0",
+                            _BATCHED_ENV: batched,
+                        }
+                    ):
                         if wipe:
                             _wipe(cache_root)
                         exp.clear_cache()
@@ -178,13 +248,13 @@ def _timed_modes(
                             tables = runner(
                                 dataclasses.replace(preset, jobs=mode_jobs)
                             )
-                        best[mode] = min(best[mode], sw.elapsed)
+                        times[mode].append(sw.elapsed)
                         outputs[mode] = _render_outputs(tables)
             exp.clear_cache()
             shutdown_pool()
     finally:
         shutil.rmtree(journal_root, ignore_errors=True)
-    return best, outputs
+    return times, outputs
 
 
 def _group_substrate_builders(
@@ -243,6 +313,7 @@ def _time_substrates(
     builders: Sequence[Callable[[], object]],
     *,
     cache_root: Path,
+    reps: int,
 ) -> dict[str, float] | None:
     """Best-of-reps wall time of one pass over a group's substrate builders.
 
@@ -256,7 +327,7 @@ def _time_substrates(
         return None
     best = {"lazy": float("inf"), "cold": float("inf"), "warm": float("inf")}
     with _env(**{CACHE_DIR_ENV: str(cache_root), CACHE_ENABLED_ENV: "1"}):
-        for _ in range(TIMING_REPS):
+        for _ in range(reps):
             for mode in ("lazy", "cold", "warm"):
                 with _env(**{_COMPILED_ENV: "0" if mode == "lazy" else "1"}):
                     if mode != "warm":
@@ -273,13 +344,16 @@ def generate_perf_report(
     *,
     jobs: int = 4,
     groups: Sequence[str] | None = None,
-    path: str | Path = "BENCH_PR4.json",
+    path: str | Path = "BENCH_PR6.json",
+    reps: int | None = None,
 ) -> dict:
     """Time the requested groups and write the snapshot to ``path``.
 
-    Raises :class:`RuntimeError` if the lazy and compiled runs of any
-    group disagree on any table — a timing number for a mode that changes
-    results would be meaningless, so the report refuses to be written.
+    Raises :class:`RuntimeError` if any mode's run of any group disagrees
+    with the lazy scalar run on any table — a timing number for a mode
+    that changes results would be meaningless, so the report refuses to
+    be written.  ``reps`` overrides the timing rep count (default:
+    ``REPRO_PERF_REPS`` or 5); the value used is recorded in the report.
     """
     names = list(groups) if groups else list(DEFAULT_GROUPS)
     unknown = sorted(set(names) - set(GROUP_RUNNERS))
@@ -287,31 +361,40 @@ def generate_perf_report(
         raise KeyError(
             f"unknown perf group(s) {unknown}; choose from {sorted(GROUP_RUNNERS)}"
         )
+    reps = timing_reps(reps)
     report: dict = {
-        "schema": "repro-perf-report/4",
+        "schema": "repro-perf-report/5",
         "preset": preset.name,
         "jobs": jobs,
         "cpu_count": os.cpu_count(),
+        "timing_reps": reps,
         "command": (
             f"python -m repro.harness --perf-report {path} "
             f"--preset {preset.name} --jobs {jobs} "
+            f"--perf-reps {reps} "
             f"--perf-groups {','.join(names)}"
         ),
         "notes": (
             "serial_lazy_s = jobs=1 with REPRO_COMPILED_UNDERLAY=0 (lazy "
             "per-source-Dijkstra baseline); serial_cold_s = compiled "
             "underlays with the artifact cache wiped each run; serial_s = "
-            "compiled underlays over a warm cache (the default mode, gated "
-            "in CI); parallel_s = jobs=N over the warm cache; resume_s = "
-            "jobs=1 replaying a fully populated run journal (no worker "
-            "executes — the fixed cost a resumed run pays up front).  "
+            "compiled underlays over a warm cache (the default scalar "
+            "mode, gated in CI); batched_s = warm cache with the batched "
+            "multi-replication engine enabled (REPRO_BATCHED_REPS unset; "
+            "every other mode pins it to 0, the scalar oracle); "
+            "parallel_s = jobs=N over the warm cache; resume_s = jobs=1 "
+            "replaying a fully populated run journal (no worker executes "
+            "— the fixed cost a resumed run pays up front).  "
             "substrate_*_s time only the group's substrate builder calls "
             "in the same three modes.  Each figure is the minimum wall "
-            "time over five reps, with the modes interleaved inside each "
-            "rep so host-speed drift on shared machines cannot favor one "
-            "mode.  outputs_identical means "
-            "lazy/cold/warm/resume produced byte-identical table JSON.  "
-            "Parallel speedup is bounded by cpu_count."
+            "time over timing_reps reps, with the modes interleaved "
+            "inside each rep so host-speed drift on shared machines "
+            "cannot favor one mode; cv maps each figure to its "
+            "coefficient of variation across those reps (null when only "
+            "one rep was taken).  outputs_identical means lazy, cold, "
+            "warm, batched, parallel, and resume all produced "
+            "byte-identical table JSON.  Parallel speedup is bounded by "
+            "cpu_count."
         ),
         "groups": {},
     }
@@ -320,10 +403,10 @@ def generate_perf_report(
         for name in names:
             runner = GROUP_RUNNERS[name]
             times, outputs = _timed_modes(
-                runner, preset, jobs=jobs, cache_root=cache_root
+                runner, preset, jobs=jobs, cache_root=cache_root, reps=reps
             )
             lazy_out = outputs["lazy"]
-            for mode_name in ("cold", "warm", "resume"):
+            for mode_name in ("cold", "warm", "batched", "parallel", "resume"):
                 out = outputs[mode_name]
                 if out != lazy_out:
                     differing = sorted(
@@ -336,22 +419,32 @@ def generate_perf_report(
                         f"results of table(s) {differing} — refusing to "
                         "write a perf report for divergent modes"
                     )
-            lazy, cold = times["lazy"], times["cold"]
-            warm, parallel = times["warm"], times["parallel"]
-            resume = times["resume"]
+            best = {mode: min(samples) for mode, samples in times.items()}
+            lazy, cold = best["lazy"], best["cold"]
+            warm, batched = best["warm"], best["batched"]
+            parallel, resume = best["parallel"], best["resume"]
             subs = _time_substrates(
-                _group_substrate_builders(name, preset), cache_root=cache_root
+                _group_substrate_builders(name, preset),
+                cache_root=cache_root,
+                reps=reps,
             )
+            cv_entry = {}
+            for mode, field_name in _MODE_FIELDS.items():
+                cv = _cv(times[mode])
+                cv_entry[field_name] = round(cv, 4) if cv is not None else None
             entry = {
                 "serial_lazy_s": round(lazy, 3),
                 "serial_cold_s": round(cold, 3),
                 "serial_s": round(warm, 3),
+                "batched_s": round(batched, 3),
                 "parallel_s": round(parallel, 3),
                 "resume_s": round(resume, 3),
                 "workers": jobs,
                 "outputs_identical": True,
+                "cv": cv_entry,
                 "speedup_compiled_cold": round(lazy / cold, 2),
                 "speedup_compiled_warm": round(lazy / warm, 2),
+                "speedup_batched_vs_warm": round(warm / batched, 2),
                 "speedup_parallel_vs_serial": round(warm / parallel, 2),
             }
             if subs:

@@ -1162,6 +1162,19 @@ class JoinProcess:
     sequential iterations, parallel child probes, timeout recovery
     (restart at the source), rejection redirects, and commit semantics
     (fresh attach vs atomic parent switch for refinement).
+
+    .. note:: **Kept in sync with** :mod:`repro.sim.batched`.  The batched
+       multi-replication engine re-implements this loop (and the VDM
+       ``join_decision``) as flat heap events, and its bit-exactness
+       contract is *this file's* semantics — every RNG draw, message
+       count, and tie-break in the same order.  Touch the join loop,
+       :meth:`_probe_children`, :meth:`_decide`,
+       :meth:`_redirect_after_reject`, or
+       :meth:`OverlayAgent._handle_conn_request` and the mirrored code in
+       ``sim/batched.py`` (``_iterate`` / ``_probe_children`` /
+       ``_decide`` / ``_handle_conn``) must change in lock-step;
+       ``tests/test_batched_engine.py`` and the perf report's
+       byte-identity check will catch a drift.
     """
 
     MAX_ITERATIONS = 64
@@ -1251,6 +1264,8 @@ class JoinProcess:
         )
 
     def _probe_children(self, pivot: int, info: InfoResponse) -> None:
+        # Mirrored (with the request/timeout legs elided where provably
+        # equivalent) by repro.sim.batched._Emulator._probe_children.
         me = self.agent.node_id
         tree = self.env.tree
         candidates = [
@@ -1301,6 +1316,7 @@ class JoinProcess:
         info: InfoResponse,
         probes: dict[int, tuple[float, ChildInfo]],
     ) -> None:
+        # Mirrored by repro.sim.batched._Emulator._decide / _decide_mid.
         me = self.agent.node_id
         dist_to_pivot = self.env.virtual_distance(
             me, pivot, samples=self.probe_samples

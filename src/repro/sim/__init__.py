@@ -17,7 +17,7 @@ substrate built from scratch:
 
 from repro.sim.engine import Simulator, Event
 from repro.sim.network import Underlay, RouterUnderlay, MatrixUnderlay
-from repro.sim.delivery import DeliveryAccountant
+from repro.sim.delivery import DeliveryAccountant, WindowSnapshot
 from repro.sim.churn import ChurnSchedule, SlottedChurnModel
 from repro.sim.faults import FAULT_PRESETS, FaultInjector, FaultPlan, resolve_fault_plan
 from repro.sim.invariants import InvariantChecker, InvariantViolation
@@ -30,6 +30,7 @@ __all__ = [
     "RouterUnderlay",
     "MatrixUnderlay",
     "DeliveryAccountant",
+    "WindowSnapshot",
     "ChurnSchedule",
     "SlottedChurnModel",
     "FaultPlan",

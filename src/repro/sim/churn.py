@@ -91,6 +91,31 @@ class SlottedChurnModel:
         self.settle_s = settle_s
         self.rng = rng_from_seed(seed)
 
+    @classmethod
+    def from_config(cls, config, seed=None) -> "SlottedChurnModel":
+        """Build the model a session config describes.
+
+        ``config`` is any object with ``churn_rate`` / ``n_nodes`` /
+        ``slot_s`` / ``settle_s`` attributes (in practice a
+        :class:`~repro.sim.session.SessionConfig` — duck-typed here to
+        keep this module import-light).  ``seed`` defaults to the
+        config's own ``"churn"`` spawn stream, which is the contract the
+        scalar session, the batched engine, and the parallel workers all
+        share: one constructor means the three paths can never drift in
+        how they derive the churn RNG.
+        """
+        if seed is None:
+            from repro.util.rngtools import spawn_rng
+
+            seed = spawn_rng(config.seed, "churn")
+        return cls(
+            config.churn_rate,
+            config.n_nodes,
+            slot_s=config.slot_s,
+            settle_s=config.settle_s,
+            seed=seed,
+        )
+
     @property
     def per_slot_count(self) -> int:
         """How many nodes leave (and join) per slot."""

@@ -33,7 +33,7 @@ from repro.util.envflags import incremental_tree_enabled
 from repro.util.intervals import IntervalSet
 from repro.util.validation import check_positive
 
-__all__ = ["DeliveryAccountant", "NodeDeliveryStats"]
+__all__ = ["DeliveryAccountant", "NodeDeliveryStats", "WindowSnapshot"]
 
 
 @dataclass
@@ -70,6 +70,23 @@ class _NodeLedger:
             if w1 > lo:
                 total += (w1 - lo) * success
         return total * rate
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """All windowed delivery aggregates of one measurement, in one value.
+
+    This is the scalar definition the batched engine's fused measurement
+    pass (:mod:`repro.sim.batched`) mirrors number for number: the three
+    fields here are exactly what a session's measurement consumes from
+    the accountant per window.  Keeping them in one snapshot gives the
+    equivalence tests a single comparison point instead of three method
+    calls whose windows could accidentally drift apart.
+    """
+
+    loss_rate: float
+    mean_node_loss: float
+    data_messages: float
 
 
 @dataclass(frozen=True)
@@ -331,6 +348,22 @@ class DeliveryAccountant:
         if not rates:
             return 0.0
         return sum(rates) / len(rates)
+
+    def window_snapshot(self, w0: float, w1: float) -> WindowSnapshot:
+        """One measurement window's aggregates as a single snapshot.
+
+        Delegates to :meth:`loss_rate` / :meth:`mean_node_loss` /
+        :meth:`data_messages` (so the floating-point evaluation order is
+        exactly theirs — under incremental mode the first two share one
+        memoized ledger pass); the value only packages them so session
+        measurements and equivalence tests consume the whole window
+        atomically.
+        """
+        return WindowSnapshot(
+            loss_rate=self.loss_rate(w0, w1),
+            mean_node_loss=self.mean_node_loss(w0, w1),
+            data_messages=self.data_messages(w0, w1),
+        )
 
     def data_messages(self, w0: float, w1: float) -> float:
         """Expected data transmissions on overlay links during the window.

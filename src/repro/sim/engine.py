@@ -140,12 +140,30 @@ class Simulator:
                 f"cannot schedule event at {time} before current time {self._now}"
             )
         ev = Event(time, priority, next(self._seq), callback, label=label)
-        if self._tuple_heap:
-            heapq.heappush(self._queue, (time, priority, ev.seq, callback, ev))
-        else:
-            heapq.heappush(self._queue, ev)
-        self._events_scheduled += 1
+        self._push(time, priority, ev.seq, callback, ev)
         return ev
+
+    def _push(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+        event: Event | None,
+    ) -> None:
+        """The single heap-insertion point every ``schedule_*`` call funnels
+        through: tuple-vs-legacy layout dispatch plus the scheduled-event
+        counter live here and nowhere else.  ``event`` is ``None`` only for
+        fire-and-forget tuples (the legacy layout always carries an
+        :class:`Event`, because its callers fall back to :meth:`schedule_in`
+        before reaching this point).  Alternative engines that mirror this
+        one's event ordering (:mod:`repro.sim.batched`) hook their
+        scheduling at the same seam."""
+        if self._tuple_heap:
+            heapq.heappush(self._queue, (time, priority, seq, callback, event))
+        else:
+            heapq.heappush(self._queue, event)
+        self._events_scheduled += 1
 
     def schedule_in(
         self,
@@ -180,10 +198,7 @@ class Simulator:
         time = self._now + delay
         if time != time:  # NaN check without a function call per schedule
             raise ValueError("event time must not be NaN")
-        heapq.heappush(
-            self._queue, (time, priority, next(self._seq), callback, None)
-        )
-        self._events_scheduled += 1
+        self._push(time, priority, next(self._seq), callback, None)
 
     def schedule_cancellable_in(
         self, delay: float, callback: Callable[[], None], *, priority: int = 0
@@ -203,8 +218,7 @@ class Simulator:
         if time != time:  # NaN check without a function call per schedule
             raise ValueError("event time must not be NaN")
         ev = Event(time, priority, next(self._seq), callback)
-        heapq.heappush(self._queue, (time, priority, ev.seq, callback, ev))
-        self._events_scheduled += 1
+        self._push(time, priority, ev.seq, callback, ev)
         return ev
 
     def peek_time(self) -> float:

@@ -262,13 +262,7 @@ class MulticastSession:
         self._records: list[MeasurementRecord] = []
         self._last_measure_time = 0.0
         self._last_control_count = 0
-        self._churn = SlottedChurnModel(
-            config.churn_rate,
-            config.n_nodes,
-            slot_s=config.slot_s,
-            settle_s=config.settle_s,
-            seed=spawn_rng(config.seed, "churn"),
-        )
+        self._churn = SlottedChurnModel.from_config(config)
         self._register_source()
 
     # -- setup --------------------------------------------------------------------
@@ -332,8 +326,8 @@ class MulticastSession:
         now = self.sim.now
         tree = self.env.tree
         control_now = self.env.total_control_messages
-        window = (self._last_measure_time, now)
-        data_msgs = self.accountant.data_messages(*window)
+        window = self.accountant.window_snapshot(self._last_measure_time, now)
+        data_msgs = window.data_messages
         control_delta = control_now - self._last_control_count
         overhead = control_delta / data_msgs if data_msgs > 0 else 0.0
         metrics = collect_tree_metrics(tree, self.underlay)
@@ -345,8 +339,8 @@ class MulticastSession:
             stretch=metrics.stretch,
             hopcount=metrics.hopcount,
             usage=metrics.usage,
-            window_loss=self.accountant.loss_rate(*window),
-            window_mean_node_loss=self.accountant.mean_node_loss(*window),
+            window_loss=window.loss_rate,
+            window_mean_node_loss=window.mean_node_loss,
             window_overhead=overhead,
             cumulative_control_messages=control_now,
         )

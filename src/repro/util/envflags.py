@@ -40,6 +40,18 @@ the fault-free hot path is unchanged:
   to a JSON file) injected by the supervisor for self-tests; see
   :mod:`repro.harness.chaos`.  Unset = no chaos, zero overhead.
 
+Batched execution ships with the same ablation discipline (PR 6):
+
+* ``REPRO_BATCHED_REPS`` — cap the replications the batched
+  multi-replication engine (:mod:`repro.harness.batchrun`) takes per
+  batch; ``0`` disables it entirely so every replication runs on the
+  scalar oracle engine (whose output the batched mode must match byte
+  for byte).  Unset = unlimited, the default.
+* ``REPRO_PERF_REPS`` — timing repetitions per mode in
+  :mod:`repro.harness.perfreport` (read there, not here; default 5).
+  Paper-preset snapshots dial it down, and the report records the
+  value used so a single-rep figure can't pose as a best-of-five.
+
 Flags are read at object construction time, not per call, so a running
 session never changes behavior mid-flight.
 """
@@ -49,6 +61,7 @@ from __future__ import annotations
 import os
 
 __all__ = [
+    "batched_reps",
     "compiled_underlay_enabled",
     "incremental_tree_enabled",
     "interrupt_grace_s",
@@ -68,6 +81,33 @@ def incremental_tree_enabled() -> bool:
 def compiled_underlay_enabled() -> bool:
     """Whether substrate builders compile underlays up front (default on)."""
     return os.environ.get("REPRO_COMPILED_UNDERLAY", "1").lower() not in _FALSE_VALUES
+
+
+def batched_reps() -> int | None:
+    """Batched-engine replication cap (``REPRO_BATCHED_REPS``, PR 6).
+
+    * unset or empty — ``None``: the batched engine may take every
+      replication of a sweep cell in one batch (the default);
+    * ``0`` / ``false`` / ``no`` — ``0``: batched execution disabled,
+      every replication runs on the scalar oracle engine (the ablation
+      baseline whose table JSON the batched mode must reproduce byte
+      for byte);
+    * a positive integer — at most that many replications per batch.
+    """
+    raw = os.environ.get("REPRO_BATCHED_REPS", "").strip()
+    if not raw:
+        return None
+    if raw.lower() in _FALSE_VALUES:
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BATCHED_REPS must be an integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"REPRO_BATCHED_REPS must be >= 0, got {value}")
+    return value
 
 
 def _positive_float(name: str, default: float) -> float:

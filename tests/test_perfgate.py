@@ -56,6 +56,53 @@ class TestCompareReports:
         assert DEFAULT_MAX_RATIO == 1.5
 
 
+def _cv_report(serial, cv):
+    return {
+        "schema": "repro-perf-report/5",
+        "groups": {"g": {"serial_s": serial, "cv": {"serial_s": cv}}},
+    }
+
+
+class TestNoisyFigureSkipping:
+    """Schema 5 carries per-figure cv; too-noisy figures skip with a warning."""
+
+    def test_noisy_current_figure_is_skipped_with_warning(self):
+        warnings = []
+        failures = compare_reports(
+            _cv_report(30.0, 0.4), _cv_report(10.0, 0.01), warnings=warnings
+        )
+        assert failures == []
+        assert len(warnings) == 1
+        assert "too noisy" in warnings[0] and "cv=0.400" in warnings[0]
+
+    def test_noisy_baseline_figure_is_skipped_too(self):
+        warnings = []
+        failures = compare_reports(
+            _cv_report(30.0, 0.01), _cv_report(10.0, 0.4), warnings=warnings
+        )
+        assert failures == []
+        assert len(warnings) == 1 and "baseline" in warnings[0]
+
+    def test_stable_figure_still_gated(self):
+        failures = compare_reports(_cv_report(30.0, 0.05), _cv_report(10.0, 0.05))
+        assert len(failures) == 1
+
+    def test_missing_cv_gates_as_before(self):
+        # Older schemas (and single-rep snapshots, where cv is null) have
+        # no spread information; the gate must not treat that as noisy.
+        current = {"groups": {"g": {"serial_s": 30.0, "cv": {"serial_s": None}}}}
+        baseline = _report(g=10.0)
+        assert len(compare_reports(current, baseline)) == 1
+
+    def test_warnings_list_optional(self):
+        # No warnings sink passed: skipping still happens, silently.
+        assert compare_reports(_cv_report(30.0, 0.4), _cv_report(10.0, 0.01)) == []
+
+    def test_bad_max_cv_rejected(self):
+        with pytest.raises(ValueError):
+            compare_reports(_cv_report(1.0, 0.1), _cv_report(1.0, 0.1), max_cv=0.0)
+
+
 class TestMain:
     def _write(self, tmp_path, name, report):
         p = tmp_path / name
