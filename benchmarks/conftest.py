@@ -92,10 +92,14 @@ def pytest_sessionfinish(session, exitstatus):
     if not timings:
         return
     RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {
-        f"{group}@{preset_name}": round(seconds, 4)
-        for (group, preset_name), seconds in sorted(timings.items())
-    }
+    payload = {}
+    for (group, preset_name, fault, failover), seconds in sorted(timings.items()):
+        label = f"{group}@{preset_name}"
+        if fault:
+            label += f"+{fault}"
+        if failover != "reactive":
+            label += f"+{failover}"
+        payload[label] = round(seconds, 4)
     (RESULTS_DIR / "group_timings.json").write_text(
         json.dumps(payload, indent=2) + "\n"
     )

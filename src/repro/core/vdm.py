@@ -124,11 +124,39 @@ class VDMAgent(OverlayAgent):
     def foster_join_enabled(self) -> bool:
         return self.config.foster_child
 
-    def on_parent_lost(self) -> None:
+    def _reconnect(self) -> None:
         if self.config.reconnect_at == "source":
             self.start_join(kind="reconnect", at=self.env.source)
         else:
-            super().on_parent_lost()
+            super()._reconnect()
+
+    def backup_parent_ok(self, candidate: int, candidate_children: set[int]) -> bool:
+        """Direction-consistency filter for precomputed backup parents.
+
+        Attaching under ``candidate`` is consistent with VDM's virtual
+        directions only if no existing child of the candidate lies
+        strictly *on the way* from the candidate to this node (Case III):
+        such a child defines a direction this node belongs under, and a
+        direct attach would shadow it.  Distances use the protocol metric
+        directly (not :meth:`ProtocolRuntime.virtual_distance`) so the
+        check never consumes the shared measurement-noise RNG stream.
+        """
+        env = self.env
+        metric = env.metric
+        dist_to_candidate = metric(self.node_id, candidate)
+        child_distances = {
+            child: (metric(self.node_id, child), metric(candidate, child))
+            for child in candidate_children
+            if child != self.node_id and env.is_alive(child)
+        }
+        if not child_distances:
+            return True
+        classified = classify_children(
+            dist_to_candidate,
+            child_distances,
+            tie_tolerance=self.config.tie_tolerance,
+        )
+        return not any(c.case is Case.III for c in classified)
 
     # -- the join brain -----------------------------------------------------------
 

@@ -69,6 +69,14 @@ def main(argv: list[str] | None = None) -> int:
         "checked after every mutation and abort the run on violation",
     )
     parser.add_argument(
+        "--failover",
+        default=None,
+        choices=["reactive", "precomputed"],
+        help="orphan-recovery strategy for every session: reactive "
+        "(rejoin round-trip, the default) or precomputed (direction-"
+        "consistent backup parents, local switch on parent death)",
+    )
+    parser.add_argument(
         "--perf-report",
         nargs="?",
         const="BENCH_PR6.json",
@@ -172,7 +180,11 @@ def main(argv: list[str] | None = None) -> int:
     def render_figures() -> None:
         for fig_id in args.figures:
             table = run_experiment(
-                fig_id, args.preset, jobs=args.jobs, faults=args.faults
+                fig_id,
+                args.preset,
+                jobs=args.jobs,
+                faults=args.faults,
+                failover=args.failover,
             )
             print(table.to_json() if args.json else table.render())
             if args.chart and not args.json:
@@ -196,6 +208,7 @@ def main(argv: list[str] | None = None) -> int:
                 "preset": args.preset,
                 "jobs": args.jobs,
                 "faults": args.faults,
+                "failover": args.failover,
             },
         ):
             render_figures()
@@ -227,6 +240,8 @@ def _resume_command(args: argparse.Namespace) -> str:
         parts += ["--jobs", str(args.jobs)]
     if args.faults:
         parts += ["--faults", args.faults]
+    if args.failover:
+        parts += ["--failover", args.failover]
     if args.json:
         parts.append("--json")
     if args.chart:

@@ -33,6 +33,11 @@ class Preset:
     #: applied to every session the suite runs; ``None`` = fault-free.
     fault_plan: str | None = None
 
+    #: orphan-recovery strategy applied to every session the suite runs
+    #: (``"reactive"`` or ``"precomputed"``; the ch6 failover sweep
+    #: compares both regardless of this default).
+    failover: str = "reactive"
+
     # -- chapter 3: NS-2-style simulation -------------------------------------
     replications: int = 32
     ts_config: TransitStubConfig = field(default_factory=TransitStubConfig)

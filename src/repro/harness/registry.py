@@ -77,6 +77,16 @@ REGISTRY: dict[str, RegistryEntry] = {
     "fig5_29": RegistryEntry("5.29", "Refinement: hopcount", exp.ch5_refinement_tables, "hopcount"),
     "fig5_30": RegistryEntry("5.30", "Refinement: overhead", exp.ch5_refinement_tables, "overhead_pct"),
     "fig5_31": RegistryEntry("5.31", "VDM / MST ratio", exp.ch5_mst_table, "mst_ratio"),
+    # Chapter 6 — failover under correlated failures
+    "fig6_outage": RegistryEntry(
+        "—", "Outage seconds per member by scenario", exp.ch6_failover_tables, "outage_s"
+    ),
+    "fig6_lost": RegistryEntry(
+        "—", "Chunks lost by scenario", exp.ch6_failover_tables, "chunks_lost"
+    ),
+    "fig6_ttl": RegistryEntry(
+        "—", "Time to legal state by scenario", exp.ch6_failover_tables, "ttl_s"
+    ),
     # Ablations
     "abl": RegistryEntry("—", "VDM design-choice ablations", exp.ablation_tables, "ablations"),
     "abl_refine_period": RegistryEntry(
@@ -98,6 +108,7 @@ def run_experiment(
     *,
     jobs: int | None = None,
     faults: str | None = None,
+    failover: str | None = None,
 ) -> SeriesTable:
     """Run (or fetch from cache) the experiment behind a figure id.
 
@@ -105,7 +116,9 @@ def run_experiment(
     :mod:`repro.harness.parallel`); results are identical at any value.
     ``faults`` overrides the preset's fault plan (a name from
     :data:`repro.sim.faults.FAULT_PRESETS`), running every session of the
-    experiment under that fault schedule.
+    experiment under that fault schedule.  ``failover`` overrides the
+    preset's orphan-recovery strategy (``"reactive"`` or
+    ``"precomputed"``); the ch6 sweep compares both regardless.
     """
     if isinstance(preset, str):
         try:
@@ -119,6 +132,8 @@ def run_experiment(
         overrides["jobs"] = jobs
     if faults is not None:
         overrides["fault_plan"] = faults
+    if failover is not None:
+        overrides["failover"] = failover
     if overrides:
         import dataclasses
 

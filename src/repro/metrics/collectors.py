@@ -37,6 +37,7 @@ __all__ = [
     "StretchStats",
     "HopcountStats",
     "ResourceUsage",
+    "RecoveryTracker",
     "TreeMetrics",
     "collect_tree_metrics",
     "stress_stats",
@@ -397,6 +398,44 @@ def _reference_tree_metrics(tree: TreeRegistry, underlay: Underlay) -> TreeMetri
     else:
         usage = ResourceUsage.empty()
     return TreeMetrics(stress=stress, stretch=stretch, hopcount=hopcount, usage=usage)
+
+
+class RecoveryTracker:
+    """Time-to-legal-state measurement off the tree listener stream.
+
+    A *damage episode* opens when the first orphan appears in a fully
+    healed tree and closes when the last orphan is gone **and** the tree
+    passes the structural legality oracle
+    (:func:`repro.sim.invariants.tree_is_legal`).  The elapsed wall time
+    of each episode lands in :attr:`recovery_times` — the paper-facing
+    "time to legal state" the failover experiments compare.  Episodes
+    still open at session end are dropped (the tree never healed), which
+    keeps the statistic honest under unrecoverable fault plans.
+    """
+
+    def __init__(self, env) -> None:
+        self.env = env
+        self.orphans: set[int] = set()
+        self.recovery_times: list[float] = []
+        self._episode_start: float | None = None
+        env.tree.add_listener(self._on_tree_event)
+
+    def _on_tree_event(
+        self, kind: str, node: int, parent: int | None, time: float
+    ) -> None:
+        if kind == "orphan":
+            if not self.orphans and self._episode_start is None:
+                self._episode_start = time
+            self.orphans.add(node)
+            return
+        if kind in ("attach", "reparent", "depart"):
+            self.orphans.discard(node)
+            if not self.orphans and self._episode_start is not None:
+                from repro.sim.invariants import tree_is_legal
+
+                if tree_is_legal(self.env):
+                    self.recovery_times.append(time - self._episode_start)
+                    self._episode_start = None
 
 
 def mst_ratio(

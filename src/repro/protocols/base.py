@@ -38,6 +38,7 @@ from repro.protocols.messages import (
     ChildRemove,
     ConnRequest,
     ConnResponse,
+    FailoverAttach,
     GrandparentChange,
     InfoRequest,
     InfoResponse,
@@ -357,6 +358,25 @@ class TreeRegistry:
             self._emit("orphan", child, None, time)
         self._emit("depart", node, up, time)
 
+    def sever(self, node: int, time: float) -> None:
+        """Cut the edge above ``node``, leaving it (and its subtree) orphaned.
+
+        The partition fault uses this: the node is still alive and its
+        subtree intact, but its uplink crossed the partition and is dead.
+        Pointer mutations complete before the listener fires, exactly like
+        :meth:`depart`.
+        """
+        if node == self.source:
+            raise ValueError("cannot sever the source")
+        up = self.parent.get(node)
+        if up is None:
+            raise ValueError(f"node {node} is not attached")
+        self.children[up].discard(node)
+        self.parent[node] = None
+        if self._incremental:
+            self._refresh_subtree(node)
+        self._emit("orphan", node, None, time)
+
     def insert(
         self, node: int, parent: int, adopt: tuple[int, ...], time: float
     ) -> None:
@@ -504,6 +524,10 @@ class ProtocolRuntime:
         #: optional fault-injection hook (see :mod:`repro.sim.faults`).
         #: ``None`` keeps the delivery paths exactly as fast as before.
         self.faults = None
+        #: optional precomputed-failover manager (see
+        #: :mod:`repro.protocols.failover`); ``None`` means the reactive
+        #: reconnection path runs untouched.
+        self.failover = None
         #: control messages by concrete type; keying on the class object
         #: skips a ``__name__`` lookup per message on the counting hot
         #: path.  The public name-keyed view is :attr:`message_counts`.
@@ -946,12 +970,40 @@ class OverlayAgent:
         raise NotImplementedError
 
     def on_parent_lost(self) -> None:
-        """Reconnection policy.  Default: restart join at the grandparent
-        (Section 3.3), falling back to the source when unknown."""
+        """Parent-death handling: try the precomputed backup first.
+
+        With precomputed failover enabled (``env.failover``), a valid
+        backup parent absorbs the orphan locally — no rejoin round-trip.
+        Otherwise (or when the backup fails revalidation at switch time)
+        the protocol's reactive reconnection policy runs unchanged.
+        """
+        if self._try_failover():
+            return
+        self._reconnect()
+
+    def _try_failover(self) -> bool:
+        manager = self.env.failover
+        return manager is not None and manager.try_switch(self.node_id)
+
+    def _reconnect(self) -> None:
+        """Reactive reconnection policy.  Default: restart join at the
+        grandparent (Section 3.3), falling back to the source when
+        unknown."""
         target = self.grandparent if self.grandparent is not None else self.env.source
         if target == self.node_id:
             target = self.env.source
         self.start_join(kind="reconnect", at=target)
+
+    def backup_parent_ok(self, candidate: int, candidate_children: set[int]) -> bool:
+        """Protocol veto for a precomputed backup-parent candidate.
+
+        The failover manager proposes ancestors; a protocol may reject
+        candidates that would violate its structural rules.  Default:
+        accept (tree protocols without directionality constraints are
+        safe under any non-descendant ancestor).  VDM overrides this with
+        the direction-consistency filter.
+        """
+        return True
 
     def on_connected(self) -> None:
         """Hook called after a (re)connection commits.  Default: no-op."""
@@ -1144,6 +1196,11 @@ class OverlayAgent:
             return
         if isinstance(msg, ChildRemove):
             self.children.pop(sender, None)
+            return
+        if isinstance(msg, FailoverAttach):
+            # A precomputed-failover switch committed the registry edge
+            # locally at the orphan; sync our child table to it.
+            self._reconcile_children()
             return
         raise TypeError(f"unexpected tell {type(msg).__name__}")
 

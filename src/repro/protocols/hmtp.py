@@ -181,6 +181,6 @@ class HMTPAgent(OverlayAgent):
 
     # -- recovery ----------------------------------------------------------------
 
-    def on_parent_lost(self) -> None:
+    def _reconnect(self) -> None:
         """HMTP orphans rejoin from the root."""
         self.start_join(kind="reconnect", at=self.env.source)

@@ -30,6 +30,7 @@ __all__ = [
     "GrandparentChange",
     "LeaveNotice",
     "ChildRemove",
+    "FailoverAttach",
 ]
 
 
@@ -157,3 +158,14 @@ class LeaveNotice(Message):
 @dataclass(frozen=True)
 class ChildRemove(Message):
     """A child informs its (old) parent that it has moved elsewhere."""
+
+
+@dataclass(frozen=True)
+class FailoverAttach(Message):
+    """An orphan informs its precomputed backup parent it has switched.
+
+    The switch itself is local (the orphan commits the registry edge
+    without a request/response round-trip — that is the whole point of
+    precomputed failover); this one-way notice lets the backup sync its
+    child table to the registry.
+    """

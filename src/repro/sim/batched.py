@@ -280,6 +280,8 @@ class BatchedCell:
             raise BatchedUnsupported("probe noise draws the shared noise RNG")
         if cfg.refine_period_s is not None:
             raise BatchedUnsupported("refinement not emulated")
+        if cfg.failover != "reactive":
+            raise BatchedUnsupported("precomputed failover not emulated")
         plan = resolve_fault_plan(cfg.faults)
         if plan is not None and not plan.is_noop():
             raise BatchedUnsupported("fault plans not emulated")

@@ -55,7 +55,8 @@ __all__ = ["ARTIFACT_SCHEMA", "CompiledUnderlay"]
 
 #: version of the compiled array layout; part of every cache key, so a
 #: layout change invalidates (never misreads) existing cache entries.
-ARTIFACT_SCHEMA = 1
+#: v2 added the per-router transit-domain array (correlated faults).
+ARTIFACT_SCHEMA = 2
 
 
 class CompiledUnderlay(RouterUnderlay):
@@ -336,6 +337,7 @@ class CompiledUnderlay(RouterUnderlay):
             "edge_u": np.asarray([u for u, _, _ in edges], dtype=np.int64),
             "edge_v": np.asarray([v for _, v, _ in edges], dtype=np.int64),
             "edge_delay": np.asarray([d["delay"] for _, _, d in edges]),
+            "router_domain": self._router_domain_array(),
         }
         if has_link_errors:
             arrays["edge_error"] = np.asarray(
@@ -351,6 +353,24 @@ class CompiledUnderlay(RouterUnderlay):
             "maybe_unreachable": self._maybe_unreachable,
         }
         return arrays, meta
+
+    def _router_domain_array(self) -> np.ndarray:
+        """Per-router transit-domain indices in ``router_ids`` order.
+
+        ``-1`` marks routers with unknown domain (non-transit-stub graphs).
+        The rebuilt artifact graph carries no node attributes, so the
+        mapping must travel with the arrays for correlated fault plans to
+        keep working on cache hits.
+        """
+        try:
+            from repro.topology.transit_stub import router_transit_domains
+
+            domains = router_transit_domains(self.graph)
+        except KeyError:
+            domains = {}
+        return np.asarray(
+            [domains.get(r, -1) for r in self._router_ids], dtype=np.int64
+        )
 
     @classmethod
     def from_artifact(cls, artifact: Artifact) -> "CompiledUnderlay":
@@ -395,6 +415,15 @@ class CompiledUnderlay(RouterUnderlay):
         self._hdelay = arrays["host_delay"]
         self._zero_error = bool(meta["zero_error"])
         self._maybe_unreachable = bool(meta["maybe_unreachable"])
+        self._set_domain_map(
+            {
+                int(r): int(d)
+                for r, d in zip(
+                    arrays["router_ids"].tolist(), arrays["router_domain"].tolist()
+                )
+                if d >= 0
+            }
+        )
         self._perr = arrays.get("pair_error")
         if self._perr is None and not self._zero_error:
             raise ValueError(

@@ -365,6 +365,45 @@ class DeliveryAccountant:
             data_messages=self.data_messages(w0, w1),
         )
 
+    def outage_seconds(self, w0: float, w1: float) -> float:
+        """Mean outage time per member over ``[w0, w1)``.
+
+        A member's outage is the part of its lifetime it spent *without* a
+        working overlay path (present but unreachable — exactly the state
+        failover is racing to end).  Averaged over members alive during
+        the window, so the number reads as "seconds of blackout the
+        typical member suffered" and is directly comparable across
+        session sizes.
+        """
+        if w1 < w0:
+            raise ValueError(f"bad window [{w0}, {w1})")
+        total = 0.0
+        members = 0
+        for ledger in self._ledger.values():
+            alive = ledger.lifetime.covered_within(w0, w1)
+            if alive <= 0:
+                continue
+            members += 1
+            total += alive - ledger.reachable.covered_within(w0, w1)
+        if members == 0:
+            return 0.0
+        return total / members
+
+    def chunks_lost(self, w0: float, w1: float) -> float:
+        """Total expected chunks lost across all members over ``[w0, w1)``.
+
+        The absolute counterpart of :meth:`loss_rate`: summed
+        ``expected - received`` per member, so a correlated outage's cost
+        shows up in stream units rather than a ratio.
+        """
+        if w1 < w0:
+            raise ValueError(f"bad window [{w0}, {w1})")
+        lost = 0.0
+        for node in self._ledger:
+            stats = self.node_stats(node, w0, w1)
+            lost += stats.expected_chunks - stats.received_chunks
+        return lost
+
     def data_messages(self, w0: float, w1: float) -> float:
         """Expected data transmissions on overlay links during the window.
 

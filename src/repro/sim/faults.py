@@ -46,9 +46,24 @@ __all__ = [
     "FaultPlan",
     "FaultEvent",
     "FaultInjector",
+    "UnsupportedFaultPlan",
     "FAULT_PRESETS",
+    "CORRELATED_PRESETS",
     "resolve_fault_plan",
 ]
+
+
+class UnsupportedFaultPlan(RuntimeError):
+    """A fault plan requires capabilities the session's substrate lacks.
+
+    Raised at injector construction (never mid-run) when a correlated
+    plan needs underlay domain membership — a transit-domain outage or a
+    partition — but the underlay cannot answer
+    :meth:`~repro.sim.network.Underlay.host_domain` for its hosts (e.g. a
+    :class:`~repro.sim.network.MatrixUnderlay` has no router topology at
+    all).  Conformance tests assert this exact type so unsupported
+    combinations fail loudly instead of silently skipping the fault.
+    """
 
 
 @dataclass(frozen=True)
@@ -90,6 +105,25 @@ class FaultPlan:
     #: how long a frozen node stays unresponsive
     freeze_duration_s: float = 30.0
 
+    # -- correlated plane ----------------------------------------------------
+    #: transit domain whose members all crash at ``domain_outage_at_s``
+    #: (whole-domain outage; requires an underlay with domain membership)
+    domain_outage_domain: int | None = None
+    #: when the domain outage strikes (``None`` disables it)
+    domain_outage_at_s: float | None = None
+    #: transit domains forming one side of a network partition; every
+    #: cross-side message leg is lost while the partition is up
+    partition_domains: tuple[int, ...] = ()
+    #: when the partition starts / heals (both required to enable it)
+    partition_at_s: float | None = None
+    partition_heal_s: float | None = None
+    #: start of a correlated loss burst (``None`` disables it)
+    burst_at_s: float | None = None
+    #: how long the burst lasts
+    burst_duration_s: float = 30.0
+    #: per-leg drop probability while the burst is up
+    burst_loss_rate: float = 0.0
+
     # -- detection -----------------------------------------------------------
     #: stream-outage detection latency (crash departure + orphan watchdog)
     detect_delay_s: float = 4.0
@@ -112,6 +146,32 @@ class FaultPlan:
         check_positive("detect_delay_s", self.detect_delay_s)
         if self.active_until_s is not None:
             check_non_negative("active_until_s", self.active_until_s)
+        if (self.domain_outage_domain is None) != (self.domain_outage_at_s is None):
+            raise ValueError(
+                "domain_outage_domain and domain_outage_at_s must be set together"
+            )
+        if self.domain_outage_at_s is not None:
+            check_non_negative("domain_outage_at_s", self.domain_outage_at_s)
+        partition_knobs = (
+            bool(self.partition_domains),
+            self.partition_at_s is not None,
+            self.partition_heal_s is not None,
+        )
+        if any(partition_knobs) and not all(partition_knobs):
+            raise ValueError(
+                "partition_domains, partition_at_s and partition_heal_s "
+                "must be set together"
+            )
+        if self.partition_at_s is not None:
+            check_non_negative("partition_at_s", self.partition_at_s)
+            if self.partition_heal_s <= self.partition_at_s:
+                raise ValueError(
+                    "partition_heal_s must be strictly after partition_at_s"
+                )
+        if self.burst_at_s is not None:
+            check_non_negative("burst_at_s", self.burst_at_s)
+        check_positive("burst_duration_s", self.burst_duration_s)
+        check_probability("burst_loss_rate", self.burst_loss_rate)
 
     def is_noop(self) -> bool:
         """Whether this plan injects no faults at all."""
@@ -124,16 +184,28 @@ class FaultPlan:
                 self.crash_fraction,
                 self.midjoin_crash_rate,
                 self.freeze_rate,
+                self.domain_outage_at_s is not None,
+                self.partition_at_s is not None,
+                self.burst_at_s is not None and self.burst_loss_rate > 0.0,
             )
         )
+
+    def needs_domains(self) -> bool:
+        """Whether this plan requires underlay domain membership."""
+        return self.domain_outage_at_s is not None or self.partition_at_s is not None
 
     # -- serialization (test fixtures) --------------------------------------
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        data = asdict(self)
+        data["partition_domains"] = list(self.partition_domains)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":
+        data = dict(data)
+        if "partition_domains" in data:
+            data["partition_domains"] = tuple(data["partition_domains"])
         return cls(**data)
 
     def to_json(self) -> str:
@@ -187,7 +259,33 @@ FAULT_PRESETS: dict[str, FaultPlan] = {
         freeze_rate=0.15,
         freeze_duration_s=15.0,
     ),
+    # correlated scenarios (PR 7): whole-transit-domain outage, network
+    # partition + heal, and a correlated loss burst — the failure classes
+    # the paper never evaluated.
+    "domain-outage": FaultPlan(
+        name="domain-outage",
+        seed=107,
+        domain_outage_domain=1,
+        domain_outage_at_s=800.0,
+    ),
+    "partition": FaultPlan(
+        name="partition",
+        seed=108,
+        partition_domains=(1,),
+        partition_at_s=700.0,
+        partition_heal_s=1000.0,
+    ),
+    "burst-loss": FaultPlan(
+        name="burst-loss",
+        seed=109,
+        burst_at_s=600.0,
+        burst_duration_s=120.0,
+        burst_loss_rate=0.6,
+    ),
 }
+
+#: the correlated scenario family swept by the ``ch6_failover`` chapter
+CORRELATED_PRESETS: tuple[str, ...] = ("domain-outage", "partition", "burst-loss")
 
 
 def resolve_fault_plan(plan: "FaultPlan | str | None") -> "FaultPlan | None":
@@ -231,8 +329,66 @@ class FaultInjector:
         self._rng_life = spawn_rng(plan.seed, "faults", "life")
         self.log: deque[FaultEvent] = deque(maxlen=self.LOG_LEN)
         self.counts: Counter[str] = Counter()
+        # Dedupe state: one pending crash-detection per dead node and one
+        # re-arming watchdog chain per orphan.  Without these, a node that
+        # dies and is re-attached (or re-orphaned) in the same detection
+        # window spawns a second independent chain, double-counting
+        # detection work and outage bookkeeping downstream.
+        self._pending_detect: set[int] = set()
+        self._armed_watchdog: set[int] = set()
+        self._partitioned = False
+        self._domains: dict[int, int] = {}
+        if plan.needs_domains():
+            self._domains = self._resolve_domains()
         env.faults = self
         env.tree.add_listener(self._on_tree_event)
+        self._schedule_correlated()
+
+    def _resolve_domains(self) -> dict[int, int]:
+        """Map every underlay host to its transit domain, or raise."""
+        underlay = self.env.underlay
+        domains: dict[int, int] = {}
+        for host in underlay.hosts:
+            domain = underlay.host_domain(host)
+            if domain is None:
+                raise UnsupportedFaultPlan(
+                    f"fault plan {self.plan.name!r} needs transit-domain "
+                    f"membership, but the underlay cannot place host {host} "
+                    "in a domain (matrix substrates have no router topology)"
+                )
+            domains[host] = domain
+        plan = self.plan
+        known = set(domains.values())
+        wanted = set(plan.partition_domains)
+        if plan.domain_outage_domain is not None:
+            wanted.add(plan.domain_outage_domain)
+        missing = sorted(wanted - known)
+        if missing:
+            raise UnsupportedFaultPlan(
+                f"fault plan {self.plan.name!r} references transit "
+                f"domain(s) {missing} but the underlay only has {sorted(known)}"
+            )
+        return domains
+
+    def _schedule_correlated(self) -> None:
+        """Arm the absolute-time correlated events of the plan."""
+        plan = self.plan
+        sim = self.env.sim
+        if plan.domain_outage_at_s is not None:
+            sim.schedule(
+                plan.domain_outage_at_s,
+                self._domain_outage,
+                label="fault-domain-outage",
+            )
+        if plan.partition_at_s is not None:
+            sim.schedule(
+                plan.partition_at_s, self._partition_start, label="fault-partition"
+            )
+            sim.schedule(
+                plan.partition_heal_s,
+                self._partition_heal,
+                label="fault-partition-heal",
+            )
 
     # -- plumbing -------------------------------------------------------------
 
@@ -250,7 +406,8 @@ class FaultInjector:
         return sum(
             n
             for kind, n in self.counts.items()
-            if kind not in ("detect-depart", "watchdog-reconnect", "thaw")
+            if kind
+            not in ("detect-depart", "watchdog-reconnect", "thaw", "partition-heal")
         )
 
     # -- message plane (called by ProtocolRuntime) ----------------------------
@@ -266,10 +423,21 @@ class FaultInjector:
     ) -> tuple[float, ...]:
         """Delivery times for one message leg; empty means the leg is lost."""
         plan = self.plan
+        # Partition loss is structural, not stochastic: it applies to every
+        # cross-side leg for as long as the partition is up, regardless of
+        # the plan's active window (the heal event ends it).
+        if self._partitioned and self._side(src) != self._side(dst):
+            self._log(
+                "partition-drop", f"{leg} {type(msg).__name__} {src}->{dst}"
+            )
+            return ()
         if not self._active():
             return (base_delay,)
         rng = self._rng_msg
         label = f"{leg} {type(msg).__name__} {src}->{dst}"
+        if self._burst_active() and rng.random() < plan.burst_loss_rate:
+            self._log("burst-drop", label)
+            return ()
         if plan.drop_rate > 0.0 and rng.random() < plan.drop_rate:
             self._log("drop", label)
             return ()
@@ -290,6 +458,81 @@ class FaultInjector:
         if self.plan.jitter_ms <= 0.0:
             return 0.0
         return float(self._rng_msg.uniform(0.0, self.plan.jitter_ms)) / 1000.0
+
+    def _burst_active(self) -> bool:
+        plan = self.plan
+        if plan.burst_at_s is None or plan.burst_loss_rate <= 0.0:
+            return False
+        now = self.env.sim.now
+        return plan.burst_at_s <= now < plan.burst_at_s + plan.burst_duration_s
+
+    # -- correlated plane -----------------------------------------------------
+
+    def _side(self, host: int) -> bool:
+        """Which side of the configured partition ``host`` lives on."""
+        return self._domains.get(host) in self._partition_set
+
+    @property
+    def _partition_set(self) -> frozenset[int]:
+        return frozenset(self.plan.partition_domains)
+
+    def is_partitioned(self, a: int, b: int) -> bool:
+        """Whether hosts ``a`` and ``b`` currently cannot exchange messages."""
+        return self._partitioned and self._side(a) != self._side(b)
+
+    def _domain_outage(self) -> None:
+        """Crash every live member attached to the plan's transit domain."""
+        env = self.env
+        domain = self.plan.domain_outage_domain
+        victims = [
+            node
+            for node in sorted(env.agents)
+            if node != env.source
+            and env.is_alive(node)
+            and self._domains.get(node) == domain
+        ]
+        self._log("domain-outage", f"domain {domain}: {len(victims)} nodes")
+        for node in victims:
+            self.crash(node)
+
+    def _partition_start(self) -> None:
+        """Raise the partition and sever every cross-side tree edge.
+
+        The tree edges are cut immediately (the data stream over them is
+        dead from this instant), emitting orphan events that arm the
+        watchdog, so recovery runs through the protocol's own
+        reconnection machinery — which itself cannot cross the partition.
+        """
+        env = self.env
+        tree = env.tree
+        self._partitioned = True
+        cross = sorted(
+            child
+            for child, parent in tree.parent.items()
+            if parent is not None and self._side(child) != self._side(parent)
+        )
+        self._log("partition", f"domains {sorted(self._partition_set)}, "
+                               f"{len(cross)} tree edges severed")
+        for child in cross:
+            parent = tree.parent.get(child)
+            if parent is None:
+                continue
+            tree.sever(child, env.sim.now)
+            parent_agent = env.agents.get(parent)
+            if parent_agent is not None:
+                parent_agent.children.pop(child, None)
+            child_agent = env.agents.get(child)
+            if (
+                child_agent is not None
+                and env.is_alive(child)
+                and child_agent.parent == parent
+            ):
+                child_agent.parent = None
+                child_agent.on_parent_lost()
+
+    def _partition_heal(self) -> None:
+        self._partitioned = False
+        self._log("partition-heal", f"domains {sorted(self._partition_set)}")
 
     # -- churn plane (called by the session) ----------------------------------
 
@@ -336,7 +579,20 @@ class FaultInjector:
         self._log("crash", str(node))
         if self.on_crash is not None:
             self.on_crash(node)
-        env.sim.schedule_in(
+        self._schedule_detect(node)
+
+    def _schedule_detect(self, node: int) -> None:
+        """Schedule crash detection once per dead node.
+
+        Both the crash itself and late tree commits (a request already in
+        flight when the sender died) funnel through here; the pending set
+        guarantees a node that dies and is re-attached inside one
+        detection window is detected exactly once, not once per trigger.
+        """
+        if node in self._pending_detect:
+            return
+        self._pending_detect.add(node)
+        self.env.sim.schedule_in(
             self.plan.detect_delay_s,
             lambda: self._detect_crash(node),
             label="fault-detect",
@@ -352,6 +608,7 @@ class FaultInjector:
         hand its children to the protocol's reconnection logic."""
         env = self.env
         tree = env.tree
+        self._pending_detect.discard(node)
         if env.is_alive(node) or not tree.is_present(node):
             return
         parent = tree.parent.get(node)
@@ -399,15 +656,25 @@ class FaultInjector:
         if kind in ("attach", "reparent") and not self.env.is_alive(node):
             # A crashed node's connection request was already in flight and
             # committed after its death — detect that edge too.
-            self.env.sim.schedule_in(
-                self.plan.detect_delay_s,
-                lambda: self._detect_crash(node),
-                label="fault-detect",
-            )
+            self._schedule_detect(node)
         elif kind == "orphan":
             self._arm_watchdog(node)
 
     def _arm_watchdog(self, node: int) -> None:
+        """Start the orphan watchdog chain for ``node`` — at most one.
+
+        Repeated orphan events inside one detection window (a node whose
+        parent dies, reconnects, and is immediately re-orphaned by a
+        second fault) must not stack independent re-arming chains: each
+        chain would re-trigger reconnection on its own cadence and
+        double-count recovery work.
+        """
+        if node in self._armed_watchdog:
+            return
+        self._armed_watchdog.add(node)
+        self._rearm_watchdog(node)
+
+    def _rearm_watchdog(self, node: int) -> None:
         self.env.sim.schedule_in(
             self.plan.detect_delay_s,
             lambda: self._watchdog_check(node),
@@ -423,12 +690,14 @@ class FaultInjector:
         """
         env = self.env
         if not env.is_alive(node) or not env.tree.is_orphan(node):
+            self._armed_watchdog.discard(node)
             return
         agent = env.agents.get(node)
         if agent is None:
+            self._armed_watchdog.discard(node)
             return
         if agent.active_process is None:
             self._log("watchdog-reconnect", str(node))
             agent.parent = None
             agent.on_parent_lost()
-        self._arm_watchdog(node)
+        self._rearm_watchdog(node)

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from types import SimpleNamespace
 from typing import TYPE_CHECKING, Iterator
 
 from repro.util.envflags import incremental_tree_enabled
@@ -44,7 +45,26 @@ from repro.util.envflags import incremental_tree_enabled
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.protocols.base import ProtocolRuntime
 
-__all__ = ["InvariantChecker", "InvariantViolation", "TreeEvent"]
+__all__ = [
+    "InvariantChecker",
+    "InvariantViolation",
+    "TreeEvent",
+    "tree_is_legal",
+]
+
+
+def tree_is_legal(env: "ProtocolRuntime") -> bool:
+    """Whether ``env``'s registry satisfies every structural invariant *now*.
+
+    The stateless legality oracle behind time-to-legal-state recovery
+    metrics: it runs the exact full-sweep scan :class:`InvariantChecker`
+    uses, without subscribing a listener or recording anything.  Note an
+    orphaned subtree is structurally legal (its root simply has no
+    parent); callers tracking recovery combine this with orphan-set
+    emptiness.
+    """
+    probe = SimpleNamespace(env=env)
+    return next(InvariantChecker._scan_tree(probe), None) is None
 
 
 @dataclass(frozen=True)
@@ -413,7 +433,13 @@ class InvariantChecker:
                     node=record.node,
                     time=now,
                 )
-            if record.kind not in ("join", "reconnect", "refine", "switch"):
+            if record.kind not in (
+                "join",
+                "reconnect",
+                "refine",
+                "switch",
+                "failover",
+            ):
                 self._report(
                     "join-record",
                     f"unknown join kind {record.kind!r} for node {record.node}",

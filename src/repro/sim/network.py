@@ -99,6 +99,18 @@ class Underlay(ABC):
         """
         return None
 
+    def host_domain(self, host: int) -> int | None:
+        """The transit domain serving ``host``, or ``None`` when unknown.
+
+        Correlated fault plans (whole-domain outages, partitions) need to
+        group hosts by underlay domain; substrates without a router
+        topology — or router graphs without transit-stub attributes —
+        answer ``None`` and such plans fail loudly with
+        :class:`~repro.sim.faults.UnsupportedFaultPlan`.
+        """
+        self.validate_host(host)
+        return None
+
     def path_error(self, a: int, b: int) -> float:
         """End-to-end loss probability of the unicast path from a to b."""
         return self._compute_path_error(self.path_links(a, b))
@@ -195,6 +207,32 @@ class RouterUnderlay(Underlay):
     def router_of(self, host: int) -> int:
         self.validate_host(host)
         return self.attachments[host]
+
+    def host_domain(self, host: int) -> int | None:
+        """Transit domain of ``host``'s router (transit-stub graphs only)."""
+        self.validate_host(host)
+        domains = getattr(self, "_domain_map", None)
+        if domains is None:
+            try:
+                from repro.topology.transit_stub import router_transit_domains
+
+                domains = router_transit_domains(self.graph)
+            except KeyError:
+                # Not a transit-stub graph (no level/domain attributes) —
+                # remember that so we only probe once.
+                domains = {}
+            self._domain_map = domains
+        return domains.get(self.attachments[host])
+
+    def _set_domain_map(self, domains: dict[int, int]) -> None:
+        """Pre-populate the router->domain map (artifact restore path).
+
+        Graphs rebuilt from compiled artifacts carry edges and delays but
+        no node attributes, so :func:`router_transit_domains` cannot run on
+        them; the compiled layer persists the mapping instead and injects
+        it here.
+        """
+        self._domain_map = dict(domains)
 
     def _ensure_dijkstra(self, router: int) -> None:
         if router not in self._dist:

@@ -25,9 +25,10 @@ from typing import Callable
 
 import numpy as np
 
-from repro.metrics.collectors import collect_tree_metrics
+from repro.metrics.collectors import RecoveryTracker, collect_tree_metrics
 from repro.metrics.report import MeasurementRecord
 from repro.protocols.base import JoinRecord, OverlayAgent, ProtocolRuntime
+from repro.protocols.failover import FailoverManager
 from repro.sim.churn import SlottedChurnModel
 from repro.sim.delivery import DeliveryAccountant
 from repro.sim.engine import Simulator
@@ -109,6 +110,11 @@ class SessionConfig:
     #: fault schedule: a :class:`~repro.sim.faults.FaultPlan`, a preset
     #: name from :data:`~repro.sim.faults.FAULT_PRESETS`, or ``None``.
     faults: "FaultPlan | str | None" = None
+    #: orphan recovery strategy: ``"reactive"`` is the paper's rejoin
+    #: round-trip (the oracle path); ``"precomputed"`` arms the
+    #: :class:`~repro.protocols.failover.FailoverManager` so orphans
+    #: switch to their precomputed backup parent locally.
+    failover: str = "reactive"
     #: invariant checking: ``"raise"`` fails the run at the first broken
     #: tree invariant, ``"record"`` collects violations into the result,
     #: ``"off"`` disables the checker entirely.
@@ -131,6 +137,11 @@ class SessionConfig:
             raise ValueError("total_s must cover the join phase")
         if self.settle_s >= self.slot_s:
             raise ValueError("settle_s must be shorter than slot_s")
+        if self.failover not in ("reactive", "precomputed"):
+            raise ValueError(
+                "failover must be 'reactive' or 'precomputed', "
+                f"got {self.failover!r}"
+            )
         if self.invariant_mode not in ("raise", "record", "off"):
             raise ValueError(
                 "invariant_mode must be 'raise', 'record', or 'off', "
@@ -156,6 +167,12 @@ class SessionResult:
     violations: list[InvariantViolation] = field(default_factory=list)
     #: injected-fault tally by kind (empty when no fault plan was active).
     fault_counts: dict[str, int] = field(default_factory=dict)
+    #: damage-episode durations (first orphan -> legal tree again), only
+    #: collected when faults or precomputed failover were in play.
+    recovery_times: list[float] = field(default_factory=list)
+    #: ``switch``/``fallback`` tally from the failover manager (empty on
+    #: reactive runs).
+    failover_counts: dict[str, int] = field(default_factory=dict)
 
     # -- join/reconnect timing ----------------------------------------------------
 
@@ -259,6 +276,16 @@ class MulticastSession:
             self._injector = FaultInjector(
                 plan, self.env, on_crash=self._active.discard
             )
+        # The failover manager subscribes after the injector so its backup
+        # refreshes observe every mutation the injector commits; the
+        # recovery tracker comes last so its legality probe sees the final
+        # post-mutation state.
+        self._failover: FailoverManager | None = None
+        if config.failover == "precomputed":
+            self._failover = FailoverManager(self.env)
+        self._recovery: RecoveryTracker | None = None
+        if self._injector is not None or self._failover is not None:
+            self._recovery = RecoveryTracker(self.env)
         self._records: list[MeasurementRecord] = []
         self._last_measure_time = 0.0
         self._last_control_count = 0
@@ -415,6 +442,12 @@ class MulticastSession:
         fault_counts: dict[str, int] = {}
         if self._injector is not None:
             fault_counts = dict(self._injector.counts)
+        recovery_times: list[float] = []
+        if self._recovery is not None:
+            recovery_times = list(self._recovery.recovery_times)
+        failover_counts: dict[str, int] = {}
+        if self._failover is not None:
+            failover_counts = dict(self._failover.counts)
         return SessionResult(
             config=cfg,
             records=self._records,
@@ -423,6 +456,8 @@ class MulticastSession:
             accountant=self.accountant,
             violations=violations,
             fault_counts=fault_counts,
+            recovery_times=recovery_times,
+            failover_counts=failover_counts,
         )
 
     def _run_slot(self, slot_start: float) -> None:

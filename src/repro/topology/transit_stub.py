@@ -31,7 +31,12 @@ import numpy as np
 from repro.util.rngtools import rng_from_seed
 from repro.util.validation import check_positive, check_probability
 
-__all__ = ["TransitStubConfig", "generate_transit_stub"]
+__all__ = [
+    "TransitStubConfig",
+    "generate_transit_stub",
+    "stub_routers",
+    "router_transit_domains",
+]
 
 
 @dataclass(frozen=True)
@@ -243,3 +248,36 @@ def generate_transit_stub(
 def stub_routers(graph: nx.Graph) -> list[int]:
     """All stub-level router ids (hosts attach at stub routers)."""
     return [n for n, data in graph.nodes(data=True) if data["level"] == "stub"]
+
+
+def router_transit_domains(graph: nx.Graph) -> dict[int, int]:
+    """Map every router to the index of the transit domain serving it.
+
+    Transit routers carry their domain directly in the ``domain`` node
+    attribute; a stub router belongs to the transit domain of the transit
+    router its stub domain's gateway edge (``kind="stub_transit"``)
+    uplinks to.  A whole-transit-domain outage therefore takes out the
+    domain's transit routers *and* every stub domain hanging off them —
+    which is exactly the correlated-failure footprint the fault layer
+    models.
+
+    Raises ``KeyError`` if the graph lacks transit-stub attributes (it
+    was not produced by :func:`generate_transit_stub`).
+    """
+    transit_domain: dict[int, int] = {}
+    for node, data in graph.nodes(data=True):
+        if data["level"] == "transit":
+            transit_domain[node] = int(data["domain"][1])
+    # Stub domain -> transit domain, via each gateway edge.
+    stub_domain_of: dict[int, int] = {}
+    for u, v, data in graph.edges(data=True):
+        if data.get("kind") != "stub_transit":
+            continue
+        stub, transit = (u, v) if graph.nodes[u]["level"] == "stub" else (v, u)
+        stub_dom = graph.nodes[stub]["domain"][1]
+        stub_domain_of[stub_dom] = transit_domain[transit]
+    domains = dict(transit_domain)
+    for node, data in graph.nodes(data=True):
+        if data["level"] == "stub":
+            domains[node] = stub_domain_of[data["domain"][1]]
+    return domains

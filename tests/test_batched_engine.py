@@ -147,6 +147,7 @@ def test_non_vdm_protocols_decline(kind):
         (dict(measurement_noise_sigma=0.3), "probe noise"),
         (dict(refine_period_s=180.0), "refinement"),
         (dict(timeout_ms=0.001), "timeout elision"),
+        (dict(failover="precomputed"), "failover"),
     ],
 )
 def test_config_envelope_declines(overrides, reason):

@@ -9,7 +9,13 @@ from repro.harness.substrates import build_transit_stub_underlay
 from repro.protocols.base import ProtocolRuntime
 from repro.protocols.messages import InfoRequest, LeaveNotice
 from repro.sim.engine import Simulator
-from repro.sim.faults import FAULT_PRESETS, FaultInjector, FaultPlan, resolve_fault_plan
+from repro.sim.faults import (
+    CORRELATED_PRESETS,
+    FAULT_PRESETS,
+    FaultInjector,
+    FaultPlan,
+    resolve_fault_plan,
+)
 from repro.sim.network import MatrixUnderlay
 from repro.sim.session import MulticastSession, SessionConfig
 from repro.topology.transit_stub import TransitStubConfig
@@ -29,6 +35,15 @@ class TestFaultPlan:
         assert not FaultPlan(crash_fraction=0.1).is_noop()
         assert not FaultPlan(midjoin_crash_rate=0.1).is_noop()
         assert not FaultPlan(freeze_rate=0.1).is_noop()
+        assert not FaultPlan(
+            domain_outage_domain=1, domain_outage_at_s=10.0
+        ).is_noop()
+        assert not FaultPlan(
+            partition_domains=(1,), partition_at_s=5.0, partition_heal_s=10.0
+        ).is_noop()
+        assert not FaultPlan(burst_at_s=5.0, burst_loss_rate=0.5).is_noop()
+        # a burst window with zero loss injects nothing
+        assert FaultPlan(burst_at_s=5.0).is_noop()
 
     @pytest.mark.parametrize(
         "field",
@@ -53,6 +68,30 @@ class TestFaultPlan:
         with pytest.raises(ValueError, match="detect_delay_s"):
             FaultPlan(detect_delay_s=0.0)
 
+    def test_domain_outage_knobs_set_together(self):
+        with pytest.raises(ValueError, match="domain_outage"):
+            FaultPlan(domain_outage_domain=1)
+        with pytest.raises(ValueError, match="domain_outage"):
+            FaultPlan(domain_outage_at_s=10.0)
+
+    def test_partition_knobs_set_together(self):
+        with pytest.raises(ValueError, match="partition"):
+            FaultPlan(partition_domains=(1,))
+        with pytest.raises(ValueError, match="partition"):
+            FaultPlan(partition_at_s=5.0)
+
+    def test_partition_heal_must_follow_start(self):
+        with pytest.raises(ValueError, match="partition_heal_s"):
+            FaultPlan(
+                partition_domains=(1,), partition_at_s=10.0, partition_heal_s=10.0
+            )
+
+    def test_burst_rate_validated(self):
+        with pytest.raises(ValueError, match="burst_loss_rate"):
+            FaultPlan(burst_at_s=5.0, burst_loss_rate=1.5)
+        with pytest.raises(ValueError, match="burst_at_s"):
+            FaultPlan(burst_at_s=-1.0)
+
     def test_json_round_trip(self):
         plan = FAULT_PRESETS["chaos"]
         again = FaultPlan.from_json(plan.to_json())
@@ -74,8 +113,20 @@ class TestFaultPlan:
             freeze_duration_s=10.0,
             detect_delay_s=11.0,
             active_until_s=12.0,
+            domain_outage_domain=1,
+            domain_outage_at_s=13.0,
+            partition_domains=(0, 2),
+            partition_at_s=14.0,
+            partition_heal_s=15.0,
+            burst_at_s=16.0,
+            burst_duration_s=17.0,
+            burst_loss_rate=0.18,
         )
         assert FaultPlan.from_dict(plan.to_dict()) == plan
+        # JSON has no tuples; the round trip must restore them anyway
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+        assert isinstance(again.partition_domains, tuple)
 
     def test_presets_all_valid_and_named_consistently(self):
         for name, plan in FAULT_PRESETS.items():
@@ -84,6 +135,14 @@ class TestFaultPlan:
         fault_bearing = [p for n, p in FAULT_PRESETS.items() if n != "none"]
         assert len(fault_bearing) >= 6  # the conformance grid's breadth
         assert all(not p.is_noop() for p in fault_bearing)
+
+    def test_correlated_presets_and_domain_needs(self):
+        assert set(CORRELATED_PRESETS) <= set(FAULT_PRESETS)
+        assert FAULT_PRESETS["domain-outage"].needs_domains()
+        assert FAULT_PRESETS["partition"].needs_domains()
+        # loss bursts are domain-free: they must run on matrix substrates
+        assert not FAULT_PRESETS["burst-loss"].needs_domains()
+        assert not FAULT_PRESETS["chaos"].needs_domains()
 
     def test_resolve_by_name_and_passthrough(self):
         assert resolve_fault_plan(None) is None
@@ -185,6 +244,36 @@ class TestFreeze:
         env.mark_dead(1)
         assert 1 not in env._frozen
         assert not env.is_responsive(1)
+
+
+class TestDetectionDedupe:
+    """Crash detection and the orphan watchdog run exactly one chain per
+    (node, window) no matter how many triggers fire — re-arming on every
+    trigger used to double-count detection work and outage bookkeeping."""
+
+    def test_crash_detected_exactly_once_despite_double_trigger(self):
+        sim, env, injector = _make_env(FaultPlan(seed=1, drop_rate=0.0))
+        env.tree.attach(1, 0, 0.0)
+        injector.crash(1)
+        # a late tree commit funnels through the same scheduling path
+        injector._schedule_detect(1)
+        injector._schedule_detect(1)
+        sim.run_until(20.0)
+        assert injector.counts["crash"] == 1
+        assert injector.counts["detect-depart"] == 1
+        assert not env.tree.is_present(1)
+
+    def test_watchdog_chain_armed_once_despite_double_orphan(self):
+        sim, env, injector = _make_env(FaultPlan(seed=1, drop_rate=0.0))
+        env.tree.attach(1, 0, 0.0)
+        env.tree.attach(2, 1, 0.0)
+        # keep node 2 a passive orphan so every watchdog tick logs once
+        env.agents[2].on_parent_lost = lambda: None
+        env.tree.sever(2, 0.0)  # orphan event -> arms the watchdog
+        injector._arm_watchdog(2)  # a second orphan trigger in-window
+        injector._arm_watchdog(2)
+        sim.run_until(13.0)  # checks fire at 4 s, 8 s, 12 s
+        assert injector.counts["watchdog-reconnect"] == 3
 
 
 def _session_result(plan, seed=42, invariant_mode="raise"):

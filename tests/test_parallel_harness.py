@@ -115,7 +115,7 @@ class TestClampJobs:
         monkeypatch.setattr("os.cpu_count", lambda: 2)
         seen: dict = {}
 
-        def fake_run(fig_id, preset, jobs=None, faults=None):
+        def fake_run(fig_id, preset, jobs=None, faults=None, failover=None):
             seen["jobs"] = jobs
 
             class _T:
@@ -233,8 +233,8 @@ class TestSerialParallelEquivalence:
     def test_group_timing_recorded(self):
         experiments.ch5_mst_table(SMOKE)
         timings = experiments.group_timings()
-        assert ("ch5_mst", "smoke", "") in timings
-        assert timings[("ch5_mst", "smoke", "")] > 0
+        assert ("ch5_mst", "smoke", "", "reactive") in timings
+        assert timings[("ch5_mst", "smoke", "", "reactive")] > 0
 
 
 # ---------------------------------------------------------------------------
