@@ -39,6 +39,12 @@ from repro.protocols.multitree import StripedSession
 from repro.harness.batchrun import CellSpec, cell_batch
 from repro.harness.parallel import run_replications
 from repro.harness.presets import Preset
+from repro.harness.scale import (
+    build_scale_tree,
+    prim_mst_parents,
+    scale_tree_metrics,
+    scale_ts_config,
+)
 from repro.harness.substrates import (
     build_planetlab_underlay,
     build_transit_stub_underlay,
@@ -66,6 +72,7 @@ __all__ = [
     "ch5_mst_table",
     "ch5_sample_tree",
     "ch6_failover_tables",
+    "ch7_scale_tables",
     "ablation_tables",
     "extension_tables",
     "clear_cache",
@@ -1361,3 +1368,115 @@ def extension_tables(preset: Preset) -> dict[str, SeriesTable]:
         return {"free_riders": free_rider_table, "striping": striping_table}
 
     return _cached("extensions", preset, build)
+
+
+# ---------------------------------------------------------------------------
+# Chapter 7 — scale study (beyond the paper: sparse substrates)
+# ---------------------------------------------------------------------------
+
+#: join-walk protocols of the scale sweep; the MST baseline rides along in
+#: the stretch/stress tables (it has no join procedure to time).
+CH7_PROTOCOLS: tuple[str, ...] = ("VDM", "HMTP", "BTP")
+
+
+def _ch7_underlay(preset: Preset, n_members: int, seed: int):
+    """One sparse substrate per (population, replication seed): ~1 router
+    per member, hosts on stub routers, CSR triplets end to end."""
+    return build_transit_stub_underlay(
+        n_hosts=n_members,
+        seed=seed,
+        ts_config=scale_ts_config(max(n_members, 120)),
+        sparse=True,
+    )
+
+
+def _ch7_rep(
+    preset: Preset, proto: str, n_members: int, rep: int, seed: int
+) -> dict[str, float]:
+    underlay = _ch7_underlay(preset, n_members, seed)
+    if proto == "MST":
+        if n_members > preset.ch7_mst_max_members:
+            return {
+                "joinlat_ms": float("nan"),
+                "joinlat_p95_ms": float("nan"),
+                "stretch": float("nan"),
+                "stress": float("nan"),
+            }
+        parents = prim_mst_parents(underlay, n_members)
+        joinlat = joinlat_p95 = float("nan")
+    else:
+        tree = build_scale_tree(
+            underlay, proto.lower(), n_members, degree_limit=preset.ch7_degree
+        )
+        parents = tree.parents
+        lat = tree.join_latency_ms[1:]
+        joinlat = float(lat.mean())
+        joinlat_p95 = float(np.percentile(lat, 95))
+    include_stress = n_members <= preset.ch7_stress_max_members
+    metrics = scale_tree_metrics(underlay, parents, include_stress=include_stress)
+    return {
+        "joinlat_ms": joinlat,
+        "joinlat_p95_ms": joinlat_p95,
+        "stretch": metrics.stretch_avg,
+        "stress": metrics.stress_avg if include_stress else float("nan"),
+    }
+
+
+def ch7_scale_tables(preset: Preset) -> dict[str, SeriesTable]:
+    """Ch 7 — VDM vs HMTP/BTP/MST across member populations.
+
+    Static-join trees (:mod:`repro.harness.scale`) on sparse substrates
+    sized ~1 router per member: modelled join latency, stretch, and link
+    stress at each population of ``preset.ch7_member_counts``.  Every
+    replication draws a fresh topology (the construction itself is
+    deterministic per substrate), and every underlay query runs through
+    the O(V) sparse engine — the sweep never materializes a V^2 matrix,
+    which is what makes the 10k+ cells feasible at all.
+    """
+
+    def build() -> dict[str, SeriesTable]:
+        protocols = list(CH7_PROTOCOLS) + ["MST"]
+        results: dict[str, list[list[dict[str, float]]]] = {}
+        for proto in protocols:
+            results[proto] = [
+                run_replications(
+                    _ch7_rep,
+                    (preset, proto, n),
+                    _rep_seeds(preset, preset.ch7_replications, "ch7", proto, n),
+                    jobs=preset.jobs,
+                    key=("ch7_scale", proto, n),
+                )
+                for n in preset.ch7_member_counts
+            ]
+
+        x = [float(n) for n in preset.ch7_member_counts]
+        tables = {}
+        specs = {
+            "joinlat_ms": (
+                CH7_PROTOCOLS,
+                "VDM join latency grows with depth (directional chains); "
+                "all protocols sublinear in N",
+            ),
+            "stretch": (
+                protocols,
+                "VDM well below HMTP/BTP and stable in N; MST lowest cost "
+                "but not stretch-optimal",
+            ),
+            "stress": (
+                protocols,
+                "stress rises slowly with N for all; MST lowest, BTP worst",
+            ),
+        }
+        for metric, (series_protos, shape) in specs.items():
+            table = SeriesTable(
+                title=f"Ch 7 — {metric} vs members (static-join scale model)",
+                x_label="n_members",
+                x_values=x,
+                expected_shape=shape,
+            )
+            for proto in series_protos:
+                table.add_series(proto, _series(results[proto], metric))
+            tables[metric] = table
+        return tables
+
+    return _cached("ch7_scale", preset, build)

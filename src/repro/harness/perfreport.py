@@ -1,6 +1,6 @@
 """Machine-readable performance snapshots (``BENCH_PR6.json``).
 
-Each snapshot times experiment groups under six configurations —
+Each snapshot times experiment groups under seven configurations —
 
 * ``serial_lazy_s`` — one process, ``REPRO_COMPILED_UNDERLAY=0``: the
   lazy per-source-Dijkstra substrate path (the pre-PR 4 baseline);
@@ -19,6 +19,11 @@ Each snapshot times experiment groups under six configurations —
 * ``resume_s`` — one process replaying a fully populated run journal
   (:mod:`repro.harness.journal`): no worker executes, so this isolates
   the fixed replay + render cost a ``--resume`` run pays up front;
+* ``sparse_s`` — one process, warm cache, ``REPRO_SPARSE_UNDERLAY=1``:
+  substrate builders return the CSR-native
+  :class:`~repro.sim.sparse.SparseUnderlay` (on-demand Dijkstra rows, no
+  V^2 matrices) in its exact mode, whose output joins the byte-identity
+  check like every other mode (PR 8);
 
 — plus *substrate-only* timings (``substrate_lazy_s`` /
 ``substrate_cold_s`` / ``substrate_warm_s``): the wall time of just the
@@ -30,9 +35,22 @@ legacy figures keep meaning exactly what they meant in the PR 4/5
 reports: scalar-engine wall clock.  ``batched`` leaves the flag unset
 (unlimited batching), and its rendered table JSON joins the byte-for-byte
 identity check against the lazy scalar run — alongside cold, warm,
-parallel, and the journal replay.  A mismatch aborts the report: that
-check is what licenses reading ``serial_s / batched_s`` as pure overhead
-removed rather than a different computation.
+parallel, the journal replay, and the sparse run.  A mismatch aborts the
+report: that check is what licenses reading ``serial_s / batched_s`` as
+pure overhead removed rather than a different computation.  For the same
+reason the report *refuses to run at all* outside the exactness envelope:
+``REPRO_SUBSTRATE_DTYPE=float32`` and ``REPRO_SPARSE_EXACT=0`` both
+declare approximation, and a timing figure for an approximate run cannot
+be compared against exact baselines.
+
+Each timed run also records its *peak RSS* (``<figure>_rss_mb``, e.g.
+``serial_rss_mb`` / ``sparse_rss_mb``) via :mod:`repro.util.memprof`: the
+kernel high-water mark is reset before and read after every measurement,
+and the per-mode maximum over reps is reported — memory wants the worst
+case where wall time wants the best.  Where the kernel interface is
+unavailable the figures degrade to process-lifetime maxima and the report
+says so (``rss_resettable: false``); the gate should then skip memory
+fields.
 
 Timed runs are isolated: the experiment cache, the substrate memos, and
 the worker pool are all torn down before and after every measurement,
@@ -66,6 +84,8 @@ from repro.harness.parallel import shutdown_pool
 from repro.harness.presets import Preset
 from repro.topology.linkmodel import LinkErrorConfig
 from repro.util.artifacts import CACHE_DIR_ENV, CACHE_ENABLED_ENV
+from repro.util.envflags import sparse_exact, substrate_dtype
+from repro.util.memprof import peak_rss_bytes, peak_rss_resettable, reset_peak_rss
 from repro.util.timing import Stopwatch
 
 __all__ = ["GROUP_RUNNERS", "DEFAULT_GROUPS", "generate_perf_report", "timing_reps"]
@@ -82,6 +102,7 @@ GROUP_RUNNERS: dict[str, Callable[[Preset], dict]] = {
     "ch5_mst": exp.ch5_mst_table,
     "ablations": exp.ablation_tables,
     "extensions": exp.extension_tables,
+    "ch7_scale": exp.ch7_scale_tables,
 }
 
 #: groups timed when none are requested — one per evaluation environment,
@@ -96,6 +117,7 @@ DEFAULT_GROUPS: tuple[str, ...] = (
 
 _COMPILED_ENV = "REPRO_COMPILED_UNDERLAY"
 _BATCHED_ENV = "REPRO_BATCHED_REPS"
+_SPARSE_ENV = "REPRO_SPARSE_UNDERLAY"
 
 #: default timing repetitions per configuration; the minimum wall time is
 #: kept.  Five reps (not three) because the minimum is only as good as
@@ -111,7 +133,14 @@ _MODE_FIELDS = {
     "batched": "batched_s",
     "parallel": "parallel_s",
     "resume": "resume_s",
+    "sparse": "sparse_s",
 }
+
+
+def _rss_field(mode: str) -> str:
+    """Memory field paired with a mode's timing field (``serial_s`` ->
+    ``serial_rss_mb``)."""
+    return _MODE_FIELDS[mode].removesuffix("_s") + "_rss_mb"
 
 
 def timing_reps(requested: int | None = None) -> int:
@@ -176,16 +205,19 @@ def _timed_modes(
     jobs: int,
     cache_root: Path,
     reps: int,
-) -> tuple[dict[str, list[float]], dict[str, dict[str, str]]]:
-    """Time all six configurations of one group, reps interleaved.
+) -> tuple[
+    dict[str, list[float]], dict[str, dict[str, str]], dict[str, float]
+]:
+    """Time all seven configurations of one group, reps interleaved.
 
     Shared machines throttle and un-throttle on minute scales, so timing
     one mode's reps back to back hands whichever mode lands in a fast
     epoch an unearned win.  Interleaving runs every mode once per rep —
-    each drift window scores all six — and the per-mode minimum over
+    each drift window scores all seven — and the per-mode minimum over
     reps discards contended epochs for all modes alike.  The full
     per-rep sample lists are returned so the caller can also report each
-    figure's spread (cv).
+    figure's spread (cv), alongside each mode's peak RSS in bytes (the
+    *maximum* over reps: a footprint claim must hold on the worst rep).
 
     Rep order matters: ``cold`` wipes the artifact cache and repopulates
     it, and ``warm``/``batched``/``parallel`` ride on the cache ``cold``
@@ -202,19 +234,32 @@ def _timed_modes(
     run pays before reaching its first missing task.  Its outputs join
     the byte-identity check, pinning the journal's float round-trip end
     to end.
+
+    The ``sparse`` mode runs the whole group with
+    ``REPRO_SPARSE_UNDERLAY=1`` (exact rows — the report has already
+    refused to run with ``REPRO_SPARSE_EXACT=0``); every other mode pins
+    the flag to ``0`` so the legacy figures keep timing the dense path.
+    Sparse artifacts cache under their own keys, so its first rep pays a
+    one-time build the min-over-reps then discards — like ``warm``.
+
+    Note the ``parallel`` RSS figure covers only the parent process;
+    worker RSS is not aggregated.
     """
     from repro.harness import journal as journal_mod
 
-    # (mode, compiled, jobs, wipe_cache, REPRO_BATCHED_REPS value)
+    # (mode, compiled, jobs, wipe_cache,
+    #  REPRO_BATCHED_REPS value, REPRO_SPARSE_UNDERLAY value)
     specs = (
-        ("lazy", False, 1, True, "0"),
-        ("cold", True, 1, True, "0"),
-        ("warm", True, 1, False, "0"),
-        ("batched", True, 1, False, ""),
-        ("parallel", True, jobs, False, "0"),
-        ("resume", True, 1, False, "0"),
+        ("lazy", False, 1, True, "0", "0"),
+        ("cold", True, 1, True, "0", "0"),
+        ("warm", True, 1, False, "0", "0"),
+        ("batched", True, 1, False, "", "0"),
+        ("parallel", True, jobs, False, "0", "0"),
+        ("resume", True, 1, False, "0", "0"),
+        ("sparse", True, 1, False, "0", "1"),
     )
     times: dict[str, list[float]] = {mode: [] for mode, *_ in specs}
+    rss: dict[str, float] = {mode: 0.0 for mode, *_ in specs}
     outputs: dict[str, dict[str, str]] = {}
     journal_root = Path(tempfile.mkdtemp(prefix="repro-perf-journal-"))
     try:
@@ -222,17 +267,20 @@ def _timed_modes(
             # Untimed populate pass for the resume mode: record every
             # replication of this group into the private journal once,
             # on the scalar engine (the journal is oracle-produced).
-            with _env(**{_COMPILED_ENV: "1", _BATCHED_ENV: "0"}):
+            with _env(
+                **{_COMPILED_ENV: "1", _BATCHED_ENV: "0", _SPARSE_ENV: "0"}
+            ):
                 exp.clear_cache()
                 shutdown_pool()
                 with journal_mod.run_context(journal_root):
                     runner(dataclasses.replace(preset, jobs=1))
             for _ in range(reps):
-                for mode, compiled, mode_jobs, wipe, batched in specs:
+                for mode, compiled, mode_jobs, wipe, batched, sparse in specs:
                     with _env(
                         **{
                             _COMPILED_ENV: "1" if compiled else "0",
                             _BATCHED_ENV: batched,
+                            _SPARSE_ENV: sparse,
                         }
                     ):
                         if wipe:
@@ -244,17 +292,19 @@ def _timed_modes(
                             replay = journal_mod.run_context(
                                 journal_root, resume=True
                             )
+                        reset_peak_rss()
                         with replay, Stopwatch() as sw:
                             tables = runner(
                                 dataclasses.replace(preset, jobs=mode_jobs)
                             )
                         times[mode].append(sw.elapsed)
+                        rss[mode] = max(rss[mode], float(peak_rss_bytes()))
                         outputs[mode] = _render_outputs(tables)
             exp.clear_cache()
             shutdown_pool()
     finally:
         shutil.rmtree(journal_root, ignore_errors=True)
-    return times, outputs
+    return times, outputs, rss
 
 
 def _group_substrate_builders(
@@ -352,9 +402,26 @@ def generate_perf_report(
     Raises :class:`RuntimeError` if any mode's run of any group disagrees
     with the lazy scalar run on any table — a timing number for a mode
     that changes results would be meaningless, so the report refuses to
-    be written.  ``reps`` overrides the timing rep count (default:
-    ``REPRO_PERF_REPS`` or 5); the value used is recorded in the report.
+    be written.  For the same reason it refuses to *start* under
+    ``REPRO_SUBSTRATE_DTYPE=float32`` or ``REPRO_SPARSE_EXACT=0``: both
+    declare approximation, and approximate timings are not comparable to
+    the exact baselines this report exists to gate.  ``reps`` overrides
+    the timing rep count (default: ``REPRO_PERF_REPS`` or 5); the value
+    used is recorded in the report.
     """
+    dtype = substrate_dtype()
+    if dtype != "float64":
+        raise RuntimeError(
+            f"REPRO_SUBSTRATE_DTYPE={dtype} narrows substrate arrays out of "
+            "the exactness envelope — refusing to generate a perf report "
+            "for approximate runs (unset the flag or use float64)"
+        )
+    if not sparse_exact():
+        raise RuntimeError(
+            "REPRO_SPARSE_EXACT=0 permits landmark-approximate distances — "
+            "refusing to generate a perf report for approximate runs "
+            "(unset the flag; the sparse mode is timed in its exact form)"
+        )
     names = list(groups) if groups else list(DEFAULT_GROUPS)
     unknown = sorted(set(names) - set(GROUP_RUNNERS))
     if unknown:
@@ -363,11 +430,12 @@ def generate_perf_report(
         )
     reps = timing_reps(reps)
     report: dict = {
-        "schema": "repro-perf-report/5",
+        "schema": "repro-perf-report/6",
         "preset": preset.name,
         "jobs": jobs,
         "cpu_count": os.cpu_count(),
         "timing_reps": reps,
+        "rss_resettable": peak_rss_resettable(),
         "command": (
             f"python -m repro.harness --perf-report {path} "
             f"--preset {preset.name} --jobs {jobs} "
@@ -384,17 +452,25 @@ def generate_perf_report(
             "every other mode pins it to 0, the scalar oracle); "
             "parallel_s = jobs=N over the warm cache; resume_s = jobs=1 "
             "replaying a fully populated run journal (no worker executes "
-            "— the fixed cost a resumed run pays up front).  "
-            "substrate_*_s time only the group's substrate builder calls "
-            "in the same three modes.  Each figure is the minimum wall "
-            "time over timing_reps reps, with the modes interleaved "
-            "inside each rep so host-speed drift on shared machines "
-            "cannot favor one mode; cv maps each figure to its "
+            "— the fixed cost a resumed run pays up front); sparse_s = "
+            "warm cache with REPRO_SPARSE_UNDERLAY=1 (CSR sparse "
+            "substrates, exact rows; every other mode pins the flag to "
+            "0).  substrate_*_s time only the group's substrate builder "
+            "calls in the lazy/cold/warm modes.  Each figure is the "
+            "minimum wall time over timing_reps reps, with the modes "
+            "interleaved inside each rep so host-speed drift on shared "
+            "machines cannot favor one mode; cv maps each figure to its "
             "coefficient of variation across those reps (null when only "
-            "one rep was taken).  outputs_identical means lazy, cold, "
-            "warm, batched, parallel, and resume all produced "
-            "byte-identical table JSON.  Parallel speedup is bounded by "
-            "cpu_count."
+            "one rep was taken).  Each *_rss_mb is the mode's peak RSS "
+            "(MiB), the maximum over reps, measured by resetting the "
+            "kernel high-water mark before each run; when rss_resettable "
+            "is false the figures are process-lifetime maxima and should "
+            "not be gated.  The parallel RSS covers the parent process "
+            "only.  outputs_identical means lazy, cold, warm, batched, "
+            "parallel, resume, and sparse all produced byte-identical "
+            "table JSON; the report refuses to run at all under "
+            "REPRO_SUBSTRATE_DTYPE=float32 or REPRO_SPARSE_EXACT=0.  "
+            "Parallel speedup is bounded by cpu_count."
         ),
         "groups": {},
     }
@@ -402,11 +478,18 @@ def generate_perf_report(
     try:
         for name in names:
             runner = GROUP_RUNNERS[name]
-            times, outputs = _timed_modes(
+            times, outputs, rss = _timed_modes(
                 runner, preset, jobs=jobs, cache_root=cache_root, reps=reps
             )
             lazy_out = outputs["lazy"]
-            for mode_name in ("cold", "warm", "batched", "parallel", "resume"):
+            for mode_name in (
+                "cold",
+                "warm",
+                "batched",
+                "parallel",
+                "resume",
+                "sparse",
+            ):
                 out = outputs[mode_name]
                 if out != lazy_out:
                     differing = sorted(
@@ -423,6 +506,7 @@ def generate_perf_report(
             lazy, cold = best["lazy"], best["cold"]
             warm, batched = best["warm"], best["batched"]
             parallel, resume = best["parallel"], best["resume"]
+            sparse = best["sparse"]
             subs = _time_substrates(
                 _group_substrate_builders(name, preset),
                 cache_root=cache_root,
@@ -439,6 +523,7 @@ def generate_perf_report(
                 "batched_s": round(batched, 3),
                 "parallel_s": round(parallel, 3),
                 "resume_s": round(resume, 3),
+                "sparse_s": round(sparse, 3),
                 "workers": jobs,
                 "outputs_identical": True,
                 "cv": cv_entry,
@@ -446,7 +531,10 @@ def generate_perf_report(
                 "speedup_compiled_warm": round(lazy / warm, 2),
                 "speedup_batched_vs_warm": round(warm / batched, 2),
                 "speedup_parallel_vs_serial": round(warm / parallel, 2),
+                "speedup_sparse_vs_warm": round(warm / sparse, 2),
             }
+            for mode in _MODE_FIELDS:
+                entry[_rss_field(mode)] = round(rss[mode] / 2**20, 1)
             if subs:
                 entry.update(
                     {

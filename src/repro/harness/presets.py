@@ -79,6 +79,22 @@ class Preset:
     pl_hmtp_refine_s: float = 30.0
     pl_vdm_r_period_s: float = 300.0
 
+    # -- chapter 7: scale study (sparse substrates, static-join model) ----------
+    #: member-population grid of the ``ch7_scale`` sweep; substrates are
+    #: sized to ~1 router per member (see ``harness.scale.scale_ts_config``)
+    ch7_member_counts: tuple[int, ...] = (1000, 10000)
+    #: replications per cell — each rep is a fresh substrate seed (the
+    #: static-join construction itself is deterministic per substrate)
+    ch7_replications: int = 3
+    #: children per node (source included) in the static-join walks
+    ch7_degree: int = 4
+    #: largest population the exact Prim MST baseline runs at (one
+    #: underlay row per member; beyond this the MST series reports NaN)
+    ch7_mst_max_members: int = 10000
+    #: largest population whose link-stress pass (physical path expansion
+    #: per tree edge) is computed; beyond it stress reports NaN
+    ch7_stress_max_members: int = 50000
+
 
 PAPER = Preset(name="paper")
 
@@ -111,6 +127,8 @@ QUICK = Preset(
     pl_degree_values=(2, 3, 4, 5, 6, 7, 8),  # full grid
     pl_refine_node_counts=(10, 20, 30, 40, 50),  # the paper's grid
     pl_mst_node_counts=(10, 20, 30, 40, 50),  # the paper's grid
+    ch7_member_counts=(50, 100),
+    ch7_replications=2,
 )
 
 #: tiny preset for unit/integration tests
@@ -143,6 +161,8 @@ SMOKE = Preset(
     pl_degree_values=(2, 4),
     pl_refine_node_counts=(10, 20),
     pl_mst_node_counts=(8, 16),
+    ch7_member_counts=(20,),
+    ch7_replications=1,
 )
 
 PRESETS: dict[str, Preset] = {p.name: p for p in (PAPER, QUICK, SMOKE)}

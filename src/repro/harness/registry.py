@@ -87,6 +87,16 @@ REGISTRY: dict[str, RegistryEntry] = {
     "fig6_ttl": RegistryEntry(
         "—", "Time to legal state by scenario", exp.ch6_failover_tables, "ttl_s"
     ),
+    # Chapter 7 — scale study on sparse substrates (beyond the paper)
+    "fig7_joinlat": RegistryEntry(
+        "—", "Join latency vs members (scale model)", exp.ch7_scale_tables, "joinlat_ms"
+    ),
+    "fig7_stretch": RegistryEntry(
+        "—", "Stretch vs members (scale model)", exp.ch7_scale_tables, "stretch"
+    ),
+    "fig7_stress": RegistryEntry(
+        "—", "Link stress vs members (scale model)", exp.ch7_scale_tables, "stress"
+    ),
     # Ablations
     "abl": RegistryEntry("—", "VDM design-choice ablations", exp.ablation_tables, "ablations"),
     "abl_refine_period": RegistryEntry(

@@ -1,0 +1,475 @@
+"""Static-join tree construction for the Chapter 7 scale study.
+
+The discrete-event engine (:mod:`repro.sim.engine`) replays every control
+message of a session — the right tool at paper scale (hundreds of
+members), hopeless at 10k-1M.  This module charts how the *steady-state
+trees* of VDM and its comparators scale instead: members join one at a
+time (ids ascending, host 0 is the source) and each join replays the
+protocol's own ``join_decision`` logic directly on the underlay — the
+exact Case I/II/III walk for VDM (:mod:`repro.core.cases`), HMTP's greedy
+closest-child descent with the Scenario II U-turn check, BTP's
+attach-at-pivot with full-node redirects — with no churn, no refinement,
+no probe noise, and no message faults.  An exact MST built by a
+memory-bounded Prim pass joins them as the cost lower bound.
+
+What the model keeps from the event engine, per join iteration: one
+pivot info exchange, parallel child probes, and one connection round
+trip.  The **join latency** of a member is therefore
+
+    sum over iterations of [ rtt(new, pivot) + max_child rtt(new, child) ]
+    + rtt(new, final_parent)
+
+(the probes of one iteration overlap, successive iterations do not) —
+the same shape the paper's Fig. 3.6 walk implies, minus queueing.
+
+Everything here streams: tree state is parent/children arrays, metrics
+are running accumulators, and underlay queries go through the row-cached
+sparse engine — no all-pairs matrix is ever materialized, which is what
+lets a single process chart 10k+ members inside a couple of GiB.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cases import Case, classify_children
+from repro.sim.network import Underlay
+from repro.topology.transit_stub import TransitStubConfig
+
+__all__ = [
+    "ScaleTree",
+    "ScaleTreeMetrics",
+    "SCALE_PROTOCOLS",
+    "build_scale_tree",
+    "prim_mst_parents",
+    "scale_tree_metrics",
+    "scale_ts_config",
+]
+
+
+def scale_ts_config(n_routers: int) -> TransitStubConfig:
+    """A transit-stub recipe for an arbitrary router count.
+
+    Scales the *number* of domains, not their size: stub domains stay at
+    ~8-12 routers (the paper's shape), so edge counts grow linearly in V
+    instead of the quadratic blow-up that inflating per-domain sizes
+    causes.  Below ~600 routers the shape collapses to a 2-transit-domain
+    miniature (the quick preset's silhouette).
+    """
+    if n_routers < 120:
+        raise ValueError(f"need at least 120 routers, got {n_routers}")
+    if n_routers < 600:
+        transit_domains, per_domain, stubs_per = 2, 4, 3
+    else:
+        transit_domains = max(3, round(n_routers / 410))
+        per_domain, stubs_per = 10, 4
+    return TransitStubConfig(
+        total_nodes=n_routers,
+        transit_domains=transit_domains,
+        transit_nodes_per_domain=per_domain,
+        stub_domains_per_transit=stubs_per,
+    )
+
+#: protocols :func:`build_scale_tree` knows how to walk.
+SCALE_PROTOCOLS = ("vdm", "hmtp", "btp")
+
+_MAX_ITERATIONS = 64  # mirrors JoinProcess.MAX_ITERATIONS
+
+
+@dataclass
+class ScaleTree:
+    """A fully built static tree plus per-join accounting."""
+
+    protocol: str
+    #: parent[host] = parent host id; -1 for the source.
+    parents: np.ndarray
+    #: modelled join latency per member (ms); 0.0 for the source.
+    join_latency_ms: np.ndarray
+    #: join-walk iterations per member; 0 for the source.
+    iterations: np.ndarray
+
+    @property
+    def n_members(self) -> int:
+        return int(self.parents.size)
+
+
+class _Walk:
+    """Per-join bookkeeping: memoized RTTs and the latency accumulator."""
+
+    __slots__ = ("node", "rtt_ms", "_memo", "latency_ms")
+
+    def __init__(self, node: int, underlay: Underlay) -> None:
+        self.node = node
+        self.rtt_ms = underlay.rtt_ms
+        self._memo: dict[int, float] = {}
+        self.latency_ms = 0.0
+
+    def rtt(self, other: int) -> float:
+        d = self._memo.get(other)
+        if d is None:
+            d = self.rtt_ms(self.node, other)
+            self._memo[other] = d
+        return d
+
+    def pay(self, other: int) -> float:
+        d = self.rtt(other)
+        self.latency_ms += d
+        return d
+
+    def pay_probes(self, children: list[int]) -> dict[int, float]:
+        """Parallel probes: pay only the slowest one."""
+        dists = {c: self.rtt(c) for c in children}
+        if dists:
+            self.latency_ms += max(dists.values())
+        return dists
+
+
+def build_scale_tree(
+    underlay: Underlay,
+    protocol: str,
+    n_members: int,
+    *,
+    degree_limit: int = 4,
+    tie_tolerance: float = 1e-9,
+) -> ScaleTree:
+    """Join hosts ``1..n_members-1`` sequentially under ``protocol``.
+
+    ``degree_limit`` bounds children per node (the source included), as
+    :attr:`OverlayAgent.free_degree` does — a node's parent edge does not
+    consume a slot.  Deterministic: every tie-break matches the agent
+    code (distance first, lowest id second).
+    """
+    if protocol not in SCALE_PROTOCOLS:
+        raise ValueError(f"unknown scale protocol {protocol!r}")
+    if n_members < 2:
+        raise ValueError(f"need at least 2 members, got {n_members}")
+    if degree_limit < 1:
+        raise ValueError(f"degree_limit must be >= 1, got {degree_limit}")
+    hosts = underlay.hosts
+    if n_members > len(hosts):
+        raise ValueError(
+            f"underlay has {len(hosts)} hosts, cannot join {n_members}"
+        )
+    source = int(hosts[0])
+    parents = np.full(n_members, -1, dtype=np.int64)
+    latency = np.zeros(n_members, dtype=np.float64)
+    iters = np.zeros(n_members, dtype=np.int64)
+    children: list[list[int]] = [[] for _ in range(n_members)]
+
+    if protocol == "vdm":
+        decide = _vdm_step
+    elif protocol == "hmtp":
+        decide = _hmtp_step
+    else:
+        decide = _btp_step
+
+    for node in range(1, n_members):
+        walk = _Walk(node, underlay)
+        pivot = source
+        n_iter = 0
+        while True:
+            n_iter += 1
+            if n_iter > _MAX_ITERATIONS:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"join of {node} did not terminate in {_MAX_ITERATIONS} steps"
+                )
+            walk.pay(pivot)  # pivot info exchange
+            probe = walk.pay_probes(children[pivot])
+            nxt = decide(
+                walk, pivot, probe, parents, children, degree_limit, tie_tolerance
+            )
+            if nxt is None:
+                break
+            pivot = nxt
+        latency[node] = walk.latency_ms
+        iters[node] = n_iter
+    return ScaleTree(
+        protocol=protocol,
+        parents=parents,
+        join_latency_ms=latency,
+        iterations=iters,
+    )
+
+
+def _attach(
+    walk: _Walk,
+    parent: int,
+    parents: np.ndarray,
+    children: list[list[int]],
+) -> None:
+    walk.pay(parent)  # connection round trip
+    parents[walk.node] = parent
+    children[parent].append(walk.node)
+
+
+def _free(children: list[list[int]], node: int, degree_limit: int) -> bool:
+    return len(children[node]) < degree_limit
+
+
+def _case1_fallback(
+    walk: _Walk,
+    pivot: int,
+    probe: dict[int, float],
+    parents: np.ndarray,
+    children: list[list[int]],
+    degree_limit: int,
+) -> int | None:
+    """The shared Case-I tail of the VDM and HMTP brains: attach to the
+    pivot if it has a slot, else to its closest free child, else push one
+    level down through the closest child."""
+    if _free(children, pivot, degree_limit):
+        _attach(walk, pivot, parents, children)
+        return None
+    free_children = [
+        (dist, child)
+        for child, dist in probe.items()
+        if _free(children, child, degree_limit)
+    ]
+    if free_children:
+        _, child = min(free_children)
+        _attach(walk, child, parents, children)
+        return None
+    if probe:
+        _, child = min((dist, child) for child, dist in probe.items())
+        return child
+    # Unreachable under sane configs: a childless pivot has free degree.
+    _attach(walk, pivot, parents, children)  # pragma: no cover
+    return None  # pragma: no cover
+
+
+def _vdm_step(
+    walk: _Walk,
+    pivot: int,
+    probe: dict[int, float],
+    parents: np.ndarray,
+    children: list[list[int]],
+    degree_limit: int,
+    tie_tolerance: float,
+) -> int | None:
+    """One VDM join iteration (Fig. 3.6, paper priorities: Case III over
+    Case II, closest-of selection).  Returns the next pivot or None when
+    the walk committed."""
+    dist_to_pivot = walk.rtt(pivot)
+    child_distances = {
+        child: (dist, walk.rtt_ms(pivot, child)) for child, dist in probe.items()
+    }
+    classified = classify_children(
+        dist_to_pivot, child_distances, tie_tolerance=tie_tolerance
+    )
+    case3 = [c for c in classified if c.case is Case.III]
+    case2 = [c for c in classified if c.case is Case.II]
+    if case3:
+        pick = min(case3, key=lambda c: (c.dist_new_child, c.child))
+        return pick.child
+    if case2:
+        # Case II insert: become a child of the pivot, adopt the closest
+        # directional children the newcomer's degree allows.
+        ordered = sorted(case2, key=lambda c: (c.dist_new_child, c.child))
+        adopt = [c.child for c in ordered[:degree_limit]]
+        walk.pay(pivot)  # connection round trip
+        node = walk.node
+        parents[node] = pivot
+        kids = children[pivot]
+        for child in adopt:
+            kids.remove(child)
+            parents[child] = node
+        kids.append(node)
+        children[node] = adopt
+        return None
+    return _case1_fallback(walk, pivot, probe, parents, children, degree_limit)
+
+
+def _hmtp_step(
+    walk: _Walk,
+    pivot: int,
+    probe: dict[int, float],
+    parents: np.ndarray,
+    children: list[list[int]],
+    degree_limit: int,
+    tie_tolerance: float,
+) -> int | None:
+    """One HMTP join iteration: greedy descent toward the closest child,
+    with the Scenario II U-turn check."""
+    dist_to_pivot = walk.rtt(pivot)
+    if probe:
+        closest_child, closest_dist = min(
+            probe.items(), key=lambda kv: (kv[1], kv[0])
+        )
+        if closest_dist < dist_to_pivot:
+            pivot_free = _free(children, pivot, degree_limit)
+            if walk.rtt_ms(pivot, closest_child) > dist_to_pivot and pivot_free:
+                _attach(walk, pivot, parents, children)
+                return None
+            return closest_child
+    return _case1_fallback(walk, pivot, probe, parents, children, degree_limit)
+
+
+def _btp_step(
+    walk: _Walk,
+    pivot: int,
+    probe: dict[int, float],
+    parents: np.ndarray,
+    children: list[list[int]],
+    degree_limit: int,
+    tie_tolerance: float,
+) -> int | None:
+    """One BTP join iteration: attach to the pivot; a full pivot redirects
+    to its closest free child (by the *pivot's* cached child distances),
+    else descends through its closest child."""
+    walk.pay(pivot)  # connection attempt (accepted or rejected)
+    if _free(children, pivot, degree_limit):
+        parents[walk.node] = pivot
+        children[pivot].append(walk.node)
+        return None
+    pool = [
+        child
+        for child in children[pivot]
+        if _free(children, child, degree_limit)
+    ] or children[pivot]
+    # _redirect_after_reject orders candidates by the rejecting parent's
+    # distance to each child, not the newcomer's.
+    return min(pool, key=lambda c: (walk.rtt_ms(pivot, c), c))
+
+
+def prim_mst_parents(underlay: Underlay, n_members: int) -> np.ndarray:
+    """Exact MST over the first ``n_members`` hosts (RTT metric), O(N) memory.
+
+    Classic dense Prim driven by ``delay_row``: each time a host enters
+    the tree its single underlay row relaxes the frontier, so the whole
+    pass holds three length-N vectors and never a matrix.  Root is host 0
+    (the source).  Deterministic: ``argmin`` takes the lowest index among
+    ties.
+    """
+    if n_members < 2:
+        raise ValueError(f"need at least 2 members, got {n_members}")
+    hosts = underlay.hosts
+    if n_members > len(hosts):
+        raise ValueError(
+            f"underlay has {len(hosts)} hosts, cannot span {n_members}"
+        )
+    parents = np.full(n_members, -1, dtype=np.int64)
+    best = np.full(n_members, np.inf)
+    best_from = np.full(n_members, -1, dtype=np.int64)
+    in_tree = np.zeros(n_members, dtype=bool)
+    current = 0
+    in_tree[0] = True
+    for _ in range(n_members - 1):
+        row = underlay.delay_row(current)
+        if row is None:
+            rtts = np.array(
+                [underlay.rtt_ms(current, int(h)) for h in hosts[:n_members]]
+            )
+        else:
+            rtts = 2.0 * np.asarray(row[:n_members])
+        improved = ~in_tree & (rtts < best)
+        best[improved] = rtts[improved]
+        best_from[improved] = current
+        masked = np.where(in_tree, np.inf, best)
+        current = int(np.argmin(masked))
+        parents[current] = best_from[current]
+        in_tree[current] = True
+    return parents
+
+
+@dataclass(frozen=True)
+class ScaleTreeMetrics:
+    """Streaming quality metrics of one static tree."""
+
+    stretch_avg: float
+    stretch_max: float
+    depth_avg: float
+    depth_max: int
+    stress_avg: float
+    stress_max: int
+    links_used: int
+    n_receivers: int
+
+    def as_record(self) -> dict[str, float]:
+        return {
+            "stretch": self.stretch_avg,
+            "stretch_max": self.stretch_max,
+            "depth": self.depth_avg,
+            "stress": self.stress_avg,
+            "stress_max": float(self.stress_max),
+        }
+
+
+def scale_tree_metrics(
+    underlay: Underlay,
+    parents: np.ndarray,
+    *,
+    include_stress: bool = True,
+) -> ScaleTreeMetrics:
+    """Stretch, depth, and link stress of a parent-array tree.
+
+    One DFS with running accumulators — the streaming discipline of
+    :func:`repro.metrics.collectors.collect_tree_metrics` applied to the
+    array representation.  ``include_stress=False`` skips the physical
+    path expansion (the only part whose state grows with the *router*
+    link count), for cells where only stretch/depth are charted.
+    """
+    n = int(parents.size)
+    children: list[list[int]] = [[] for _ in range(n)]
+    roots = 0
+    for node in range(n):
+        p = int(parents[node])
+        if p < 0:
+            roots += 1
+            source = node
+        else:
+            children[p].append(node)
+    if roots != 1:
+        raise ValueError(f"expected exactly one root, found {roots}")
+
+    delay_ms = underlay.delay_ms
+    source_row = underlay.delay_row(source)
+    link_usage: Counter = Counter()
+    path_links = underlay.path_links
+    stretch_sum = 0.0
+    stretch_max = 0.0
+    depth_sum = 0
+    depth_max = 0
+    count = 0
+    stack: list[tuple[int, int, float]] = [(source, 0, 0.0)]
+    while stack:
+        node, depth, overlay = stack.pop()
+        kids = children[node]
+        child_depth = depth + 1
+        for child in sorted(kids, reverse=True):
+            stack.append((child, child_depth, overlay + delay_ms(node, child)))
+        if node == source:
+            continue
+        if include_stress:
+            link_usage.update(path_links(int(parents[node]), node))
+        unicast = (
+            source_row[node] if source_row is not None else delay_ms(source, node)
+        )
+        depth_sum += depth
+        count += 1
+        if depth > depth_max:
+            depth_max = depth
+        if unicast > 0:
+            ratio = overlay / unicast
+            stretch_sum += ratio
+            if ratio > stretch_max:
+                stretch_max = ratio
+    if link_usage:
+        transmissions = sum(link_usage.values())
+        stress_avg = transmissions / len(link_usage)
+        stress_max = max(link_usage.values())
+    else:
+        stress_avg = 0.0
+        stress_max = 0
+    return ScaleTreeMetrics(
+        stretch_avg=stretch_sum / count if count else 0.0,
+        stretch_max=stretch_max,
+        depth_avg=depth_sum / count if count else 0.0,
+        depth_max=depth_max,
+        stress_avg=stress_avg,
+        stress_max=stress_max,
+        links_used=len(link_usage),
+        n_receivers=count,
+    )

@@ -1,0 +1,246 @@
+"""Dense-vs-sparse scale benchmark (``BENCH_PR8.json``).
+
+The perf report (:mod:`repro.harness.perfreport`) times paper-scale
+experiment groups, where dense compiled substrates win outright.  This
+module measures the regime the sparse engine exists for: substrates with
+thousands of routers, where the dense path's all-pairs matrices are the
+bottleneck — first in memory, eventually in wall clock.
+
+Each benchmark *cell* is one ``(substrate mode, member count)`` pair, run
+in a **fresh subprocess** so its peak RSS is the cell's own footprint and
+not an artifact of allocator history from earlier cells.  The child
+builds the ch7-style transit-stub underlay (artifact cache disabled —
+every cell pays its full construction cost), runs one static-join VDM
+replication (:mod:`repro.harness.scale`), computes tree metrics, and
+reports per-phase wall clock plus its process peak RSS.
+
+Dense and sparse cells at the same member count must agree *exactly* on
+every tree metric — the sparse engine in its default exact mode is
+byte-identical to the dense oracle — and the parent refuses to write the
+snapshot if they diverge.  A memory figure for an engine that changes
+results would be as meaningless as a timing figure for one.
+
+CLI::
+
+    python -m repro.harness.scalebench --out BENCH_PR8.json
+    python -m repro.harness.scalebench --smoke --routers 10000 --members 1000
+
+``--smoke`` runs only the sparse cell (CI runs it under a hard address-
+space ``ulimit`` to keep the no-V^2-matrices claim honest); ``--routers``
+decouples substrate size from member count, e.g. a 10k-router substrate
+carrying 1k members.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+__all__ = ["DEFAULT_MEMBERS", "SCHEMA", "main", "run_cell"]
+
+SCHEMA = "repro-scale-bench/1"
+DEFAULT_MEMBERS = (1000, 10000)
+DEFAULT_OUT = "BENCH_PR8.json"
+DEFAULT_SEED = 2011
+
+
+def _cell_env() -> dict[str, str]:
+    """Child environment: exactness pinned, artifact cache disabled."""
+    from repro.util.artifacts import CACHE_ENABLED_ENV
+
+    env = dict(os.environ)
+    env[CACHE_ENABLED_ENV] = "0"
+    env["REPRO_SPARSE_EXACT"] = "1"
+    env.pop("REPRO_SUBSTRATE_DTYPE", None)
+    # The builder reads the explicit ``sparse=`` argument, but pin the
+    # flag anyway so a stray setting can't change unrelated code paths.
+    env.pop("REPRO_SPARSE_UNDERLAY", None)
+    return env
+
+
+def run_cell(
+    mode: str,
+    n_members: int,
+    *,
+    n_routers: int | None = None,
+    seed: int = DEFAULT_SEED,
+    protocol: str = "vdm",
+) -> dict:
+    """Run one benchmark cell in a fresh subprocess and return its record."""
+    if mode not in ("dense", "sparse"):
+        raise ValueError(f"mode must be 'dense' or 'sparse', got {mode!r}")
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.harness.scalebench",
+        "--cell",
+        "--mode",
+        mode,
+        "--members",
+        str(n_members),
+        "--routers",
+        str(n_routers if n_routers is not None else n_members),
+        "--seed",
+        str(seed),
+        "--protocol",
+        protocol,
+    ]
+    proc = subprocess.run(
+        cmd, env=_cell_env(), capture_output=True, text=True, check=False
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"cell {mode}@{n_members} failed (exit {proc.returncode}):\n"
+            f"{proc.stderr.strip()}"
+        )
+    return json.loads(proc.stdout)
+
+
+def _cell_main(args: argparse.Namespace) -> None:
+    """Child-process body: build, join, measure, print one JSON record."""
+    from repro.harness.scale import (
+        build_scale_tree,
+        scale_tree_metrics,
+        scale_ts_config,
+    )
+    from repro.harness.substrates import build_transit_stub_underlay
+    from repro.util.memprof import peak_rss_bytes
+    from repro.util.timing import Stopwatch
+
+    import_rss = peak_rss_bytes()
+    ts_config = scale_ts_config(max(args.routers, args.members, 120))
+    with Stopwatch() as sw_substrate:
+        underlay = build_transit_stub_underlay(
+            n_hosts=args.members,
+            seed=args.seed,
+            ts_config=ts_config,
+            sparse=args.mode == "sparse",
+        )
+    with Stopwatch() as sw_tree:
+        tree = build_scale_tree(underlay, args.protocol, args.members)
+    with Stopwatch() as sw_metrics:
+        metrics = scale_tree_metrics(underlay, tree.parents)
+    lat = tree.join_latency_ms[1:]
+    record = {
+        "mode": args.mode,
+        "protocol": args.protocol,
+        "members": args.members,
+        "routers": ts_config.total_nodes,
+        "seed": args.seed,
+        "substrate_s": round(sw_substrate.elapsed, 3),
+        "tree_s": round(sw_tree.elapsed, 3),
+        "metrics_s": round(sw_metrics.elapsed, 3),
+        "total_s": round(
+            sw_substrate.elapsed + sw_tree.elapsed + sw_metrics.elapsed, 3
+        ),
+        "peak_rss_mb": round(peak_rss_bytes() / 2**20, 1),
+        "import_rss_mb": round(import_rss / 2**20, 1),
+        "joinlat_mean_ms": round(float(sum(lat) / len(lat)), 6),
+        # repr() round-trips exactly: these fields double as the
+        # cross-mode identity oracle in the parent.
+        "metrics": {k: repr(v) for k, v in metrics.as_record().items()},
+    }
+    json.dump(record, sys.stdout)
+    sys.stdout.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.scalebench",
+        description="dense-vs-sparse substrate scale benchmark",
+    )
+    parser.add_argument("--out", default=DEFAULT_OUT, help="snapshot path")
+    parser.add_argument(
+        "--members",
+        default=",".join(str(n) for n in DEFAULT_MEMBERS),
+        help="comma-separated member counts (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--routers",
+        type=int,
+        default=None,
+        help="router count override (default: one router per member)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--protocol", default="vdm")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run only the sparse cells and skip the snapshot's dense "
+        "half (CI wraps this in a hard ulimit -v)",
+    )
+    parser.add_argument("--cell", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--mode", default="sparse", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.cell:
+        args.members = int(args.members)
+        args.routers = args.routers if args.routers is not None else args.members
+        _cell_main(args)
+        return 0
+
+    member_counts = [int(tok) for tok in str(args.members).split(",") if tok]
+    modes = ("sparse",) if args.smoke else ("dense", "sparse")
+    cells: dict[str, dict] = {}
+    for n_members in member_counts:
+        for mode in modes:
+            label = f"{mode}@{n_members}"
+            print(f"[scalebench] running {label} ...", file=sys.stderr)
+            cells[label] = run_cell(
+                mode,
+                n_members,
+                n_routers=args.routers,
+                seed=args.seed,
+                protocol=args.protocol,
+            )
+            rec = cells[label]
+            print(
+                f"[scalebench] {label}: total {rec['total_s']}s, "
+                f"peak RSS {rec['peak_rss_mb']} MiB",
+                file=sys.stderr,
+            )
+        if not args.smoke:
+            dense = cells[f"dense@{n_members}"]["metrics"]
+            sparse = cells[f"sparse@{n_members}"]["metrics"]
+            if dense != sparse:
+                diff = sorted(
+                    k
+                    for k in dense.keys() | sparse.keys()
+                    if dense.get(k) != sparse.get(k)
+                )
+                raise RuntimeError(
+                    f"dense and sparse disagree at {n_members} members on "
+                    f"{diff} — refusing to write a benchmark for divergent "
+                    "engines"
+                )
+    report = {
+        "schema": SCHEMA,
+        "protocol": args.protocol,
+        "seed": args.seed,
+        "command": "python -m repro.harness.scalebench "
+        + " ".join(argv if argv is not None else sys.argv[1:]),
+        "notes": (
+            "Each cell is one (substrate mode, member count) pair run in a "
+            "fresh subprocess with the artifact cache disabled: build the "
+            "transit-stub underlay (~1 router per member unless --routers "
+            "overrides), run one static-join VDM replication, compute tree "
+            "metrics.  peak_rss_mb is the child's process-lifetime peak "
+            "RSS (import_rss_mb is the interpreter+numpy floor it starts "
+            "from); *_s are per-phase wall clocks.  Dense and sparse cells "
+            "at the same member count are asserted metric-identical before "
+            "the snapshot is written — the sparse engine's exact mode must "
+            "be indistinguishable from the dense oracle in everything but "
+            "footprint."
+        ),
+        "cells": cells,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[scalebench] snapshot written to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,21 +28,32 @@ import numpy as np
 
 from repro.sim.compiled import ARTIFACT_SCHEMA, CompiledUnderlay
 from repro.sim.network import MatrixUnderlay, RouterUnderlay
+from repro.sim.sparse import SPARSE_SCHEMA, SparseUnderlay, select_landmarks
 from repro.topology.geo import GeoSite
-from repro.topology.linkmodel import LinkErrorConfig, assign_link_errors
+from repro.topology.linkmodel import (
+    LinkErrorConfig,
+    assign_link_errors,
+    link_error_array,
+)
 from repro.topology.planetlab import PlanetLabNode, generate_planetlab_pool
 from repro.topology.transit_stub import (
     TransitStubConfig,
     generate_transit_stub,
+    generate_transit_stub_arrays,
     stub_routers,
 )
 from repro.util import artifacts
-from repro.util.envflags import compiled_underlay_enabled
+from repro.util.envflags import (
+    compiled_underlay_enabled,
+    sparse_underlay_enabled,
+    substrate_dtype,
+)
 from repro.util.rngtools import spawn_rng
 
 __all__ = [
     "build_transit_stub_underlay",
     "build_planetlab_underlay",
+    "default_landmark_count",
     "PlanetLabSubstrate",
 ]
 
@@ -65,6 +76,7 @@ def build_transit_stub_underlay(
     ts_config: TransitStubConfig | None = None,
     link_errors: LinkErrorConfig | None = None,
     access_delay_ms: float = 0.5,
+    sparse: bool | None = None,
 ) -> RouterUnderlay:
     """Generate a transit-stub graph and attach ``n_hosts`` overlay hosts.
 
@@ -76,10 +88,26 @@ def build_transit_stub_underlay(
     Returns a :class:`CompiledUnderlay` (possibly loaded straight from the
     artifact cache) unless ``REPRO_COMPILED_UNDERLAY=0``, in which case
     the historical lazy :class:`RouterUnderlay` is built instead.
+
+    ``sparse=True`` (or ``REPRO_SPARSE_UNDERLAY=1``) builds a
+    :class:`~repro.sim.sparse.SparseUnderlay` instead: CSR edge triplets
+    and on-demand Dijkstra rows, never a V^2 matrix — the only substrate
+    path that scales past ~10k routers.  Exact sparse substrates answer
+    every query byte-identically to the dense and lazy paths.
     """
     if n_hosts < 2:
         raise ValueError(f"need at least 2 hosts, got {n_hosts}")
     config = ts_config or TransitStubConfig()
+    if sparse is None:
+        sparse = sparse_underlay_enabled()
+    if sparse:
+        return _build_sparse_transit_stub(
+            n_hosts=n_hosts,
+            seed=seed,
+            config=config,
+            link_errors=link_errors,
+            access_delay_ms=access_delay_ms,
+        )
 
     if not compiled_underlay_enabled():
         graph = generate_transit_stub(config, seed=spawn_rng(seed, "topology"))
@@ -92,6 +120,7 @@ def build_transit_stub_underlay(
         {
             "kind": "transit-stub",
             "schema": ARTIFACT_SCHEMA,
+            "dtype": substrate_dtype(),
             "ts_config": config,
             "link_errors": link_errors,
             "seed": int(seed),
@@ -112,6 +141,81 @@ def build_transit_stub_underlay(
         assign_link_errors(graph, link_errors, seed=spawn_rng(seed, "errors"))
     attachments = _transit_stub_attachments(graph, n_hosts, seed)
     underlay = CompiledUnderlay(graph, attachments, access_delay_ms=access_delay_ms)
+    if use_cache:
+        arrays, meta = underlay.to_artifact()
+        artifacts.store_artifact(key, arrays, meta)
+    return underlay
+
+
+def default_landmark_count(n_routers: int) -> int:
+    """Landmark budget for sparse substrates: ~sqrt(V), clamped to [8, 64]."""
+    return max(8, min(64, int(round(n_routers**0.5))))
+
+
+def _build_sparse_transit_stub(
+    *,
+    n_hosts: int,
+    seed: int,
+    config: TransitStubConfig,
+    link_errors: LinkErrorConfig | None,
+    access_delay_ms: float,
+) -> SparseUnderlay:
+    """The sparse substrate path: triplet topology, no V^2 anything.
+
+    The topology generator, the error-assignment draws, and the host
+    attachment draws all consume the same RNG streams as the dense path,
+    so an exact sparse substrate is query-for-query byte-identical to the
+    compiled/lazy builds of the same recipe.  Landmarks are always
+    selected and persisted; whether they are *used* is decided at
+    construction time by ``REPRO_SPARSE_EXACT`` (default: never).
+    """
+    key = artifacts.artifact_key(
+        {
+            "kind": "transit-stub-sparse",
+            "schema": SPARSE_SCHEMA,
+            "ts_config": config,
+            "link_errors": link_errors,
+            "seed": int(seed),
+            "n_hosts": int(n_hosts),
+            "access_delay_ms": float(access_delay_ms),
+        }
+    )
+    use_cache = artifacts.cache_enabled()
+    if use_cache:
+        artifact = artifacts.load_artifact(key)
+        if artifact is not None:
+            try:
+                return SparseUnderlay.from_artifact(artifact)
+            except (KeyError, ValueError):
+                pass  # inconsistent entry: fall through and rebuild
+    arr = generate_transit_stub_arrays(config, seed=spawn_rng(seed, "topology"))
+    edge_error = None
+    if link_errors is not None:
+        edge_error = link_error_array(
+            arr.edge_u,
+            arr.edge_v,
+            arr.edge_delay,
+            link_errors,
+            seed=spawn_rng(seed, "errors"),
+        )
+    stubs = arr.stub_ids()
+    rng = spawn_rng(seed, "attach")
+    routers = rng.choice(stubs, size=n_hosts, replace=n_hosts > len(stubs))
+    attachments = {host: int(r) for host, r in enumerate(routers)}
+    landmarks = select_landmarks(
+        arr.n_nodes, arr.edge_u, arr.edge_v, default_landmark_count(arr.n_nodes)
+    )
+    underlay = SparseUnderlay(
+        arr.n_nodes,
+        arr.edge_u,
+        arr.edge_v,
+        arr.edge_delay,
+        attachments,
+        access_delay_ms=access_delay_ms,
+        edge_error=edge_error,
+        router_domain=arr.transit_domain,
+        landmarks=landmarks,
+    )
     if use_cache:
         arrays, meta = underlay.to_artifact()
         artifacts.store_artifact(key, arrays, meta)

@@ -203,10 +203,22 @@ def collect_tree_metrics(tree: TreeRegistry, underlay: Underlay) -> TreeMetrics:
     # per-pair calls below are used instead.
     source_row = underlay.delay_row(source)
     link_usage: Counter = Counter()
-    stretch_vals: list[float] = []
-    leaf_stretch: list[float] = []
-    depths: list[int] = []
-    leaf_depths: list[int] = []
+    # Streaming accumulators (PR 8): running sum/min/max/count instead of
+    # per-node lists, so a metrics pass over a million-member tree holds
+    # O(links) state, not O(members).  ``sum(list)`` folds left-to-right
+    # from 0 exactly like ``acc += x`` in visit order, so every statistic
+    # is bit-identical to the historical list-based pass.
+    stretch_sum = 0.0
+    stretch_min = 0.0
+    stretch_max = 0.0
+    stretch_count = 0
+    leaf_stretch_sum = 0.0
+    leaf_stretch_count = 0
+    depth_sum = 0
+    depth_max = 0
+    depth_count = 0
+    leaf_depth_sum = 0
+    leaf_depth_count = 0
     total_ms = 0.0
     star_ms = 0.0
     edge_count = 0
@@ -237,15 +249,28 @@ def collect_tree_metrics(tree: TreeRegistry, underlay: Underlay) -> TreeMetrics:
         edge_count += 1
         unicast = source_row[node] if source_row is not None else delay_ms(source, node)
         star_ms += unicast
-        depths.append(depth)
+        depth_sum += depth
+        depth_count += 1
+        if depth > depth_max:
+            depth_max = depth
         is_leaf = not kids
         if is_leaf:
-            leaf_depths.append(depth)
+            leaf_depth_sum += depth
+            leaf_depth_count += 1
         if unicast > 0:
             ratio = overlay / unicast
-            stretch_vals.append(ratio)
+            if stretch_count == 0:
+                stretch_min = stretch_max = ratio
+            else:
+                if ratio < stretch_min:
+                    stretch_min = ratio
+                if ratio > stretch_max:
+                    stretch_max = ratio
+            stretch_sum += ratio
+            stretch_count += 1
             if is_leaf:
-                leaf_stretch.append(ratio)
+                leaf_stretch_sum += ratio
+                leaf_stretch_count += 1
 
     if link_usage:
         transmissions = sum(link_usage.values())
@@ -257,26 +282,26 @@ def collect_tree_metrics(tree: TreeRegistry, underlay: Underlay) -> TreeMetrics:
         )
     else:
         stress = StressStats.empty()
-    if stretch_vals:
+    if stretch_count:
         stretch = StretchStats(
-            average=sum(stretch_vals) / len(stretch_vals),
-            minimum=min(stretch_vals),
-            maximum=max(stretch_vals),
+            average=stretch_sum / stretch_count,
+            minimum=stretch_min,
+            maximum=stretch_max,
             leaf_average=(
-                sum(leaf_stretch) / len(leaf_stretch) if leaf_stretch else 0.0
+                leaf_stretch_sum / leaf_stretch_count if leaf_stretch_count else 0.0
             ),
-            count=len(stretch_vals),
+            count=stretch_count,
         )
     else:
         stretch = StretchStats.empty()
-    if depths:
+    if depth_count:
         hopcount = HopcountStats(
-            average=sum(depths) / len(depths),
-            maximum=max(depths),
+            average=depth_sum / depth_count,
+            maximum=depth_max,
             leaf_average=(
-                sum(leaf_depths) / len(leaf_depths) if leaf_depths else 0.0
+                leaf_depth_sum / leaf_depth_count if leaf_depth_count else 0.0
             ),
-            count=len(depths),
+            count=depth_count,
         )
     else:
         hopcount = HopcountStats.empty()

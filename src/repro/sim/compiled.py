@@ -50,13 +50,16 @@ from scipy.sparse import csgraph
 
 from repro.sim.network import LinkId, RouterUnderlay
 from repro.util.artifacts import Artifact
+from repro.util.envflags import substrate_dtype
 
 __all__ = ["ARTIFACT_SCHEMA", "CompiledUnderlay"]
 
 #: version of the compiled array layout; part of every cache key, so a
 #: layout change invalidates (never misreads) existing cache entries.
 #: v2 added the per-router transit-domain array (correlated faults).
-ARTIFACT_SCHEMA = 2
+#: v3 added the host-delay dtype knob (``REPRO_SUBSTRATE_DTYPE``) to the
+#: recorded metadata.
+ARTIFACT_SCHEMA = 3
 
 
 class CompiledUnderlay(RouterUnderlay):
@@ -119,6 +122,14 @@ class CompiledUnderlay(RouterUnderlay):
         # association of the lazy ``delay_ms``, so values match bit for bit.
         hdelay = (acc[:, None] + dist[np.ix_(host_rows, host_cols)]) + acc[None, :]
         np.fill_diagonal(hdelay, 0.0)
+        # ``REPRO_SUBSTRATE_DTYPE=float32`` halves the dominant artifact
+        # array for scale runs.  The default (float64) is the only dtype
+        # inside the byte-identity envelope: narrowed delay values no
+        # longer match the lazy scalar oracle, so the perf report refuses
+        # to time narrowed runs (same decline pattern as approximations).
+        self._dtype = np.dtype(substrate_dtype())
+        if self._dtype != np.float64:
+            hdelay = hdelay.astype(self._dtype)
         self._hdelay = hdelay
 
         zero_error = all(e == 0.0 for e in self._access_error.values()) and not any(
@@ -351,6 +362,7 @@ class CompiledUnderlay(RouterUnderlay):
             "zero_error": self._zero_error,
             "has_link_errors": has_link_errors,
             "maybe_unreachable": self._maybe_unreachable,
+            "dtype": str(self._hdelay.dtype),
         }
         return arrays, meta
 
@@ -413,6 +425,7 @@ class CompiledUnderlay(RouterUnderlay):
         self._bdist = arrays["router_dist"]
         self._bpred = arrays["router_pred"]
         self._hdelay = arrays["host_delay"]
+        self._dtype = np.dtype(meta.get("dtype", "float64"))
         self._zero_error = bool(meta["zero_error"])
         self._maybe_unreachable = bool(meta["maybe_unreachable"])
         self._set_domain_map(

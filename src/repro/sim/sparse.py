@@ -1,0 +1,588 @@
+"""Sparse substrates: CSR-native underlays with on-demand Dijkstra rows.
+
+The dense compiled path (:mod:`repro.sim.compiled`) materializes an
+all-pairs host-delay matrix plus router dist/pred matrices — O(V²) memory
+that caps substrates near ~10⁴ routers.  :class:`SparseUnderlay` keeps the
+underlay as a CSR graph end-to-end and serves every query from
+**single-source Dijkstra rows computed on demand**, held in a bounded LRU
+(``REPRO_SPARSE_ROWS``).  Peak memory is O(E + cache · V) instead of
+O(V²), which is what makes 10⁵–10⁶-router substrates tractable.
+
+Exactness discipline (DESIGN.md §12):
+
+* **Exact mode** (the default, and forced whenever ``REPRO_SPARSE_EXACT``
+  is left at ``1``) answers every query **byte-identically** to the
+  lazy :class:`~repro.sim.network.RouterUnderlay` / dense
+  :class:`~repro.sim.compiled.CompiledUnderlay` oracles: the CSR matrix
+  holds the same canonicalized values networkx would produce, scipy's
+  Dijkstra is deterministic on it, and the float association of
+  ``delay_ms`` (``(access_a + base) + access_b``) is copied verbatim.
+  The equivalence suite in ``tests/test_sparse_underlay.py`` pins this.
+* **Landmark mode** (opt-in: construct with ``landmarks`` *and* set
+  ``REPRO_SPARSE_EXACT=0``) estimates a distance as
+  ``min_l d(u, l) + d(l, v)`` over a small landmark set — an upper bound
+  by the triangle inequality — *combined with a bounded-horizon local
+  Dijkstra* (``local_horizon_ms``): sources explore only their local
+  neighborhood, so any pair closer than the horizon is answered exactly
+  and the landmark detour only applies to long paths, where hierarchical
+  routing makes it tight.  The estimate is always an upper bound, with a
+  *declared* multiplicative ``error_bound``.  Approximate answers are
+  outside the byte-identity envelope: the perf report refuses to time
+  them (the PR 6 decline pattern), and the landmark test asserts the
+  declared bound empirically.
+
+The per-ordered-pair memo dicts mirror the lazy underlay's (gated by the
+same ``REPRO_UNDERLAY_CACHE`` flag) but are *bounded*: at scale the set of
+queried pairs is itself O(members · probes), so each memo clears itself
+at ``_PAIR_MEMO_CAP`` entries — a transparent cache policy, never a
+correctness knob.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+from scipy import sparse as sp
+from scipy.sparse import csgraph
+
+from repro.sim.network import LinkId, Underlay, _cache_enabled_from_env, _split_link
+from repro.util.artifacts import Artifact
+from repro.util.envflags import sparse_exact, sparse_row_cache
+
+__all__ = ["SPARSE_SCHEMA", "SparseUnderlay", "select_landmarks"]
+
+#: artifact layout version for sparse substrates (own keyspace; a sparse
+#: entry is never confused with a dense one — ``meta["kind"]`` differs).
+SPARSE_SCHEMA = 1
+
+#: per-ordered-pair memo dicts self-clear at this many entries so a
+#: 100k-member walk cannot accumulate unbounded Python-dict state.
+_PAIR_MEMO_CAP = 1 << 20
+
+
+def select_landmarks(
+    n_routers: int,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    n_landmarks: int,
+) -> np.ndarray:
+    """Deterministic landmark choice: the ``n_landmarks`` highest-degree
+    routers (ties broken by ascending id).
+
+    On transit-stub graphs this lands on transit/gateway routers — the
+    hubs real hierarchical routes go through — which is what keeps the
+    empirical stretch of the ``d(u,l)+d(l,v)`` upper bound small.
+    """
+    degree = np.bincount(edge_u, minlength=n_routers) + np.bincount(
+        edge_v, minlength=n_routers
+    )
+    n_landmarks = min(int(n_landmarks), n_routers)
+    # argsort on (-degree, id): stable sort over ids then stable resort.
+    order = np.argsort(-degree, kind="stable")
+    return np.sort(order[:n_landmarks]).astype(np.int64)
+
+
+class SparseUnderlay(Underlay):
+    """Hosts attached to routers of a CSR graph; O(E) resident state.
+
+    Router ids must be dense ``0..n_routers-1`` (what
+    :func:`repro.topology.transit_stub.generate_transit_stub_arrays`
+    emits); each undirected edge appears once in the triplet arrays.
+
+    Parameters mirror :class:`~repro.sim.network.RouterUnderlay` where
+    they overlap.  ``router_domain`` (per-router transit-domain indices,
+    ``-1`` = unknown) feeds :meth:`host_domain` for correlated fault
+    plans.  ``landmarks`` enables the approximation layer — which stays
+    *dormant* (exact rows) unless ``REPRO_SPARSE_EXACT=0`` at
+    construction time.
+    """
+
+    def __init__(
+        self,
+        n_routers: int,
+        edge_u: np.ndarray,
+        edge_v: np.ndarray,
+        edge_delay: np.ndarray,
+        attachments: dict[int, int],
+        *,
+        access_delay_ms: float | dict[int, float] = 0.5,
+        access_error: float | dict[int, float] = 0.0,
+        edge_error: np.ndarray | None = None,
+        router_domain: np.ndarray | None = None,
+        landmarks: np.ndarray | Sequence[int] | None = None,
+        error_bound: float = 2.0,
+        local_horizon_ms: float = 60.0,
+        row_cache: int | None = None,
+    ) -> None:
+        if not attachments:
+            raise ValueError("attachments must not be empty")
+        edge_u = np.asarray(edge_u, dtype=np.int64)
+        edge_v = np.asarray(edge_v, dtype=np.int64)
+        edge_delay = np.asarray(edge_delay, dtype=np.float64)
+        if not (edge_u.shape == edge_v.shape == edge_delay.shape):
+            raise ValueError("edge triplet arrays must have equal length")
+        self.n_routers = int(n_routers)
+        for host, router in attachments.items():
+            if not 0 <= router < self.n_routers:
+                raise KeyError(f"host {host} attached to unknown router {router}")
+        self.attachments = dict(attachments)
+        self._hosts = sorted(self.attachments)
+        self._host_idx = {h: i for i, h in enumerate(self._hosts)}
+        self._access_delay = self._per_host(access_delay_ms)
+        self._access_error = self._per_host(access_error)
+
+        # Canonical symmetric CSR.  coo->csr sorts indices and sums
+        # duplicates, exactly like ``nx.to_scipy_sparse_array`` — so for
+        # the same edge set scipy's Dijkstra sees an identical matrix and
+        # returns bit-identical dist/pred rows (the exactness anchor).
+        both_u = np.concatenate([edge_u, edge_v])
+        both_v = np.concatenate([edge_v, edge_u])
+        both_d = np.concatenate([edge_delay, edge_delay])
+        self._csr = sp.coo_matrix(
+            (both_d, (both_u, both_v)), shape=(self.n_routers, self.n_routers)
+        ).tocsr()
+        if edge_error is not None and np.any(np.asarray(edge_error) != 0.0):
+            err = np.asarray(edge_error, dtype=np.float64)
+            both_e = np.concatenate([err, err])
+            self._err_csr = sp.coo_matrix(
+                (both_e, (both_u, both_v)), shape=self._csr.shape
+            ).tocsr()
+        else:
+            self._err_csr = None
+
+        self._router_domain = (
+            None if router_domain is None else np.asarray(router_domain, np.int64)
+        )
+
+        # Exactness knob: landmarks are carried either way (so one
+        # artifact serves both modes), but approximation only activates
+        # when the env flag explicitly leaves the exact envelope.
+        self._landmarks = (
+            None if landmarks is None else np.asarray(landmarks, dtype=np.int64)
+        )
+        self.error_bound = float(error_bound)
+        self.local_horizon_ms = float(local_horizon_ms)
+        self._approx = self._landmarks is not None and not sparse_exact()
+        self._ldist: np.ndarray | None = None
+        self._lpred: np.ndarray | None = None
+        # Bounded-horizon local rows (landmark mode only): a truncated
+        # Dijkstra explores just the source's neighborhood, so these are
+        # cheap at any V.
+        self._local_rows: OrderedDict[int, tuple[np.ndarray, np.ndarray]] = (
+            OrderedDict()
+        )
+
+        # Bounded LRU of (dist, pred) Dijkstra rows keyed by source router.
+        self._row_cap = row_cache if row_cache is not None else sparse_row_cache()
+        self._rows: OrderedDict[int, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+        # Host-id-indexed delay rows (for collectors): small LRU of lists.
+        self._hrow_cap = max(8, self._row_cap // 4)
+        self._hrows: OrderedDict[int, list[float]] = OrderedDict()
+        self._ids_are_indices = all(h == i for i, h in enumerate(self._hosts))
+        self._any_unreachable: bool | None = None  # unknown until a row exists
+
+        self._cache_enabled = _cache_enabled_from_env()
+        self._delay_cache: dict[tuple[int, int], float] = {}
+        self._path_cache: dict[tuple[int, int], tuple[LinkId, ...]] = {}
+        self._error_cache: dict[tuple[int, int], float] = {}
+
+        self._zero_error = all(
+            e == 0.0 for e in self._access_error.values()
+        ) and self._err_csr is None
+
+    # -- shared plumbing -----------------------------------------------------
+
+    def _per_host(self, value: float | dict[int, float]) -> dict[int, float]:
+        if isinstance(value, dict):
+            missing = set(self._hosts) - set(value)
+            if missing:
+                raise KeyError(f"missing per-host values for hosts {sorted(missing)}")
+            return {h: float(value[h]) for h in self._hosts}
+        return {h: float(value) for h in self._hosts}
+
+    @property
+    def hosts(self) -> Sequence[int]:
+        return self._hosts
+
+    @property
+    def exact(self) -> bool:
+        """Whether every answer is inside the byte-identity envelope."""
+        return not self._approx
+
+    @property
+    def zero_error(self) -> bool:
+        """Whether every link and access error is exactly zero."""
+        return self._zero_error
+
+    def router_of(self, host: int) -> int:
+        self.validate_host(host)
+        return self.attachments[host]
+
+    def host_domain(self, host: int) -> int | None:
+        self.validate_host(host)
+        if self._router_domain is None:
+            return None
+        domain = int(self._router_domain[self.attachments[host]])
+        return None if domain < 0 else domain
+
+    # -- Dijkstra row machinery ----------------------------------------------
+
+    def _row(self, router: int) -> tuple[np.ndarray, np.ndarray]:
+        """(dist, pred) arrays from ``router``, LRU-cached."""
+        cached = self._rows.get(router)
+        if cached is not None:
+            self._rows.move_to_end(router)
+            return cached
+        dist, pred = csgraph.dijkstra(
+            self._csr,
+            directed=False,
+            indices=router,
+            return_predecessors=True,
+        )
+        if self._any_unreachable is None:
+            self._any_unreachable = bool(not np.all(np.isfinite(dist)))
+        self._rows[router] = (dist, pred)
+        if len(self._rows) > self._row_cap:
+            self._rows.popitem(last=False)
+        return dist, pred
+
+    def _landmark_rows(self) -> tuple[np.ndarray, np.ndarray]:
+        """L×V distance and predecessor matrices from every landmark."""
+        if self._ldist is None:
+            if self._landmarks is None:
+                raise RuntimeError("underlay was built without landmarks")
+            dist, pred = csgraph.dijkstra(
+                self._csr,
+                directed=False,
+                indices=self._landmarks,
+                return_predecessors=True,
+            )
+            self._ldist = dist
+            self._lpred = pred.astype(np.int32, copy=False)
+        return self._ldist, self._lpred
+
+    def _local_row(self, router: int) -> tuple[np.ndarray, np.ndarray]:
+        """(dist, pred) of a Dijkstra truncated at ``local_horizon_ms``.
+
+        Entries beyond the horizon are ``inf``; entries within it are the
+        exact shortest-path distances.  Exploration stops at the horizon,
+        so cost scales with the neighborhood, not with V.
+        """
+        cached = self._local_rows.get(router)
+        if cached is not None:
+            self._local_rows.move_to_end(router)
+            return cached
+        dist, pred = csgraph.dijkstra(
+            self._csr,
+            directed=False,
+            indices=router,
+            return_predecessors=True,
+            limit=self.local_horizon_ms,
+        )
+        self._local_rows[router] = (dist, pred)
+        if len(self._local_rows) > self._row_cap:
+            self._local_rows.popitem(last=False)
+        return dist, pred
+
+    def _approx_distance(self, r_a: int, r_b: int) -> tuple[float, int]:
+        """(estimate, landmark-or--1): the hybrid upper bound.
+
+        ``-1`` means the bounded local search found the (exact) path;
+        otherwise the returned landmark index is the detour hub.
+        """
+        if r_a == r_b:
+            return 0.0, -1
+        local, _ = self._local_row(r_a)
+        local_d = float(local[r_b])
+        ldist, _ = self._landmark_rows()
+        sums = ldist[:, r_a] + ldist[:, r_b]
+        best = int(np.argmin(sums))
+        land_d = float(sums[best])
+        if local_d <= land_d:
+            return local_d, -1
+        return land_d, best
+
+    # -- router-level queries -------------------------------------------------
+
+    def router_distance(self, r_a: int, r_b: int) -> float:
+        """Shortest-path delay between two routers (estimate in landmark
+        mode — an upper bound within the declared ``error_bound``)."""
+        if self._approx:
+            est, _ = self._approx_distance(r_a, r_b)
+            if not np.isfinite(est):
+                raise nx.NetworkXNoPath(f"no route between routers {r_a} and {r_b}")
+            return est
+        dist, _ = self._row(r_a)
+        value = float(dist[r_b])
+        if not np.isfinite(value):
+            raise nx.NetworkXNoPath(f"no route between routers {r_a} and {r_b}")
+        return value
+
+    def _walk_pred(self, pred: np.ndarray, source: int, target: int) -> list[int]:
+        path = [target]
+        node = target
+        while node != source:
+            node = int(pred[node])
+            path.append(node)
+        path.reverse()
+        return path
+
+    def router_path(self, r_a: int, r_b: int) -> list[int]:
+        """One shortest router path (in landmark mode: the concatenated
+        ``a → best-landmark → b`` route the estimate corresponds to)."""
+        if self._approx:
+            if r_a == r_b:
+                return [r_a]
+            est, best = self._approx_distance(r_a, r_b)
+            if not np.isfinite(est):
+                raise nx.NetworkXNoPath(f"no route between routers {r_a} and {r_b}")
+            if best < 0:  # the bounded local search found the exact path
+                _, lpred_local = self._local_row(r_a)
+                return self._walk_pred(lpred_local, r_a, r_b)
+            _, lpred = self._landmark_rows()
+            landmark = int(self._landmarks[best])
+            to_a = self._walk_pred(lpred[best], landmark, r_a)  # l .. a
+            to_b = self._walk_pred(lpred[best], landmark, r_b)  # l .. b
+            return list(reversed(to_a)) + to_b[1:]
+        dist, pred = self._row(r_a)
+        if not np.isfinite(dist[r_b]):
+            raise nx.NetworkXNoPath(f"no route between routers {r_a} and {r_b}")
+        return self._walk_pred(pred, r_a, r_b)
+
+    # -- host-level queries ---------------------------------------------------
+
+    def delay_ms(self, a: int, b: int) -> float:
+        key = (a, b)
+        cached = self._delay_cache.get(key)
+        if cached is not None:
+            return cached
+        self.validate_host(a)
+        self.validate_host(b)
+        if a == b:
+            value = 0.0
+        else:
+            base = self.router_distance(self.attachments[a], self.attachments[b])
+            # Exact left-to-right association of the lazy oracle.
+            value = self._access_delay[a] + base + self._access_delay[b]
+        if self._cache_enabled:
+            if len(self._delay_cache) >= _PAIR_MEMO_CAP:
+                self._delay_cache.clear()
+            self._delay_cache[key] = value
+        return value
+
+    def delay_row(self, a: int) -> list[float] | None:
+        if not self._ids_are_indices:
+            return None
+        self.validate_host(a)
+        row = self._hrows.get(a)
+        if row is not None:
+            self._hrows.move_to_end(a)
+            return row
+        r_a = self.attachments[a]
+        if self._approx:
+            ldist, _ = self._landmark_rows()
+            cols = self._host_cols()
+            land = np.min(ldist[:, [r_a]] + ldist[:, cols], axis=0)
+            local, _ = self._local_row(r_a)
+            base = np.minimum(land, local[cols])
+            # Same-router pairs are exactly 0 in delay_ms; keep the row
+            # consistent with the per-pair estimate.
+            base[cols == r_a] = 0.0
+        else:
+            dist, _ = self._row(r_a)
+            base = dist[self._host_cols()]
+        if not np.all(np.isfinite(base)):
+            return None  # unreachable pairs: callers fall back to delay_ms
+        # Elementwise ``(acc_a + base) + acc_b`` — the lazy association.
+        values = (self._access_delay[a] + base) + self._acc_array()
+        values[self._host_idx[a]] = 0.0
+        row = values.tolist()
+        self._hrows[a] = row
+        if len(self._hrows) > self._hrow_cap:
+            self._hrows.popitem(last=False)
+        return row
+
+    def _host_cols(self) -> np.ndarray:
+        cols = getattr(self, "_host_cols_cache", None)
+        if cols is None:
+            cols = np.fromiter(
+                (self.attachments[h] for h in self._hosts),
+                dtype=np.intp,
+                count=len(self._hosts),
+            )
+            self._host_cols_cache = cols
+        return cols
+
+    def _acc_array(self) -> np.ndarray:
+        acc = getattr(self, "_acc_cache", None)
+        if acc is None:
+            acc = np.fromiter(
+                (self._access_delay[h] for h in self._hosts),
+                dtype=np.float64,
+                count=len(self._hosts),
+            )
+            self._acc_cache = acc
+        return acc
+
+    def path_links(self, a: int, b: int) -> tuple[LinkId, ...]:
+        key = (a, b)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        self.validate_host(a)
+        self.validate_host(b)
+        if a == b:
+            links: tuple[LinkId, ...] = ()
+        else:
+            parts: list[LinkId] = [("access", a)]
+            routers = self.router_path(self.attachments[a], self.attachments[b])
+            for u, v in zip(routers[:-1], routers[1:]):
+                parts.append(("router", min(u, v), max(u, v)))
+            parts.append(("access", b))
+            links = tuple(parts)
+        if self._cache_enabled:
+            if len(self._path_cache) >= _PAIR_MEMO_CAP:
+                self._path_cache.clear()
+            self._path_cache[key] = links
+        return links
+
+    def path_error(self, a: int, b: int) -> float:
+        key = (a, b)
+        cached = self._error_cache.get(key)
+        if cached is not None:
+            return cached
+        if self._zero_error:
+            self.validate_host(a)
+            self.validate_host(b)
+            value = 0.0 if a == b else self._compute_path_error(self.path_links(a, b))
+        else:
+            value = self._compute_path_error(self.path_links(a, b))
+        if self._cache_enabled:
+            if len(self._error_cache) >= _PAIR_MEMO_CAP:
+                self._error_cache.clear()
+            self._error_cache[key] = value
+        return value
+
+    def _edge_value(self, matrix: sp.csr_matrix, u: int, v: int) -> float:
+        start, stop = matrix.indptr[u], matrix.indptr[u + 1]
+        cols = matrix.indices[start:stop]
+        pos = int(np.searchsorted(cols, v))
+        if pos >= cols.size or cols[pos] != v:
+            raise KeyError(f"no router link between {u} and {v}")
+        return float(matrix.data[start + pos])
+
+    def link_delay(self, link: LinkId) -> float:
+        kind, payload = _split_link(link)
+        if kind == "access" and len(payload) == 1:
+            return self._access_delay[payload[0]]
+        if kind == "router" and len(payload) == 2:
+            u, v = payload
+            try:
+                return self._edge_value(self._csr, u, v)
+            except (KeyError, IndexError):
+                raise KeyError(f"unknown link id {link!r}") from None
+        raise KeyError(f"unknown link id {link!r}")
+
+    def link_error(self, link: LinkId) -> float:
+        kind, payload = _split_link(link)
+        if kind == "access" and len(payload) == 1:
+            return self._access_error[payload[0]]
+        if kind == "router" and len(payload) == 2:
+            if self._err_csr is None:
+                return 0.0
+            u, v = payload
+            try:
+                return self._edge_value(self._err_csr, u, v)
+            except (KeyError, IndexError):
+                return 0.0
+        raise KeyError(f"unknown link id {link!r}")
+
+    # -- artifact round-trip --------------------------------------------------
+
+    def to_artifact(self) -> tuple[dict[str, np.ndarray], dict]:
+        """``(arrays, meta)`` for :func:`repro.util.artifacts.store_artifact`.
+
+        Stores the CSR *triplets* (upper triangle only), attachments,
+        access links, domains and — when present — the precomputed
+        landmark matrices (sharded automatically when large).  No O(V²)
+        array is ever written.
+        """
+        coo = sp.triu(self._csr).tocoo()
+        hosts = self._hosts
+        arrays: dict[str, np.ndarray] = {
+            "edge_u": coo.row.astype(np.int64),
+            "edge_v": coo.col.astype(np.int64),
+            "edge_delay": coo.data.astype(np.float64),
+            "hosts": np.asarray(hosts, dtype=np.int64),
+            "host_router": np.asarray(
+                [self.attachments[h] for h in hosts], dtype=np.int64
+            ),
+            "access_delay": np.asarray([self._access_delay[h] for h in hosts]),
+            "access_error": np.asarray([self._access_error[h] for h in hosts]),
+        }
+        if self._err_csr is not None:
+            ecoo = sp.triu(self._err_csr).tocoo()
+            arrays["edge_error_u"] = ecoo.row.astype(np.int64)
+            arrays["edge_error_v"] = ecoo.col.astype(np.int64)
+            arrays["edge_error"] = ecoo.data.astype(np.float64)
+        if self._router_domain is not None:
+            arrays["router_domain"] = self._router_domain
+        if self._landmarks is not None:
+            arrays["landmarks"] = self._landmarks
+            ldist, lpred = self._landmark_rows()
+            arrays["landmark_dist"] = ldist
+            arrays["landmark_pred"] = lpred
+        meta = {
+            "kind": "sparse-router",
+            "schema": SPARSE_SCHEMA,
+            "n_routers": self.n_routers,
+            "zero_error": self._zero_error,
+            "error_bound": self.error_bound,
+            "local_horizon_ms": self.local_horizon_ms,
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_artifact(cls, artifact: Artifact) -> "SparseUnderlay":
+        """Rebuild a sparse underlay from cached (memory-mapped) arrays."""
+        meta = artifact.meta
+        if meta.get("kind") != "sparse-router" or meta.get("schema") != SPARSE_SCHEMA:
+            raise ValueError(
+                f"artifact {artifact.key[:12]}… is not a sparse router "
+                f"underlay of schema {SPARSE_SCHEMA}"
+            )
+        arrays = artifact.arrays
+        hosts = arrays["hosts"].tolist()
+        attachments = dict(zip(hosts, arrays["host_router"].tolist()))
+        edge_error = None
+        if "edge_error" in arrays:
+            # Error triplets share the delay triplets' (u, v) pairs; both
+            # are canonical upper-triangle COO of the same graph.
+            edge_error = np.asarray(arrays["edge_error"])
+        self = cls(
+            int(meta["n_routers"]),
+            np.asarray(arrays["edge_u"]),
+            np.asarray(arrays["edge_v"]),
+            np.asarray(arrays["edge_delay"]),
+            attachments,
+            access_delay_ms=dict(zip(hosts, arrays["access_delay"].tolist())),
+            access_error=dict(zip(hosts, arrays["access_error"].tolist())),
+            edge_error=edge_error,
+            router_domain=(
+                np.asarray(arrays["router_domain"])
+                if "router_domain" in arrays
+                else None
+            ),
+            landmarks=(
+                np.asarray(arrays["landmarks"]) if "landmarks" in arrays else None
+            ),
+            error_bound=float(meta.get("error_bound", 2.0)),
+            local_horizon_ms=float(meta.get("local_horizon_ms", 60.0)),
+        )
+        if "landmark_dist" in arrays:
+            self._ldist = np.asarray(arrays["landmark_dist"])
+            self._lpred = np.asarray(arrays["landmark_pred"])
+        return self

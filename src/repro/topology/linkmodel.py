@@ -27,7 +27,7 @@ import numpy as np
 from repro.util.rngtools import rng_from_seed
 from repro.util.validation import check_in_range, check_probability
 
-__all__ = ["LinkErrorConfig", "assign_link_errors"]
+__all__ = ["LinkErrorConfig", "assign_link_errors", "link_error_array"]
 
 
 @dataclass(frozen=True)
@@ -86,6 +86,46 @@ def assign_link_errors(
 
     for e, err in zip(edges, errors):
         graph.edges[e]["error"] = float(err)
+
+
+def link_error_array(
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    edge_delay: np.ndarray,
+    config: LinkErrorConfig | None = None,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Per-edge error rates for a triplet-form edge list (sparse substrates).
+
+    Bit-identical to :func:`assign_link_errors` on the equivalent
+    ``nx.Graph``: that path draws in ``graph.edges()`` order, which for a
+    graph whose nodes were added ascending is the *stable sort of the edge
+    list by min endpoint* (each edge is yielded when its lower endpoint is
+    visited, in per-node insertion order).  We draw in that order and
+    scatter the results back to edge-array order.
+    """
+    config = config or LinkErrorConfig()
+    rng = rng_from_seed(seed)
+    m = int(edge_u.size)
+    errors = np.zeros(m)
+    if m == 0:
+        return errors
+    order = np.argsort(np.minimum(edge_u, edge_v), kind="stable")
+    lo, hi = config.min_error, config.max_error
+
+    if config.correlation == 0.0:
+        errors[order] = rng.uniform(lo, hi, size=m)
+    else:
+        delays = np.asarray(edge_delay, dtype=float)[order]
+        delay_rank = np.argsort(np.argsort(delays)) / max(1, m - 1)
+        random_rank = rng.permutation(m) / max(1, m - 1)
+        c = abs(config.correlation)
+        blended = c * delay_rank + (1.0 - c) * random_rank
+        if config.correlation < 0:
+            blended = 1.0 - blended
+        errors[order] = lo + blended * (hi - lo)
+    return errors
 
 
 def path_success_probability(errors: list[float]) -> float:

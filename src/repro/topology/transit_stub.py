@@ -16,6 +16,16 @@ medium intra-transit and stub-transit links, short intra-stub links), so the
 stress/stretch behaviour of overlay trees on top of it is comparable to the
 paper's substrate.
 
+The generator works in two layers.  :func:`generate_transit_stub_arrays`
+is the core: it emits the topology directly as flat CSR-ready triplet
+arrays (edge endpoints, delays, kinds, plus per-node level/domain arrays)
+without ever building a per-node adjacency structure, so generation stays
+O(E) in memory and is usable at 100k+ routers.  :func:`generate_transit_stub`
+wraps it into the :class:`networkx.Graph` the dense/lazy substrate path
+consumes; both layers draw from the RNG in the exact order of the original
+graph-first implementation, so existing seeds reproduce bit-identically
+(pinned in ``tests/test_transit_stub_arrays.py``).
+
 Nodes carry a ``level`` attribute (``"transit"`` or ``"stub"``) and a
 ``domain`` attribute; edges carry ``delay`` (one-way, milliseconds) and
 ``kind`` attributes.
@@ -23,7 +33,7 @@ Nodes carry a ``level`` attribute (``"transit"`` or ``"stub"``) and a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import networkx as nx
 import numpy as np
@@ -33,10 +43,26 @@ from repro.util.validation import check_positive, check_probability
 
 __all__ = [
     "TransitStubConfig",
+    "TransitStubArrays",
+    "EDGE_KINDS",
     "generate_transit_stub",
+    "generate_transit_stub_arrays",
     "stub_routers",
     "router_transit_domains",
 ]
+
+
+#: Edge-kind code -> attribute string (index = the ``edge_kind`` array code).
+EDGE_KINDS: tuple[str, ...] = (
+    "inter_transit",
+    "intra_transit",
+    "stub_transit",
+    "intra_stub",
+)
+_KIND_INTER = 0
+_KIND_INTRA_TRANSIT = 1
+_KIND_STUB_TRANSIT = 2
+_KIND_INTRA_STUB = 3
 
 
 @dataclass(frozen=True)
@@ -104,21 +130,42 @@ def _connected_random_graph(
     Connectivity is guaranteed by first threading a random spanning chain
     (a random permutation path), then adding each remaining pair with
     probability ``p`` — GT-ITM uses the same trick.
+
+    The pair sampling is a single block draw rather than an O(n^2) Python
+    loop.  Bit-stream compatibility with the historical scalar loop is
+    preserved: ``Generator.random(size=k)`` consumes the underlying bit
+    stream exactly like ``k`` scalar ``Generator.random()`` calls, and the
+    spanning-chain pairs — which the scalar loop skipped without drawing —
+    are masked out of the block before drawing.
     """
     if n <= 0:
         return []
     order = rng.permutation(n)
-    edges = {(min(a, b), max(a, b)) for a, b in zip(order[:-1], order[1:])}
-    for i in range(n):
-        for j in range(i + 1, n):
-            if (i, j) not in edges and rng.random() < p:
-                edges.add((i, j))
+    chain = {
+        (min(a, b), max(a, b))
+        for a, b in zip(order[:-1].tolist(), order[1:].tolist())
+    }
+    if n < 2:
+        return sorted(chain)
+    iu, ju = np.triu_indices(n, k=1)
+    mask = np.ones(iu.size, dtype=bool)
+    for a, b in chain:
+        # Row-major linear index of pair (a, b) with a < b.
+        mask[a * (2 * n - a - 1) // 2 + (b - a - 1)] = False
+    draws = rng.random(int(mask.sum()))
+    sel = np.zeros(iu.size, dtype=bool)
+    sel[mask] = draws < p
+    edges = set(zip(iu[sel].tolist(), ju[sel].tolist())) | chain
     return sorted(edges)
 
 
-def _draw_delay(rng: np.random.Generator, bounds: tuple[float, float]) -> float:
+def _draw_delays(
+    rng: np.random.Generator, bounds: tuple[float, float], count: int
+) -> np.ndarray:
+    """``count`` one-way link delays; block form of the historical
+    per-edge ``rng.uniform(lo, hi)`` scalar draws (same bit stream)."""
     lo, hi = bounds
-    return float(rng.uniform(lo, hi))
+    return rng.uniform(lo, hi, size=count)
 
 
 def _stub_domain_sizes(config: TransitStubConfig, rng: np.random.Generator) -> list[int]:
@@ -153,6 +200,167 @@ def _stub_domain_sizes(config: TransitStubConfig, rng: np.random.Generator) -> l
     return [int(s) for s in sizes]
 
 
+@dataclass
+class TransitStubArrays:
+    """A transit-stub topology as flat arrays (CSR triplet form).
+
+    Node ids are dense ``0..n_nodes-1`` (transit routers first, then stub
+    routers in stub-domain order).  ``edge_u``/``edge_v``/``edge_delay``
+    list each undirected link once; ``edge_kind`` codes index into
+    :data:`EDGE_KINDS`.  ``level`` is 0 for transit, 1 for stub;
+    ``node_domain`` is the domain index *within its level*;
+    ``transit_domain`` maps every router to the transit domain serving it
+    (the correlated-failure footprint).
+    """
+
+    n_nodes: int
+    edge_u: np.ndarray
+    edge_v: np.ndarray
+    edge_delay: np.ndarray
+    edge_kind: np.ndarray
+    level: np.ndarray
+    node_domain: np.ndarray
+    transit_domain: np.ndarray
+
+    _stub_ids: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.edge_u.size)
+
+    def stub_ids(self) -> np.ndarray:
+        """Stub-router ids in ascending order (hosts attach here)."""
+        if self._stub_ids is None:
+            self._stub_ids = np.flatnonzero(self.level == 1)
+        return self._stub_ids
+
+
+def generate_transit_stub_arrays(
+    config: TransitStubConfig | None = None,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> TransitStubArrays:
+    """Generate a transit-stub topology directly in triplet-array form.
+
+    This is the memory-lean core generator: it never builds a per-node
+    adjacency structure, so a 100k-router topology costs O(E) array
+    memory.  RNG draws happen in exactly the order of the historical
+    graph-building implementation, so for any given seed the edge set,
+    delays and domains match :func:`generate_transit_stub` bit-for-bit.
+    """
+    config = config or TransitStubConfig()
+    rng = rng_from_seed(seed)
+
+    edge_u: list[np.ndarray] = []
+    edge_v: list[np.ndarray] = []
+    edge_delay: list[np.ndarray] = []
+    edge_kind: list[np.ndarray] = []
+
+    def emit(us: np.ndarray, vs: np.ndarray, delays: np.ndarray, kind: int) -> None:
+        edge_u.append(np.asarray(us, dtype=np.int64))
+        edge_v.append(np.asarray(vs, dtype=np.int64))
+        edge_delay.append(np.asarray(delays, dtype=np.float64))
+        edge_kind.append(np.full(len(delays), kind, dtype=np.uint8))
+
+    next_id = 0
+
+    # --- transit level -----------------------------------------------------
+    transit_ids: list[list[int]] = []  # per domain
+    for _dom in range(config.transit_domains):
+        ids = list(range(next_id, next_id + config.transit_nodes_per_domain))
+        next_id += config.transit_nodes_per_domain
+        pairs = _connected_random_graph(len(ids), config.intra_transit_edge_prob, rng)
+        if pairs:
+            pa = np.asarray(pairs, dtype=np.int64) + ids[0]
+            emit(
+                pa[:, 0],
+                pa[:, 1],
+                _draw_delays(rng, config.delay_intra_transit, len(pairs)),
+                _KIND_INTRA_TRANSIT,
+            )
+        transit_ids.append(ids)
+
+    # Connect transit domains: a random chain plus extra random pairs
+    # (a single-domain topology has no inter-domain links at all).
+    dom_order = rng.permutation(config.transit_domains)
+    inter_pairs: list[tuple[int, int]] = list(zip(dom_order[:-1], dom_order[1:]))
+    if config.transit_domains >= 2:
+        for _ in range(config.extra_transit_transit_links):
+            a, b = rng.choice(config.transit_domains, size=2, replace=False)
+            inter_pairs.append((int(a), int(b)))
+    seen_inter: set[tuple[int, int]] = set()
+    for dom_a, dom_b in inter_pairs:
+        u = int(rng.choice(transit_ids[int(dom_a)]))
+        v = int(rng.choice(transit_ids[int(dom_b)]))
+        pair = (min(u, v), max(u, v))
+        # The historical generator drew the delay only when the edge was
+        # new; replicate that so the RNG stream stays aligned.
+        if pair not in seen_inter:
+            seen_inter.add(pair)
+            emit(
+                np.asarray([u]),
+                np.asarray([v]),
+                _draw_delays(rng, config.delay_inter_transit, 1),
+                _KIND_INTER,
+            )
+
+    # --- stub level ---------------------------------------------------------
+    sizes = _stub_domain_sizes(config, rng)
+    all_transit = [t for dom in transit_ids for t in dom]
+    n_total = config.total_nodes
+    level = np.zeros(n_total, dtype=np.uint8)
+    node_domain = np.zeros(n_total, dtype=np.int64)
+    transit_domain = np.zeros(n_total, dtype=np.int64)
+    for dom, ids in enumerate(transit_ids):
+        node_domain[ids] = dom
+        transit_domain[ids] = dom
+
+    stub_index = 0
+    for transit_node in all_transit:
+        t_dom = int(transit_domain[transit_node])
+        for _ in range(config.stub_domains_per_transit):
+            size = sizes[stub_index]
+            first = next_id
+            next_id += size
+            level[first : first + size] = 1
+            node_domain[first : first + size] = stub_index
+            transit_domain[first : first + size] = t_dom
+            pairs = _connected_random_graph(size, config.intra_stub_edge_prob, rng)
+            if pairs:
+                pa = np.asarray(pairs, dtype=np.int64) + first
+                emit(
+                    pa[:, 0],
+                    pa[:, 1],
+                    _draw_delays(rng, config.delay_intra_stub, len(pairs)),
+                    _KIND_INTRA_STUB,
+                )
+            # Gateway: one stub router uplinks to the transit router.
+            gateway = int(rng.choice(list(range(first, first + size))))
+            emit(
+                np.asarray([gateway]),
+                np.asarray([transit_node]),
+                _draw_delays(rng, config.delay_stub_transit, 1),
+                _KIND_STUB_TRANSIT,
+            )
+            stub_index += 1
+
+    assert next_id == n_total
+    return TransitStubArrays(
+        n_nodes=n_total,
+        edge_u=np.concatenate(edge_u) if edge_u else np.empty(0, dtype=np.int64),
+        edge_v=np.concatenate(edge_v) if edge_v else np.empty(0, dtype=np.int64),
+        edge_delay=(
+            np.concatenate(edge_delay) if edge_delay else np.empty(0, dtype=np.float64)
+        ),
+        edge_kind=(
+            np.concatenate(edge_kind) if edge_kind else np.empty(0, dtype=np.uint8)
+        ),
+        level=level,
+        node_domain=node_domain,
+        transit_domain=transit_domain,
+    )
+
+
 def generate_transit_stub(
     config: TransitStubConfig | None = None,
     *,
@@ -166,79 +374,29 @@ def generate_transit_stub(
     (one-way ms) and ``kind`` in {"inter_transit", "intra_transit",
     "stub_transit", "intra_stub"}.
 
-    The graph is guaranteed connected.
+    The graph is guaranteed connected.  This is a thin wrapper over
+    :func:`generate_transit_stub_arrays`; the sparse substrate path
+    consumes the arrays directly and never pays the nx.Graph overhead.
     """
     config = config or TransitStubConfig()
-    rng = rng_from_seed(seed)
+    arrays = generate_transit_stub_arrays(config, seed=seed)
     graph = nx.Graph()
-    next_id = 0
-
-    # --- transit level -----------------------------------------------------
-    transit_ids: list[list[int]] = []  # per domain
-    for dom in range(config.transit_domains):
-        ids = list(range(next_id, next_id + config.transit_nodes_per_domain))
-        next_id += config.transit_nodes_per_domain
-        for node in ids:
-            graph.add_node(node, level="transit", domain=("transit", dom))
-        for a, b in _connected_random_graph(
-            len(ids), config.intra_transit_edge_prob, rng
-        ):
-            graph.add_edge(
-                ids[a],
-                ids[b],
-                delay=_draw_delay(rng, config.delay_intra_transit),
-                kind="intra_transit",
+    for node in range(arrays.n_nodes):
+        if arrays.level[node] == 0:
+            graph.add_node(
+                node, level="transit", domain=("transit", int(arrays.node_domain[node]))
             )
-        transit_ids.append(ids)
-
-    # Connect transit domains: a random chain plus extra random pairs
-    # (a single-domain topology has no inter-domain links at all).
-    dom_order = rng.permutation(config.transit_domains)
-    inter_pairs: list[tuple[int, int]] = list(zip(dom_order[:-1], dom_order[1:]))
-    if config.transit_domains >= 2:
-        for _ in range(config.extra_transit_transit_links):
-            a, b = rng.choice(config.transit_domains, size=2, replace=False)
-            inter_pairs.append((int(a), int(b)))
-    for dom_a, dom_b in inter_pairs:
-        u = int(rng.choice(transit_ids[int(dom_a)]))
-        v = int(rng.choice(transit_ids[int(dom_b)]))
-        if not graph.has_edge(u, v):
-            graph.add_edge(
-                u,
-                v,
-                delay=_draw_delay(rng, config.delay_inter_transit),
-                kind="inter_transit",
+        else:
+            graph.add_node(
+                node, level="stub", domain=("stub", int(arrays.node_domain[node]))
             )
-
-    # --- stub level ---------------------------------------------------------
-    sizes = _stub_domain_sizes(config, rng)
-    all_transit = [t for dom in transit_ids for t in dom]
-    stub_index = 0
-    for transit_node in all_transit:
-        for _ in range(config.stub_domains_per_transit):
-            size = sizes[stub_index]
-            ids = list(range(next_id, next_id + size))
-            next_id += size
-            for node in ids:
-                graph.add_node(node, level="stub", domain=("stub", stub_index))
-            for a, b in _connected_random_graph(
-                size, config.intra_stub_edge_prob, rng
-            ):
-                graph.add_edge(
-                    ids[a],
-                    ids[b],
-                    delay=_draw_delay(rng, config.delay_intra_stub),
-                    kind="intra_stub",
-                )
-            # Gateway: one stub router uplinks to the transit router.
-            gateway = int(rng.choice(ids))
-            graph.add_edge(
-                gateway,
-                transit_node,
-                delay=_draw_delay(rng, config.delay_stub_transit),
-                kind="stub_transit",
-            )
-            stub_index += 1
+    for u, v, delay, kind in zip(
+        arrays.edge_u.tolist(),
+        arrays.edge_v.tolist(),
+        arrays.edge_delay.tolist(),
+        arrays.edge_kind.tolist(),
+    ):
+        graph.add_edge(u, v, delay=delay, kind=EDGE_KINDS[kind])
 
     assert graph.number_of_nodes() == config.total_nodes
     assert nx.is_connected(graph)

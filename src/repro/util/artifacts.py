@@ -17,6 +17,12 @@ reused by every later process.  This module provides the storage layer:
   genuinely memory-map: the OS page cache then shares the read-only
   pages across every process that loads the same artifact, including
   fork- and spawn-started pool workers.
+* **Sharding** — arrays larger than ``REPRO_SHARD_BYTES`` (default
+  256 MiB) are split into row-block ``<name>.shardNNNN.npy`` files
+  instead of one blob.  Loads reassemble them as a :class:`ShardedArray`
+  — a row-addressable view over the mmapped blocks — so a multi-GiB
+  substrate never needs one contiguous allocation and pool workers share
+  pages per block.  Values are unchanged; sharding is pure layout.
 * **Atomicity** — writers build the entry in a private temporary
   directory and publish it with a single :func:`os.rename`.  Concurrent
   writers race benignly: the first rename wins, the loser discards its
@@ -63,21 +69,25 @@ import numpy as np
 
 __all__ = [
     "Artifact",
+    "ShardedArray",
     "artifact_key",
     "cache_dir",
     "cache_enabled",
     "cache_max_bytes",
     "evict_to_cap",
     "load_artifact",
+    "shard_bytes",
     "store_artifact",
 ]
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_ENABLED_ENV = "REPRO_SUBSTRATE_CACHE"
 CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+SHARD_BYTES_ENV = "REPRO_SHARD_BYTES"
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 DEFAULT_MAX_BYTES = 2 * 1024**3
+DEFAULT_SHARD_BYTES = 256 * 1024**2
 
 _MANIFEST = "manifest.json"
 _FALSE_VALUES = ("0", "false", "no")
@@ -107,6 +117,76 @@ def cache_max_bytes() -> int:
     if value <= 0:
         raise ValueError(f"{CACHE_MAX_BYTES_ENV} must be > 0, got {value}")
     return value
+
+
+def shard_bytes() -> int:
+    """Row-block shard threshold/size (``REPRO_SHARD_BYTES``, default 256 MiB).
+
+    Arrays whose total size exceeds this are stored as row-block shards
+    of at most this many bytes each (always whole rows per shard).
+    """
+    raw = os.environ.get(SHARD_BYTES_ENV, "").strip()
+    if not raw:
+        return DEFAULT_SHARD_BYTES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{SHARD_BYTES_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"{SHARD_BYTES_ENV} must be > 0, got {value}")
+    return value
+
+
+class ShardedArray:
+    """Row-addressable view over the mmapped row-block shards of one array.
+
+    Supports exactly the access patterns the substrate runtime uses —
+    ``arr[i]`` (one row), ``arr[i, j]`` / ``arr[i, cols]`` (row then
+    column index), ``len``, ``np.asarray(arr)`` (materialize, small
+    arrays/tests only).  Each shard stays an independent read-only mmap,
+    so no contiguous allocation of the full array ever happens.
+    """
+
+    def __init__(self, shards: list[np.ndarray], shape, dtype) -> None:
+        self._shards = shards
+        starts = np.zeros(len(shards) + 1, dtype=np.int64)
+        np.cumsum([s.shape[0] for s in shards], out=starts[1:])
+        self._starts = starts
+        self.shape = tuple(int(d) for d in shape)
+        self.dtype = np.dtype(dtype)
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(s.nbytes for s in self._shards)
+
+    def _locate(self, row: int) -> tuple[np.ndarray, int]:
+        row = int(row)
+        if row < 0:
+            row += self.shape[0]
+        if not 0 <= row < self.shape[0]:
+            raise IndexError(f"row {row} out of range for shape {self.shape}")
+        k = int(np.searchsorted(self._starts, row, side="right")) - 1
+        return self._shards[k], row - int(self._starts[k])
+
+    def __getitem__(self, index):
+        if isinstance(index, tuple):
+            shard, local = self._locate(index[0])
+            return shard[(local, *index[1:])]
+        shard, local = self._locate(index)
+        return shard[local]
+
+    def __array__(self, dtype=None, copy=None):
+        full = np.concatenate([np.asarray(s) for s in self._shards], axis=0)
+        return full.astype(dtype) if dtype is not None else full
 
 
 def _jsonable(value):
@@ -146,11 +226,15 @@ def artifact_key(payload: dict) -> str:
 
 @dataclass(frozen=True)
 class Artifact:
-    """A loaded cache entry: metadata plus memory-mapped arrays."""
+    """A loaded cache entry: metadata plus memory-mapped arrays.
+
+    Arrays stored as row-block shards come back as :class:`ShardedArray`
+    views; everything else is a plain read-only mmap.
+    """
 
     key: str
     meta: dict
-    arrays: dict[str, np.ndarray]
+    arrays: dict[str, "np.ndarray | ShardedArray"]
 
 
 def _entry_dir(key: str, base_dir: Path | None) -> Path:
@@ -219,16 +303,44 @@ def store_artifact(
             _warn_degraded(exc)
             return None
         raise
+    shard_cap = shard_bytes()
     try:
         manifest_arrays = {}
         for name, arr in arrays.items():
             arr = np.ascontiguousarray(arr)
-            np.save(tmp / f"{name}.npy", arr)
-            manifest_arrays[name] = {
-                "shape": list(arr.shape),
-                "dtype": str(arr.dtype),
-                "bytes": (tmp / f"{name}.npy").stat().st_size,
-            }
+            row_bytes = arr[0].nbytes if arr.ndim >= 1 and arr.shape[0] else 0
+            if (
+                arr.ndim >= 1
+                and arr.nbytes > shard_cap
+                and 0 < row_bytes <= shard_cap
+            ):
+                rows_per_shard = max(1, shard_cap // row_bytes)
+                shards = []
+                for snum, start in enumerate(
+                    range(0, arr.shape[0], rows_per_shard)
+                ):
+                    block = arr[start : start + rows_per_shard]
+                    fname = f"{name}.shard{snum:04d}.npy"
+                    np.save(tmp / fname, block)
+                    shards.append(
+                        {
+                            "file": fname,
+                            "rows": int(block.shape[0]),
+                            "bytes": (tmp / fname).stat().st_size,
+                        }
+                    )
+                manifest_arrays[name] = {
+                    "shape": list(arr.shape),
+                    "dtype": str(arr.dtype),
+                    "shards": shards,
+                }
+            else:
+                np.save(tmp / f"{name}.npy", arr)
+                manifest_arrays[name] = {
+                    "shape": list(arr.shape),
+                    "dtype": str(arr.dtype),
+                    "bytes": (tmp / f"{name}.npy").stat().st_size,
+                }
         manifest = {"key": key, "meta": meta, "arrays": manifest_arrays}
         (tmp / _MANIFEST).write_text(json.dumps(manifest, indent=1))
         try:
@@ -266,8 +378,28 @@ def load_artifact(key: str, *, base_dir: Path | None = None) -> Artifact | None:
     try:
         manifest = json.loads(manifest_path.read_text())
         described = manifest["arrays"]
-        arrays: dict[str, np.ndarray] = {}
+        arrays: dict[str, np.ndarray | ShardedArray] = {}
         for name, spec in described.items():
+            if "shards" in spec:
+                blocks: list[np.ndarray] = []
+                rows = 0
+                for shard in spec["shards"]:
+                    path = entry / shard["file"]
+                    if path.stat().st_size != shard["bytes"]:
+                        raise ValueError(f"shard {shard['file']!r} truncated")
+                    block = np.load(path, mmap_mode="r")
+                    if (
+                        block.shape[0] != shard["rows"]
+                        or list(block.shape[1:]) != spec["shape"][1:]
+                        or str(block.dtype) != spec["dtype"]
+                    ):
+                        raise ValueError(f"shard {shard['file']!r} layout drift")
+                    rows += block.shape[0]
+                    blocks.append(block)
+                if rows != spec["shape"][0]:
+                    raise ValueError(f"array {name!r} shard rows != shape")
+                arrays[name] = ShardedArray(blocks, spec["shape"], spec["dtype"])
+                continue
             path = entry / f"{name}.npy"
             if path.stat().st_size != spec["bytes"]:
                 raise ValueError(f"array {name!r} has unexpected size")

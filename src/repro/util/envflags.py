@@ -52,6 +52,25 @@ Batched execution ships with the same ablation discipline (PR 6):
   Paper-preset snapshots dial it down, and the report records the
   value used so a single-rep figure can't pose as a best-of-five.
 
+Sparse substrates (PR 8) follow the same discipline:
+
+* ``REPRO_SPARSE_UNDERLAY=1`` — substrate builders return the CSR-native
+  :class:`~repro.sim.sparse.SparseUnderlay` (on-demand Dijkstra rows, no
+  V^2 matrices) instead of the dense compiled artifact.  Default off:
+  the dense path stays the oracle at paper scale.
+* ``REPRO_SPARSE_EXACT`` — exactness knob for the sparse engine.  The
+  default (``1``) forces exact Dijkstra rows, byte-identical to the
+  dense/lazy oracles.  ``0`` permits the landmark approximation layer
+  for substrates built with landmarks; approximate results declare an
+  error bound and are *refused* by the perf report's byte-identity
+  check (the PR 6 decline pattern).
+* ``REPRO_SPARSE_ROWS`` — LRU capacity (in source rows) of the sparse
+  engine's Dijkstra row cache (default 128; minimum 4).
+* ``REPRO_SUBSTRATE_DTYPE`` — dtype of compiled delay/RTT arrays:
+  ``float64`` (default, bit-exact vs the lazy oracle) or ``float32``
+  (halves artifact bytes for scale runs; narrowed results are refused
+  by the perf-report identity oracle).
+
 Flags are read at object construction time, not per call, so a running
 session never changes behavior mid-flight.
 """
@@ -66,6 +85,10 @@ __all__ = [
     "incremental_tree_enabled",
     "interrupt_grace_s",
     "retry_backoff_s",
+    "sparse_exact",
+    "sparse_row_cache",
+    "sparse_underlay_enabled",
+    "substrate_dtype",
     "task_max_attempts",
     "task_timeout_s",
 ]
@@ -156,3 +179,52 @@ def retry_backoff_s() -> float:
 def interrupt_grace_s() -> float:
     """Seconds an interrupted run waits for in-flight tasks (``REPRO_GRACE_S``)."""
     return _positive_float("REPRO_GRACE_S", 5.0)
+
+
+def sparse_underlay_enabled() -> bool:
+    """Whether substrate builders return sparse CSR underlays (default off)."""
+    return os.environ.get("REPRO_SPARSE_UNDERLAY", "0").lower() not in _FALSE_VALUES
+
+
+def sparse_exact() -> bool:
+    """Whether the sparse engine is pinned to exact rows (default on).
+
+    ``REPRO_SPARSE_EXACT=0`` permits the landmark approximation layer on
+    underlays built with landmarks; everything produced that way is
+    outside the byte-identity envelope and declined by the perf report.
+    """
+    return os.environ.get("REPRO_SPARSE_EXACT", "1").lower() not in _FALSE_VALUES
+
+
+def sparse_row_cache() -> int:
+    """Dijkstra row-cache capacity (``REPRO_SPARSE_ROWS``, default 128)."""
+    raw = os.environ.get("REPRO_SPARSE_ROWS", "").strip()
+    if not raw:
+        return 128
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SPARSE_ROWS must be an integer, got {raw!r}"
+        ) from None
+    if value < 4:
+        raise ValueError(f"REPRO_SPARSE_ROWS must be >= 4, got {value}")
+    return value
+
+
+def substrate_dtype() -> str:
+    """Compiled-substrate array dtype (``REPRO_SUBSTRATE_DTYPE``).
+
+    ``float64`` (the default) keeps compiled delay/RTT arrays bit-exact
+    against the lazy scalar oracle; ``float32`` halves artifact size for
+    scale runs at the cost of leaving the exactness envelope (the perf
+    report refuses narrowed runs).
+    """
+    raw = os.environ.get("REPRO_SUBSTRATE_DTYPE", "").strip().lower()
+    if not raw:
+        return "float64"
+    if raw not in ("float32", "float64"):
+        raise ValueError(
+            f"REPRO_SUBSTRATE_DTYPE must be float32 or float64, got {raw!r}"
+        )
+    return raw

@@ -175,6 +175,36 @@ class TestMultiFieldGate:
         with pytest.raises(ValueError, match="field"):
             compare_reports(_multi_report(), _multi_report(), field=[])
 
+    def test_memory_fields_gate_like_timing_fields(self):
+        # Schema 6 adds per-mode peak-RSS figures; the gate is agnostic
+        # to what a field measures, so a footprint regression fails the
+        # same way a timing regression does.
+        current = _multi_report(
+            ch7_scale={"sparse_s": 10.0, "sparse_rss_mb": 900.0}
+        )
+        baseline = _multi_report(
+            ch7_scale={"sparse_s": 10.0, "sparse_rss_mb": 200.0}
+        )
+        failures = compare_reports(
+            current, baseline, field=["sparse_s", "sparse_rss_mb"]
+        )
+        assert len(failures) == 1
+        assert "sparse_rss_mb" in failures[0]
+
+    def test_memory_fields_within_budget_pass(self):
+        current = _multi_report(
+            ch3_churn={"serial_s": 10.0, "serial_rss_mb": 210.0}
+        )
+        baseline = _multi_report(
+            ch3_churn={"serial_s": 10.0, "serial_rss_mb": 200.0}
+        )
+        assert (
+            compare_reports(
+                current, baseline, field=["serial_s", "serial_rss_mb"]
+            )
+            == []
+        )
+
     def test_cli_fields_flag(self, tmp_path):
         cur = tmp_path / "cur.json"
         base = tmp_path / "base.json"

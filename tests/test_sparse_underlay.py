@@ -1,0 +1,386 @@
+"""SparseUnderlay equivalence: sparse answers == lazy/dense, bit for bit.
+
+The sparse engine (PR 8) is only allowed to change *how much memory*
+shortest paths cost, never *what* any query returns — in its default
+exact mode.  This suite pins that with a hypothesis sweep over random
+substrates (every ordered host pair compared against both the lazy
+``RouterUnderlay`` and the dense ``CompiledUnderlay`` oracles), checks
+the LRU row cache is a transparent policy knob, round-trips the sparse
+artifact format, verifies ``link_error_array`` reproduces the
+graph-order error draws on triplet arrays, and — for the opt-in landmark
+approximation — asserts the *declared* error bound empirically and that
+the exactness flag keeps it dormant by default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.harness.substrates import (
+    _transit_stub_attachments,
+    build_transit_stub_underlay,
+    default_landmark_count,
+)
+from repro.sim.compiled import CompiledUnderlay
+from repro.sim.network import RouterUnderlay
+from repro.sim.sparse import SPARSE_SCHEMA, SparseUnderlay, select_landmarks
+from repro.topology.linkmodel import (
+    LinkErrorConfig,
+    assign_link_errors,
+    link_error_array,
+)
+from repro.topology.transit_stub import (
+    TransitStubConfig,
+    generate_transit_stub,
+    generate_transit_stub_arrays,
+)
+from repro.util import artifacts
+from repro.util.rngtools import spawn_rng
+
+TINY_TS = TransitStubConfig(
+    total_nodes=60,
+    transit_domains=2,
+    transit_nodes_per_domain=2,
+    stub_domains_per_transit=2,
+)
+
+MID_TS = TransitStubConfig(
+    total_nodes=180,
+    transit_domains=2,
+    transit_nodes_per_domain=4,
+    stub_domains_per_transit=2,
+)
+
+
+def _build(seed, n_hosts, errors, ts=TINY_TS, **sparse_kwargs):
+    """The same topology + attachments through all three implementations."""
+    arr = generate_transit_stub_arrays(ts, seed=spawn_rng(seed, "topology"))
+    graph = generate_transit_stub(ts, seed=spawn_rng(seed, "topology"))
+    edge_error = None
+    if errors is not None:
+        assign_link_errors(graph, errors, seed=spawn_rng(seed, "errors"))
+        edge_error = link_error_array(
+            arr.edge_u,
+            arr.edge_v,
+            arr.edge_delay,
+            errors,
+            seed=spawn_rng(seed, "errors"),
+        )
+    attachments = _transit_stub_attachments(graph, n_hosts, seed)
+    lazy = RouterUnderlay(graph, attachments)
+    compiled = CompiledUnderlay(graph, attachments)
+    sparse = SparseUnderlay(
+        arr.n_nodes,
+        arr.edge_u,
+        arr.edge_v,
+        arr.edge_delay,
+        attachments,
+        edge_error=edge_error,
+        router_domain=arr.transit_domain,
+        **sparse_kwargs,
+    )
+    return lazy, compiled, sparse
+
+
+def _assert_equivalent(ref, sparse):
+    hosts = sorted(sparse.attachments)
+    for a in hosts:
+        for b in hosts:
+            assert sparse.delay_ms(a, b) == ref.delay_ms(a, b)
+            assert sparse.rtt_ms(a, b) == ref.rtt_ms(a, b)
+            assert sparse.path_links(a, b) == ref.path_links(a, b)
+            assert sparse.path_error(a, b) == ref.path_error(a, b)
+
+
+class TestEquivalence:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_hosts=st.integers(min_value=4, max_value=16),
+        max_error=st.sampled_from([None, 0.02, 0.1]),
+    )
+    def test_sparse_matches_both_oracles_bitwise(self, seed, n_hosts, max_error):
+        errors = None if max_error is None else LinkErrorConfig(max_error=max_error)
+        lazy, compiled, sparse = _build(seed, n_hosts, errors)
+        _assert_equivalent(lazy, sparse)
+        _assert_equivalent(compiled, sparse)
+
+    def test_delay_row_matches_compiled(self):
+        _, compiled, sparse = _build(7, 12, None)
+        for a in sorted(sparse.attachments):
+            assert sparse.delay_row(a) == compiled.delay_row(a)
+
+    def test_link_queries_match(self):
+        lazy, _, sparse = _build(13, 8, LinkErrorConfig(max_error=0.05))
+        hosts = sorted(sparse.attachments)
+        for a in hosts[:4]:
+            for b in hosts:
+                for link in sparse.path_links(a, b):
+                    assert sparse.link_delay(link) == lazy.link_delay(link)
+                    assert sparse.link_error(link) == lazy.link_error(link)
+
+    def test_host_domain_matches(self):
+        lazy, _, sparse = _build(3, 10, None)
+        for h in sorted(sparse.attachments):
+            assert sparse.host_domain(h) == lazy.host_domain(h)
+
+    def test_lru_capacity_is_transparent(self):
+        # A 4-row cache on a 12-host substrate evicts constantly; answers
+        # must not depend on capacity (policy knob, never correctness).
+        lazy, _, tight = _build(21, 12, LinkErrorConfig(), row_cache=4)
+        _assert_equivalent(lazy, tight)
+
+    def test_unknown_host_error_parity(self):
+        lazy, _, sparse = _build(2, 5, None)
+        known = next(iter(sparse.attachments))
+        with pytest.raises(KeyError) as lazy_err:
+            lazy.delay_ms(known, 9999)
+        with pytest.raises(KeyError) as sparse_err:
+            sparse.delay_ms(known, 9999)
+        assert str(sparse_err.value) == str(lazy_err.value)
+
+
+class TestLinkErrorArray:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        correlation=st.sampled_from([0.0, 0.6, -0.4]),
+    )
+    def test_array_draws_match_graph_assignment(self, seed, correlation):
+        cfg = LinkErrorConfig(max_error=0.1, correlation=correlation)
+        arr = generate_transit_stub_arrays(TINY_TS, seed=spawn_rng(seed, "t"))
+        graph = generate_transit_stub(TINY_TS, seed=spawn_rng(seed, "t"))
+        assign_link_errors(graph, cfg, seed=spawn_rng(seed, "e"))
+        errors = link_error_array(
+            arr.edge_u, arr.edge_v, arr.edge_delay, cfg, seed=spawn_rng(seed, "e")
+        )
+        for i in range(arr.n_edges):
+            u, v = int(arr.edge_u[i]), int(arr.edge_v[i])
+            assert graph[u][v]["error"] == errors[i]
+
+    def test_zero_width_config_means_zero_errors(self):
+        arr = generate_transit_stub_arrays(TINY_TS, seed=1)
+        cfg = LinkErrorConfig(max_error=0.0)
+        errors = link_error_array(arr.edge_u, arr.edge_v, arr.edge_delay, cfg)
+        assert errors.shape == (arr.n_edges,) and not errors.any()
+
+
+class TestLandmarks:
+    def test_selection_is_deterministic_and_sorted(self):
+        arr = generate_transit_stub_arrays(MID_TS, seed=5)
+        lm1 = select_landmarks(arr.n_nodes, arr.edge_u, arr.edge_v, 16)
+        lm2 = select_landmarks(arr.n_nodes, arr.edge_u, arr.edge_v, 16)
+        np.testing.assert_array_equal(lm1, lm2)
+        assert (np.diff(lm1) > 0).all() and lm1.size == 16
+
+    def test_count_capped_at_router_count(self):
+        arr = generate_transit_stub_arrays(TINY_TS, seed=5)
+        lm = select_landmarks(arr.n_nodes, arr.edge_u, arr.edge_v, 10_000)
+        assert lm.size == arr.n_nodes
+
+    def test_default_landmark_count_scales_with_sqrt(self):
+        assert default_landmark_count(64) == 8
+        assert default_landmark_count(10_000) == 64
+        assert 8 <= default_landmark_count(1_000) <= 64
+
+    def test_exact_mode_ignores_landmarks(self):
+        # REPRO_SPARSE_EXACT defaults to 1: landmarks present but dormant.
+        arr = generate_transit_stub_arrays(MID_TS, seed=9)
+        graph = generate_transit_stub(MID_TS, seed=9)
+        attachments = _transit_stub_attachments(graph, 12, 9)
+        landmarks = select_landmarks(arr.n_nodes, arr.edge_u, arr.edge_v, 13)
+        sparse = SparseUnderlay(
+            arr.n_nodes,
+            arr.edge_u,
+            arr.edge_v,
+            arr.edge_delay,
+            attachments,
+            landmarks=landmarks,
+        )
+        assert sparse.exact
+        lazy = RouterUnderlay(graph, attachments)
+        _assert_equivalent(lazy, sparse)
+
+    def test_approximate_mode_respects_declared_bound(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPARSE_EXACT", "0")
+        arr = generate_transit_stub_arrays(MID_TS, seed=17)
+        graph = generate_transit_stub(MID_TS, seed=17)
+        attachments = _transit_stub_attachments(graph, 20, 17)
+        landmarks = select_landmarks(arr.n_nodes, arr.edge_u, arr.edge_v, 13)
+        sparse = SparseUnderlay(
+            arr.n_nodes,
+            arr.edge_u,
+            arr.edge_v,
+            arr.edge_delay,
+            attachments,
+            landmarks=landmarks,
+            error_bound=2.0,
+        )
+        assert not sparse.exact
+        exact = RouterUnderlay(graph, attachments)
+        hosts = sorted(attachments)
+        for a in hosts:
+            for b in hosts:
+                est = sparse.delay_ms(a, b)
+                true = exact.delay_ms(a, b)
+                # upper bound by the triangle inequality, within the
+                # declared multiplicative error bound
+                assert est >= true - 1e-9
+                if true > 0:
+                    assert est <= 2.0 * true
+
+    def test_approximate_without_landmarks_stays_exact(self, monkeypatch):
+        # the flag alone must not degrade a substrate built without
+        # landmarks: there is nothing to approximate with
+        monkeypatch.setenv("REPRO_SPARSE_EXACT", "0")
+        lazy, _, sparse = _build(4, 8, None)
+        assert sparse.exact
+        _assert_equivalent(lazy, sparse)
+
+
+class TestArtifactRoundtrip:
+    def _roundtrip(self, sparse, cache_root):
+        arrays, meta = sparse.to_artifact()
+        key = artifacts.artifact_key({"test": id(sparse)})
+        artifacts.store_artifact(key, arrays, meta, base_dir=cache_root)
+        loaded = artifacts.load_artifact(key, base_dir=cache_root)
+        assert loaded is not None
+        return SparseUnderlay.from_artifact(loaded)
+
+    def test_roundtrip_preserves_every_query(self, tmp_path):
+        for errors in (None, LinkErrorConfig(max_error=0.05)):
+            _, _, sparse = _build(31, 9, errors)
+            restored = self._roundtrip(sparse, tmp_path)
+            _assert_equivalent(sparse, restored)
+
+    def test_roundtrip_preserves_landmarks_and_domains(self, tmp_path):
+        arr = generate_transit_stub_arrays(TINY_TS, seed=3)
+        graph = generate_transit_stub(TINY_TS, seed=3)
+        attachments = _transit_stub_attachments(graph, 6, 3)
+        sparse = SparseUnderlay(
+            arr.n_nodes,
+            arr.edge_u,
+            arr.edge_v,
+            arr.edge_delay,
+            attachments,
+            router_domain=arr.transit_domain,
+            landmarks=select_landmarks(arr.n_nodes, arr.edge_u, arr.edge_v, 8),
+        )
+        restored = self._roundtrip(sparse, tmp_path)
+        np.testing.assert_array_equal(restored._landmarks, sparse._landmarks)
+        for h in sorted(attachments):
+            assert restored.host_domain(h) == sparse.host_domain(h)
+
+    def test_rejects_foreign_artifact(self):
+        art = artifacts.Artifact(key="x" * 64, meta={"kind": "transit-stub"}, arrays={})
+        with pytest.raises(ValueError):
+            SparseUnderlay.from_artifact(art)
+
+    def test_rejects_schema_drift(self):
+        _, _, sparse = _build(2, 5, None)
+        arrays, meta = sparse.to_artifact()
+        art = artifacts.Artifact(
+            key="x" * 64, meta={**meta, "schema": SPARSE_SCHEMA + 1}, arrays=arrays
+        )
+        with pytest.raises(ValueError):
+            SparseUnderlay.from_artifact(art)
+
+
+class TestBuilders:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(artifacts.CACHE_DIR_ENV, str(tmp_path / "cache"))
+        monkeypatch.delenv("REPRO_SPARSE_UNDERLAY", raising=False)
+        monkeypatch.delenv(artifacts.CACHE_ENABLED_ENV, raising=False)
+
+    def test_explicit_sparse_argument(self):
+        ul = build_transit_stub_underlay(
+            n_hosts=6, seed=1, ts_config=TINY_TS, sparse=True
+        )
+        assert isinstance(ul, SparseUnderlay)
+
+    def test_env_flag_selects_sparse(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPARSE_UNDERLAY", "1")
+        ul = build_transit_stub_underlay(n_hosts=6, seed=1, ts_config=TINY_TS)
+        assert isinstance(ul, SparseUnderlay)
+
+    def test_default_stays_dense(self):
+        ul = build_transit_stub_underlay(n_hosts=6, seed=1, ts_config=TINY_TS)
+        assert isinstance(ul, CompiledUnderlay)
+
+    def test_builder_sparse_matches_builder_lazy(self, monkeypatch):
+        # End-to-end builder parity: same seed, same link errors, the
+        # sparse product answers byte-identically to the lazy one —
+        # including attachments, which the sparse path derives from
+        # arrays rather than the graph.
+        errors = LinkErrorConfig(max_error=0.05)
+        sparse = build_transit_stub_underlay(
+            n_hosts=10, seed=4, ts_config=TINY_TS, link_errors=errors, sparse=True
+        )
+        monkeypatch.setenv("REPRO_COMPILED_UNDERLAY", "0")
+        lazy = build_transit_stub_underlay(
+            n_hosts=10, seed=4, ts_config=TINY_TS, link_errors=errors
+        )
+        assert sparse.attachments == lazy.attachments
+        _assert_equivalent(lazy, sparse)
+
+    def test_second_build_hits_cache_and_matches(self):
+        first = build_transit_stub_underlay(
+            n_hosts=8, seed=4, ts_config=TINY_TS, sparse=True
+        )
+        second = build_transit_stub_underlay(
+            n_hosts=8, seed=4, ts_config=TINY_TS, sparse=True
+        )
+        _assert_equivalent(first, second)
+
+
+class TestDtypeKnob:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(artifacts.CACHE_DIR_ENV, str(tmp_path / "cache"))
+
+    def test_float32_narrows_compiled_arrays(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUBSTRATE_DTYPE", "float32")
+        ul = build_transit_stub_underlay(n_hosts=6, seed=1, ts_config=TINY_TS)
+        assert ul._hdelay.dtype == np.float32
+
+    def test_float32_values_close_but_outside_envelope(self, monkeypatch):
+        wide = build_transit_stub_underlay(n_hosts=6, seed=1, ts_config=TINY_TS)
+        monkeypatch.setenv("REPRO_SUBSTRATE_DTYPE", "float32")
+        narrow = build_transit_stub_underlay(n_hosts=6, seed=1, ts_config=TINY_TS)
+        hosts = sorted(wide.attachments)
+        a, b = hosts[0], hosts[-1]
+        assert narrow.delay_ms(a, b) == pytest.approx(wide.delay_ms(a, b), rel=1e-6)
+
+    def test_bad_dtype_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUBSTRATE_DTYPE", "float16")
+        from repro.util.envflags import substrate_dtype
+
+        with pytest.raises(ValueError):
+            substrate_dtype()
+
+    def test_perf_report_refuses_narrowed_runs(self, monkeypatch, tmp_path):
+        from repro.harness.perfreport import generate_perf_report
+        from repro.harness.presets import PRESETS
+
+        monkeypatch.setenv("REPRO_SUBSTRATE_DTYPE", "float32")
+        with pytest.raises(RuntimeError, match="float32"):
+            generate_perf_report(
+                PRESETS["smoke"], groups=["ch3_churn"], path=tmp_path / "x.json"
+            )
+
+    def test_perf_report_refuses_inexact_sparse(self, monkeypatch, tmp_path):
+        from repro.harness.perfreport import generate_perf_report
+        from repro.harness.presets import PRESETS
+
+        monkeypatch.setenv("REPRO_SPARSE_EXACT", "0")
+        with pytest.raises(RuntimeError, match="REPRO_SPARSE_EXACT"):
+            generate_perf_report(
+                PRESETS["smoke"], groups=["ch3_churn"], path=tmp_path / "x.json"
+            )
