@@ -160,7 +160,17 @@ def classify_case_array(
             raise ValueError(f"{name} must be finite and >= 0 element-wise")
         arrays.append(arr)
     pn, pe, ne = arrays
+    return _case_codes(pn, pe, ne, tie_tolerance)
 
+
+def _case_codes(pn, pe, ne, tie_tolerance: float) -> np.ndarray:
+    """The :func:`classify_case_array` decision core, sans validation.
+
+    Inputs must already be float64, finite, and >= 0 element-wise with a
+    non-negative ``tie_tolerance`` — the hot batched walk guarantees that
+    by construction and calls this directly; everyone else goes through
+    the validating wrappers.
+    """
     longest = np.maximum(np.maximum(pn, pe), ne)
     threshold = longest - tie_tolerance * np.maximum(longest, 1.0)
 

@@ -11,6 +11,11 @@ The gate compares wall-clock on whatever machine runs it against a
 baseline that may come from a different machine, so the threshold is
 deliberately loose — it catches algorithmic regressions (2x-10x), not
 scheduler noise.
+
+Besides perf-report ``groups``, the gate also reads scale-bench
+snapshots (``repro-scale-bench/2``): each completed cell gates like a
+group, on fields such as ``tree_s``/``total_s``, so CI can pin the
+batched scale kernel's timing the same way it pins experiment groups.
 """
 
 from __future__ import annotations
@@ -39,6 +44,26 @@ def _figure_cv(group_entry: dict, fld: str) -> float | None:
     if isinstance(cv, dict):
         return cv.get(fld)
     return None
+
+
+def _gate_entries(report: dict) -> dict:
+    """The gatable name -> figures map of a report, schema-agnostic.
+
+    Perf reports (``repro-perf-report/*``) carry ``groups``; scale-bench
+    snapshots (``repro-scale-bench/*``) carry ``cells``, whose records
+    may be structured *failures* — those are excluded on the current
+    side's behalf by status, so a baseline cell that completed but now
+    times out shows up as "missing from current report" (a failure)
+    rather than silently comparing against a record with no timings.
+    """
+    if "groups" in report:
+        return report["groups"]
+    cells = report.get("cells", {})
+    return {
+        label: rec
+        for label, rec in cells.items()
+        if rec.get("status", "ok") == "ok"
+    }
 
 
 def compare_reports(
@@ -79,8 +104,8 @@ def compare_reports(
     fields = [field] if isinstance(field, str) else list(field)
     if not fields:
         raise ValueError("need at least one field to gate on")
-    base_groups = baseline.get("groups", {})
-    cur_groups = current.get("groups", {})
+    base_groups = _gate_entries(baseline)
+    cur_groups = _gate_entries(current)
     names = list(groups) if groups else sorted(base_groups)
     failures: list[str] = []
     for name in names:

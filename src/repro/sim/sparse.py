@@ -36,11 +36,27 @@ same ``REPRO_UNDERLAY_CACHE`` flag) but are *bounded*: at scale the set of
 queried pairs is itself O(members · probes), so each memo clears itself
 at ``_PAIR_MEMO_CAP`` entries — a transparent cache policy, never a
 correctness knob.
+
+Prefetching (PR 9): when a caller knows its source routers up front — the
+static-join walk knows the whole join order before the first query — it
+can hand the ordered plan to :meth:`SparseUnderlay.prefetch_rows`.  The
+returned :class:`RowPlan` runs **multi-source** ``csgraph.dijkstra``
+calls of ``REPRO_SPARSE_PREFETCH`` sources at a time on a single worker
+thread, double-buffered: block *k+1* computes while block *k* is
+consumed.  The prefetch is exact, never speculative — every planned row
+is one the demand path would have computed anyway, and scipy computes
+each source of a multi-source call independently, so a prefetched row is
+bit-identical to its single-source twin (pinned in
+``tests/test_sparse_underlay.py``).  Prefetched rows are retained in a
+byte-budgeted LRU *separate* from the small demand LRU, which is what
+lets members ≫ routers walks keep every distinct attachment-router row
+resident instead of thrashing ``REPRO_SPARSE_ROWS``.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
 import networkx as nx
@@ -50,9 +66,9 @@ from scipy.sparse import csgraph
 
 from repro.sim.network import LinkId, Underlay, _cache_enabled_from_env, _split_link
 from repro.util.artifacts import Artifact
-from repro.util.envflags import sparse_exact, sparse_row_cache
+from repro.util.envflags import sparse_exact, sparse_prefetch_block, sparse_row_cache
 
-__all__ = ["SPARSE_SCHEMA", "SparseUnderlay", "select_landmarks"]
+__all__ = ["SPARSE_SCHEMA", "RowPlan", "SparseUnderlay", "select_landmarks"]
 
 #: artifact layout version for sparse substrates (own keyspace; a sparse
 #: entry is never confused with a dense one — ``meta["kind"]`` differs).
@@ -83,6 +99,160 @@ def select_landmarks(
     # argsort on (-degree, id): stable sort over ids then stable resort.
     order = np.argsort(-degree, kind="stable")
     return np.sort(order[:n_landmarks]).astype(np.int64)
+
+
+class RowPlan:
+    """Exact block prefetcher over an ordered source-router plan.
+
+    Built by :meth:`SparseUnderlay.prefetch_rows`; consumed implicitly —
+    the underlay's row lookups consult the active plan before falling
+    back to demand Dijkstra.  The plan dedupes its sources to
+    first-occurrence order, chunks them into blocks of ``block``
+    sources, and keeps exactly one block *in flight* on a single worker
+    thread (double-buffering): collecting block *k* immediately submits
+    block *k+1*.  A lookup for a source in a not-yet-collected block
+    drains in-flight blocks forward until that block lands — plans are
+    consumed roughly in plan order, so this is one wait in the common
+    case, never a recompute.
+
+    Retention is a byte-budgeted LRU: collected rows stay resident until
+    the budget forces eviction.  An evicted row looked up again simply
+    misses back to the demand path — retention is a cache policy, never
+    a correctness knob.  ``block == 0`` builds an inert plan (no blocks,
+    every lookup misses): the ablation baseline rides the same code.
+    """
+
+    def __init__(
+        self,
+        underlay: "SparseUnderlay",
+        sources,
+        *,
+        block: int,
+        predecessors: bool,
+        retain_bytes: int,
+    ) -> None:
+        self._underlay = underlay
+        self.block = int(block)
+        self.predecessors = bool(predecessors)
+        order: list[int] = []
+        seen: set[int] = set()
+        for router in np.asarray(sources, dtype=np.int64).tolist():
+            if router not in seen:
+                seen.add(router)
+                order.append(router)
+        self.n_sources = len(order)
+        self._blocks: list[np.ndarray] = (
+            [
+                np.asarray(order[i : i + self.block], dtype=np.int64)
+                for i in range(0, len(order), self.block)
+            ]
+            if self.block > 0
+            else []
+        )
+        self._block_of: dict[int, int] = {}
+        for idx, blk in enumerate(self._blocks):
+            for router in blk.tolist():
+                self._block_of[router] = idx
+        row_bytes = underlay.n_routers * (12 if predecessors else 8)
+        self._retain_rows = max(
+            2 * max(self.block, 1), int(retain_bytes) // max(row_bytes, 1)
+        )
+        self._ready: OrderedDict[int, tuple[np.ndarray, np.ndarray | None]] = (
+            OrderedDict()
+        )
+        self._next = 0  # next block index to submit
+        self._future = None
+        self._future_idx = -1
+        self._pool = ThreadPoolExecutor(max_workers=1) if self._blocks else None
+        # Instrumentation (read by benches and the equivalence tests).
+        self.sources_computed = 0
+        self.hits = 0
+        self.misses = 0
+        self._submit_next()
+
+    def _compute(self, blk: np.ndarray):
+        csr = self._underlay._csr
+        if self.predecessors:
+            return csgraph.dijkstra(
+                csr, directed=False, indices=blk, return_predecessors=True
+            )
+        return csgraph.dijkstra(csr, directed=False, indices=blk), None
+
+    def _submit_next(self) -> None:
+        if self._pool is not None and self._next < len(self._blocks):
+            self._future = self._pool.submit(self._compute, self._blocks[self._next])
+            self._future_idx = self._next
+            self._next += 1
+        else:
+            self._future = None
+
+    def _collect(self) -> None:
+        """Land the in-flight block in the retained LRU; submit the next."""
+        dist, pred = self._future.result()
+        blk = self._blocks[self._future_idx]
+        self._submit_next()
+        if self._underlay._any_unreachable is None:
+            self._underlay._any_unreachable = bool(not np.all(np.isfinite(dist)))
+        for i, router in enumerate(blk.tolist()):
+            # Copies detach the rows from the (B, V) block matrices so
+            # eviction actually frees memory; bits are preserved.
+            self._ready[router] = (
+                dist[i].copy(),
+                pred[i].copy() if pred is not None else None,
+            )
+        self.sources_computed += int(blk.size)
+        while len(self._ready) > self._retain_rows:
+            self._ready.popitem(last=False)
+
+    def take(
+        self, router: int, *, need_pred: bool = False
+    ) -> tuple[np.ndarray, np.ndarray | None] | None:
+        """The plan's row for ``router``, or ``None`` (caller goes demand)."""
+        if need_pred and not self.predecessors:
+            return None
+        got = self._ready.get(router)
+        if got is None:
+            target = self._block_of.get(router)
+            if target is None or target < self._future_idx or self._future is None:
+                self.misses += 1  # unplanned, or collected-then-evicted
+                return None
+            while self._future is not None and self._future_idx <= target:
+                self._collect()
+            got = self._ready.get(router)
+            if got is None:  # retained cap < block — cannot happen, but safe
+                self.misses += 1
+                return None
+        else:
+            self._ready.move_to_end(router)
+        self.hits += 1
+        return got
+
+    def stats(self) -> dict:
+        return {
+            "block": self.block,
+            "blocks": len(self._blocks),
+            "planned_sources": self.n_sources,
+            "sources_computed": self.sources_computed,
+            "hits": self.hits,
+            "misses": self.misses,
+            "retained_rows": len(self._ready),
+        }
+
+    def close(self) -> None:
+        """Stop the worker, drop retained rows, detach from the underlay."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self._future = None
+        self._ready.clear()
+        if self._underlay._plan is self:
+            self._underlay._plan = None
+
+    def __enter__(self) -> "RowPlan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class SparseUnderlay(Underlay):
@@ -183,6 +353,8 @@ class SparseUnderlay(Underlay):
         self._hrows: OrderedDict[int, list[float]] = OrderedDict()
         self._ids_are_indices = all(h == i for i, h in enumerate(self._hosts))
         self._any_unreachable: bool | None = None  # unknown until a row exists
+        self._plan: RowPlan | None = None  # active prefetch plan, if any
+        self.demand_rows = 0  # instrumentation: demand-time Dijkstra runs
 
         self._cache_enabled = _cache_enabled_from_env()
         self._delay_cache: dict[tuple[int, int], float] = {}
@@ -230,24 +402,90 @@ class SparseUnderlay(Underlay):
 
     # -- Dijkstra row machinery ----------------------------------------------
 
+    def prefetch_rows(
+        self,
+        sources,
+        *,
+        block: int | None = None,
+        predecessors: bool = False,
+        retain_bytes: int = 1 << 28,
+    ) -> RowPlan:
+        """Install a :class:`RowPlan` over an ordered source-router plan.
+
+        ``sources`` is the sequence of source routers the caller will
+        query, in order, repeats allowed (the plan dedupes).  ``block``
+        overrides ``REPRO_SPARSE_PREFETCH``; ``predecessors=True``
+        additionally prefetches predecessor rows (for path expansion).
+        ``retain_bytes`` budgets the retained-row LRU (default 256 MiB,
+        ~3.3k float64 rows at 10k routers); an evicted row that gets
+        re-queried falls back to the demand path, still exact.
+        The plan is a context manager — ``close()`` detaches it and
+        frees its retained rows.  Only one plan is active at a time;
+        installing a new one closes the old.
+        """
+        if self._plan is not None:
+            self._plan.close()
+        plan = RowPlan(
+            self,
+            sources,
+            block=sparse_prefetch_block(block),
+            predecessors=predecessors,
+            retain_bytes=retain_bytes,
+        )
+        self._plan = plan
+        return plan
+
     def _row(self, router: int) -> tuple[np.ndarray, np.ndarray]:
         """(dist, pred) arrays from ``router``, LRU-cached."""
         cached = self._rows.get(router)
-        if cached is not None:
+        if cached is not None and cached[1] is not None:
             self._rows.move_to_end(router)
             return cached
+        if self._plan is not None:
+            got = self._plan.take(router, need_pred=True)
+            if got is not None:
+                return got
         dist, pred = csgraph.dijkstra(
             self._csr,
             directed=False,
             indices=router,
             return_predecessors=True,
         )
+        self.demand_rows += 1
         if self._any_unreachable is None:
             self._any_unreachable = bool(not np.all(np.isfinite(dist)))
         self._rows[router] = (dist, pred)
         if len(self._rows) > self._row_cap:
             self._rows.popitem(last=False)
         return dist, pred
+
+    def router_dist_row(self, router: int) -> np.ndarray:
+        """Exact dist row from ``router`` — no predecessors computed.
+
+        Serves the scale kernels: checks the demand LRU, then the active
+        prefetch plan, then falls back to a *dist-only* Dijkstra (scipy
+        returns bit-identical distances with and without
+        ``return_predecessors``; the equivalence suite pins that).  Not
+        available in landmark mode, which has no exact rows to give.
+        """
+        if self._approx:
+            raise RuntimeError("router_dist_row requires exact mode")
+        cached = self._rows.get(router)
+        if cached is not None:
+            self._rows.move_to_end(router)
+            return cached[0]
+        if self._plan is not None:
+            got = self._plan.take(router)
+            if got is not None:
+                return got[0]
+        dist = csgraph.dijkstra(self._csr, directed=False, indices=router)
+        self.demand_rows += 1
+        if self._any_unreachable is None:
+            self._any_unreachable = bool(not np.all(np.isfinite(dist)))
+        self._rows[router] = (dist, None)
+        if len(self._rows) > self._row_cap:
+            self._rows.popitem(last=False)
+        return dist
 
     def _landmark_rows(self) -> tuple[np.ndarray, np.ndarray]:
         """L×V distance and predecessor matrices from every landmark."""
@@ -392,8 +630,7 @@ class SparseUnderlay(Underlay):
             # consistent with the per-pair estimate.
             base[cols == r_a] = 0.0
         else:
-            dist, _ = self._row(r_a)
-            base = dist[self._host_cols()]
+            base = self.router_dist_row(r_a)[self._host_cols()]
         if not np.all(np.isfinite(base)):
             return None  # unreachable pairs: callers fall back to delay_ms
         # Elementwise ``(acc_a + base) + acc_b`` — the lazy association.

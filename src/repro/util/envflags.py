@@ -71,6 +71,21 @@ Sparse substrates (PR 8) follow the same discipline:
   (halves artifact bytes for scale runs; narrowed results are refused
   by the perf-report identity oracle).
 
+The scale kernels (PR 9) add two more:
+
+* ``REPRO_SPARSE_PREFETCH`` — block size of the multi-source Dijkstra
+  prefetcher on :class:`~repro.sim.sparse.SparseUnderlay` (default 64
+  sources per ``scipy.sparse.csgraph.dijkstra`` call; ``0`` disables
+  prefetching so every row is a demand-time single-source run).  The
+  prefetcher is *exact*, never speculative: callers hand it the full
+  ordered source plan, so a prefetched row is always a row the scalar
+  path would have computed anyway, with bit-identical contents.
+* ``REPRO_SCALE_KERNEL`` — join-walk kernel selector for
+  :func:`repro.harness.scale.build_scale_tree`: ``batched`` (default;
+  array-native state, vectorized classification, prefetched rows) or
+  ``scalar`` (the per-child reference walk the batched kernel must
+  match byte for byte — the ablation baseline and equivalence oracle).
+
 Flags are read at object construction time, not per call, so a running
 session never changes behavior mid-flight.
 """
@@ -85,7 +100,9 @@ __all__ = [
     "incremental_tree_enabled",
     "interrupt_grace_s",
     "retry_backoff_s",
+    "scale_kernel",
     "sparse_exact",
+    "sparse_prefetch_block",
     "sparse_row_cache",
     "sparse_underlay_enabled",
     "substrate_dtype",
@@ -210,6 +227,51 @@ def sparse_row_cache() -> int:
     if value < 4:
         raise ValueError(f"REPRO_SPARSE_ROWS must be >= 4, got {value}")
     return value
+
+
+def sparse_prefetch_block(requested: int | None = None) -> int:
+    """Prefetch block size (``REPRO_SPARSE_PREFETCH``, default 64).
+
+    Sources per multi-source ``csgraph.dijkstra`` call when a caller
+    hands :class:`~repro.sim.sparse.SparseUnderlay` an ordered row plan.
+    ``0`` disables prefetching (every row is computed on demand, the
+    PR 8 behavior).  An explicit ``requested`` value — e.g. a kernel
+    test pinning ``B=1`` — wins over the environment.
+    """
+    if requested is not None:
+        value = requested
+    else:
+        raw = os.environ.get("REPRO_SPARSE_PREFETCH", "").strip()
+        if not raw:
+            return 64
+        if raw.lower() in _FALSE_VALUES:
+            return 0
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SPARSE_PREFETCH must be an integer, got {raw!r}"
+            ) from None
+    if value < 0:
+        raise ValueError(f"REPRO_SPARSE_PREFETCH must be >= 0, got {value}")
+    return value
+
+
+def scale_kernel() -> str:
+    """Join-walk kernel selector (``REPRO_SCALE_KERNEL``).
+
+    ``batched`` (the default) runs the array-native walk with prefetched
+    Dijkstra rows; ``scalar`` forces the per-child reference walk, which
+    is the equivalence oracle the batched kernel is tested against.
+    """
+    raw = os.environ.get("REPRO_SCALE_KERNEL", "").strip().lower()
+    if not raw:
+        return "batched"
+    if raw not in ("batched", "scalar"):
+        raise ValueError(
+            f"REPRO_SCALE_KERNEL must be batched or scalar, got {raw!r}"
+        )
+    return raw
 
 
 def substrate_dtype() -> str:

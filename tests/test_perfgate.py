@@ -222,3 +222,71 @@ class TestMultiFieldGate:
         assert main([str(cur), str(base)]) == 0
         # --fields widens the gate to the cold path and catches it
         assert main([str(cur), str(base), "--fields", "serial_s,serial_cold_s"]) == 1
+
+
+def _cells_report(**cells):
+    return {"schema": "repro-scale-bench/2", "cells": dict(cells)}
+
+
+class TestScaleBenchCellsGate:
+    """Scale-bench snapshots gate cell-by-cell, skipping failed cells."""
+
+    def test_cells_within_budget_pass(self):
+        current = _cells_report(
+            **{"sparse:vdm@1000": {"status": "ok", "tree_s": 1.1}}
+        )
+        baseline = _cells_report(
+            **{"sparse:vdm@1000": {"status": "ok", "tree_s": 1.0}}
+        )
+        assert compare_reports(current, baseline, field="tree_s") == []
+
+    def test_regressed_cell_fails(self):
+        current = _cells_report(
+            **{"sparse:vdm@1000": {"status": "ok", "tree_s": 5.0}}
+        )
+        baseline = _cells_report(
+            **{"sparse:vdm@1000": {"status": "ok", "tree_s": 1.0}}
+        )
+        failures = compare_reports(current, baseline, field="tree_s")
+        assert len(failures) == 1
+        assert "sparse:vdm@1000" in failures[0]
+
+    def test_cell_now_failing_reads_as_missing(self):
+        # A baseline cell that completed but currently times out must
+        # fail the gate, not silently compare nothing.
+        current = _cells_report(
+            **{"sparse:vdm@1000": {"status": "timeout", "timeout_s": 60}}
+        )
+        baseline = _cells_report(
+            **{"sparse:vdm@1000": {"status": "ok", "tree_s": 1.0}}
+        )
+        failures = compare_reports(current, baseline, field="tree_s")
+        assert failures == ["sparse:vdm@1000: missing from current report"]
+
+    def test_failed_baseline_cell_is_not_gated(self):
+        # e.g. the best-effort 1M cell: recorded as a failure in the
+        # baseline, so nothing to regress against.
+        current = _cells_report()
+        baseline = _cells_report(
+            **{"sparse:vdm@1000000": {"status": "failed", "error": "oom"}}
+        )
+        assert compare_reports(current, baseline, field="tree_s") == []
+
+    def test_cli_gates_cells_snapshot(self, tmp_path):
+        cur = tmp_path / "cur.json"
+        base = tmp_path / "base.json"
+        cur.write_text(
+            json.dumps(
+                _cells_report(
+                    **{"sparse:vdm@1000": {"status": "ok", "tree_s": 9.0}}
+                )
+            )
+        )
+        base.write_text(
+            json.dumps(
+                _cells_report(
+                    **{"sparse:vdm@1000": {"status": "ok", "tree_s": 1.0}}
+                )
+            )
+        )
+        assert main([str(cur), str(base), "--field", "tree_s"]) == 1

@@ -384,3 +384,134 @@ class TestDtypeKnob:
             generate_perf_report(
                 PRESETS["smoke"], groups=["ch3_churn"], path=tmp_path / "x.json"
             )
+
+
+class TestRowPrefetch:
+    """The PR 9 block prefetcher: exact rows, ahead of time."""
+
+    def _fresh(self, seed=19, n_hosts=40):
+        _, _, sparse = _build(seed, n_hosts, None, ts=MID_TS)
+        return sparse
+
+    def _plan_routers(self, sparse, n=None):
+        hosts = sorted(sparse.attachments)[: n or len(sparse.attachments)]
+        return [sparse.attachments[h] for h in hosts]
+
+    @pytest.mark.parametrize("block", [1, 3, 16, 10**6])
+    def test_prefetched_rows_bitwise_match_demand_rows(self, block):
+        demand = self._fresh()
+        planned = self._fresh()
+        routers = self._plan_routers(planned)
+        with planned.prefetch_rows(routers, block=block) as plan:
+            for router in routers:
+                a = planned.router_dist_row(router)
+                b = demand.router_dist_row(router)
+                assert a.tobytes() == b.tobytes()
+            assert planned.demand_rows == 0
+            assert plan.stats()["sources_computed"] == len(set(routers))
+
+    def test_predecessor_plan_serves_full_rows(self):
+        demand = self._fresh()
+        planned = self._fresh()
+        routers = self._plan_routers(planned)
+        with planned.prefetch_rows(routers, block=8, predecessors=True):
+            for router in routers[:20]:
+                dist, pred = planned._row(router)
+                ref_dist, ref_pred = demand._row(router)
+                assert dist.tobytes() == ref_dist.tobytes()
+                assert pred.tobytes() == ref_pred.tobytes()
+            assert planned.demand_rows == 0
+
+    def test_dist_only_plan_does_not_serve_pred_queries(self):
+        planned = self._fresh()
+        routers = self._plan_routers(planned)
+        with planned.prefetch_rows(routers, block=8):
+            planned._row(routers[0])  # needs predecessors: demand path
+            assert planned.demand_rows == 1
+
+    def test_multi_source_call_matches_single_source_bitwise(self):
+        # The exactness anchor: scipy computes each source of a
+        # multi-source dijkstra independently, and distances are
+        # unchanged by return_predecessors.
+        from scipy.sparse import csgraph
+
+        sparse = self._fresh()
+        routers = np.asarray(self._plan_routers(sparse, 8), dtype=np.int64)
+        block = csgraph.dijkstra(sparse._csr, directed=False, indices=routers)
+        for i, router in enumerate(routers.tolist()):
+            single_pred, _ = csgraph.dijkstra(
+                sparse._csr,
+                directed=False,
+                indices=router,
+                return_predecessors=True,
+            )
+            single = csgraph.dijkstra(sparse._csr, directed=False, indices=router)
+            assert block[i].tobytes() == single.tobytes()
+            assert single.tobytes() == single_pred.tobytes()
+
+    def test_unplanned_router_misses_to_demand(self):
+        sparse = self._fresh()
+        routers = self._plan_routers(sparse)
+        unplanned = next(
+            r for r in range(sparse.n_routers) if r not in set(routers)
+        )
+        with sparse.prefetch_rows(routers, block=4) as plan:
+            sparse.router_dist_row(unplanned)
+            assert sparse.demand_rows == 1
+            assert plan.stats()["misses"] == 1
+
+    def test_block_zero_is_inert(self):
+        sparse = self._fresh()
+        routers = self._plan_routers(sparse)
+        with sparse.prefetch_rows(routers, block=0) as plan:
+            sparse.router_dist_row(routers[0])
+            assert plan.stats()["blocks"] == 0
+            assert sparse.demand_rows == 1
+
+    def test_env_flag_sets_default_block(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPARSE_PREFETCH", "5")
+        sparse = self._fresh()
+        with sparse.prefetch_rows(self._plan_routers(sparse)) as plan:
+            assert plan.stats()["block"] == 5
+        monkeypatch.setenv("REPRO_SPARSE_PREFETCH", "-2")
+        with pytest.raises(ValueError):
+            sparse.prefetch_rows(self._plan_routers(sparse))
+
+    def test_retention_budget_evicts_but_stays_correct(self):
+        sparse = self._fresh()
+        demand = self._fresh()
+        routers = self._plan_routers(sparse)
+        # A budget of ~4 rows forces eviction long before the plan ends.
+        tiny = 4 * sparse.n_routers * 8
+        with sparse.prefetch_rows(routers, block=2, retain_bytes=tiny) as plan:
+            for router in routers:
+                a = sparse.router_dist_row(router)
+                assert a.tobytes() == demand.router_dist_row(router).tobytes()
+            assert plan.stats()["retained_rows"] <= max(4, 2 * plan.block)
+
+    def test_installing_a_new_plan_closes_the_old(self):
+        sparse = self._fresh()
+        routers = self._plan_routers(sparse)
+        first = sparse.prefetch_rows(routers, block=4)
+        second = sparse.prefetch_rows(routers, block=4)
+        assert sparse._plan is second
+        assert first._pool is None  # closed
+        second.close()
+        assert sparse._plan is None
+
+    def test_router_dist_row_refused_in_landmark_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPARSE_EXACT", "0")
+        arr = generate_transit_stub_arrays(TINY_TS, seed=3)
+        graph = generate_transit_stub(TINY_TS, seed=3)
+        attachments = _transit_stub_attachments(graph, 12, 3)
+        sparse = SparseUnderlay(
+            arr.n_nodes,
+            arr.edge_u,
+            arr.edge_v,
+            arr.edge_delay,
+            attachments,
+            landmarks=select_landmarks(arr.n_nodes, arr.edge_u, arr.edge_v, 8),
+            error_bound=2.0,
+        )
+        with pytest.raises(RuntimeError, match="exact"):
+            sparse.router_dist_row(0)
