@@ -35,7 +35,7 @@ from repro.sim.batched import BatchedCell, BatchedUnsupported
 from repro.sim.session import SessionConfig, SessionResult
 from repro.util import envflags
 
-__all__ = ["CellSpec", "cell_batch"]
+__all__ = ["BatchDecline", "CellSpec", "cell_batch", "decline_reason"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,50 @@ class CellSpec:
     #: metric extractors applied to each session result — must be the
     #: same mapping the scalar worker's ``_reduce`` uses
     metrics: dict[str, Callable[[SessionResult], float]] = field(hash=False)
+
+
+@dataclass(frozen=True)
+class BatchDecline:
+    """Typed reason the batched engine refuses a sweep cell.
+
+    Tests pin these codes so a decline stays an explicit, inspectable
+    decision rather than a silent ``None``.  In particular, live
+    service-mode cells (``protocol kind == "service"``) must *never*
+    batch: the batched engine replays array-native join walks against a
+    static schedule, while a service run's schedule is shaped at runtime
+    by admission control, retries, and chaos.
+    """
+
+    code: str
+    detail: str
+
+
+def decline_reason(spec: CellSpec) -> BatchDecline | None:
+    """Why ``spec`` cannot run on the batched engine (``None`` = it can).
+
+    Structural reasons only — the ``REPRO_BATCHED_REPS=0`` ablation knob
+    and runtime :class:`BatchedUnsupported` fallbacks are handled inside
+    the hook, not here.
+    """
+    kind, proto_config = spec.protocol
+    if kind == "service":
+        return BatchDecline(
+            "service-mode",
+            "live service cells are driven by the asyncio control plane "
+            "(admission control, retries, chaos); the batched array "
+            "engine has no equivalent execution model",
+        )
+    if kind != "vdm":
+        return BatchDecline(
+            "protocol", f"only 'vdm' cells can batch, got {kind!r}"
+        )
+    if proto_config is not None and not isinstance(proto_config, VDMConfig):
+        return BatchDecline(
+            "config",
+            f"protocol config must be a VDMConfig, got "
+            f"{type(proto_config).__name__}",
+        )
+    return None
 
 
 # BatchedCell memo: underlays are memoized per process (lru_cache in
@@ -97,11 +141,9 @@ def cell_batch(spec: CellSpec):
         cap = envflags.batched_reps()
         if cap == 0:
             return None
-        kind, proto_config = spec.protocol
-        if kind != "vdm":
+        if decline_reason(spec) is not None:
             return None
-        if proto_config is not None and not isinstance(proto_config, VDMConfig):
-            return None
+        _, proto_config = spec.protocol
         take = list(pending) if cap is None else list(pending)[:cap]
         if not take:
             return None

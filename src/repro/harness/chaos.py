@@ -49,16 +49,21 @@ from pathlib import Path
 
 __all__ = [
     "CHAOS_ENV",
+    "SERVICE_CHAOS_ENV",
     "ChaosError",
     "ChaosRule",
+    "ServiceChaosRule",
     "chaos_apply",
     "load_plan",
+    "load_service_plan",
     "match",
 ]
 
 CHAOS_ENV = "REPRO_CHAOS"
+SERVICE_CHAOS_ENV = "REPRO_SERVICE_CHAOS"
 
 _ACTIONS = ("kill", "hang", "raise")
+_SERVICE_ACTIONS = ("agent-crash", "bus-stall", "clock-jump")
 
 #: exit status used by the ``kill`` action — distinctive, so a worker
 #: that died of injected chaos is distinguishable from a real crash in
@@ -143,6 +148,91 @@ def match(
         if rule.applies(key, rep, attempt):
             return rule
     return None
+
+
+@dataclass(frozen=True)
+class ServiceChaosRule:
+    """One deterministic fault against the *live* service runtime (PR 10).
+
+    Where :class:`ChaosRule` attacks pool workers, these rules attack the
+    long-running control plane of :mod:`repro.service` at fixed *virtual*
+    times, so a chaos run is exactly as reproducible as a clean one:
+
+    * ``agent-crash`` — kill the ``node_index``-th currently attached
+      member (sorted order, source excluded) without a goodbye protocol,
+      through the session fault arm (:mod:`repro.sim.faults`);
+    * ``bus-stall`` — close the consumer gate of event-bus ``topic`` for
+      ``duration_s`` virtual seconds (deliveries stop, depth builds, the
+      bus health probe must flip);
+    * ``clock-jump`` — fire every pending virtual-clock timer immediately,
+      modelling a monotonic clock that leapt past all deadlines: join
+      waits time out spuriously and the retry envelope must absorb it.
+    """
+
+    action: str
+    at_s: float
+    node_index: int = 0
+    topic: str = "joins"
+    duration_s: float = 30.0
+
+
+def load_service_plan(raw: str | None = None) -> tuple[ServiceChaosRule, ...]:
+    """Parse the live-service chaos plan (``REPRO_SERVICE_CHAOS``).
+
+    Same contract as :func:`load_plan`: inline JSON or ``@path``, ``()``
+    when unset, :class:`ValueError` on anything malformed::
+
+        [{"action": "agent-crash", "at_s": 40.0, "node_index": 1},
+         {"action": "bus-stall", "at_s": 80.0, "topic": "joins",
+          "duration_s": 20.0},
+         {"action": "clock-jump", "at_s": 120.0}]
+    """
+    if raw is None:
+        raw = os.environ.get(SERVICE_CHAOS_ENV, "")
+    raw = raw.strip()
+    if not raw:
+        return ()
+    if raw.startswith("@"):
+        raw = Path(raw[1:]).read_text()
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{SERVICE_CHAOS_ENV} is not valid JSON: {exc}") from None
+    if not isinstance(data, list):
+        raise ValueError(f"{SERVICE_CHAOS_ENV} must be a JSON list of rules")
+    rules = []
+    for i, entry in enumerate(data):
+        if not isinstance(entry, dict):
+            raise ValueError(f"{SERVICE_CHAOS_ENV}[{i}] must be an object")
+        unknown = set(entry) - {"action", "at_s", "node_index", "topic", "duration_s"}
+        if unknown:
+            raise ValueError(
+                f"{SERVICE_CHAOS_ENV}[{i}] has unknown field(s) {sorted(unknown)}"
+            )
+        action = entry.get("action")
+        if action not in _SERVICE_ACTIONS:
+            raise ValueError(
+                f"{SERVICE_CHAOS_ENV}[{i}].action must be one of "
+                f"{_SERVICE_ACTIONS}, got {action!r}"
+            )
+        if "at_s" not in entry:
+            raise ValueError(f"{SERVICE_CHAOS_ENV}[{i}] is missing at_s")
+        at_s = float(entry["at_s"])
+        if at_s < 0:
+            raise ValueError(f"{SERVICE_CHAOS_ENV}[{i}].at_s must be >= 0")
+        duration_s = float(entry.get("duration_s", 30.0))
+        if duration_s <= 0:
+            raise ValueError(f"{SERVICE_CHAOS_ENV}[{i}].duration_s must be > 0")
+        rules.append(
+            ServiceChaosRule(
+                action=action,
+                at_s=at_s,
+                node_index=int(entry.get("node_index", 0)),
+                topic=str(entry.get("topic", "joins")),
+                duration_s=duration_s,
+            )
+        )
+    return tuple(sorted(rules, key=lambda r: (r.at_s, r.action)))
 
 
 def chaos_apply(action: str, hang_s: float, worker, *args):

@@ -88,7 +88,26 @@ from repro.util.envflags import sparse_exact, substrate_dtype
 from repro.util.memprof import peak_rss_bytes, peak_rss_resettable, reset_peak_rss
 from repro.util.timing import Stopwatch
 
-__all__ = ["GROUP_RUNNERS", "DEFAULT_GROUPS", "generate_perf_report", "timing_reps"]
+__all__ = [
+    "GROUP_RUNNERS",
+    "DEFAULT_GROUPS",
+    "SERVICE_GROUPS",
+    "ServiceModeUnsupported",
+    "generate_perf_report",
+    "timing_reps",
+]
+
+
+class ServiceModeUnsupported(RuntimeError):
+    """A perf-report group was requested that runs in live service mode.
+
+    The report times its groups across engine modes (lazy, compiled,
+    batched, parallel) and demands bit-identical tables between them; a
+    service run is a single asyncio control plane with no alternative
+    engines to compare, so timing it here would produce an empty,
+    misleading comparison.  Benchmark service mode with
+    ``python -m repro.service`` and wall-clock tooling instead.
+    """
 
 GROUP_RUNNERS: dict[str, Callable[[Preset], dict]] = {
     "ch3_churn": exp.ch3_churn_tables,
@@ -104,6 +123,11 @@ GROUP_RUNNERS: dict[str, Callable[[Preset], dict]] = {
     "extensions": exp.extension_tables,
     "ch7_scale": exp.ch7_scale_tables,
 }
+
+#: sweep groups that exist in the registry but are *live service mode* —
+#: the perf report refuses them with :class:`ServiceModeUnsupported`
+#: instead of failing with a generic unknown-group error
+SERVICE_GROUPS: tuple[str, ...] = ("ch8_service",)
 
 #: groups timed when none are requested — one per evaluation environment,
 #: plus the node sweep (several distinct substrates, so it exercises the
@@ -423,6 +447,13 @@ def generate_perf_report(
             "(unset the flag; the sparse mode is timed in its exact form)"
         )
     names = list(groups) if groups else list(DEFAULT_GROUPS)
+    service = sorted(set(names) & set(SERVICE_GROUPS))
+    if service:
+        raise ServiceModeUnsupported(
+            f"group(s) {service} run in live service mode and have no "
+            "engine-mode comparison to time — the perf report declines "
+            "them (benchmark with `python -m repro.service` instead)"
+        )
     unknown = sorted(set(names) - set(GROUP_RUNNERS))
     if unknown:
         raise KeyError(

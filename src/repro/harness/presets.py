@@ -95,6 +95,30 @@ class Preset:
     #: per tree edge) is computed; beyond it stress reports NaN
     ch7_stress_max_members: int = 50000
 
+    # -- chapter 8: live service mode (beyond the paper) ------------------------
+    #: hosts in the service substrate
+    ch8_hosts: int = 64
+    #: virtual length of one service session
+    ch8_duration_s: float = 600.0
+    #: service replications per sweep cell
+    ch8_replications: int = 3
+    #: baseline session-arrival rate at load factor 1.0
+    ch8_base_rate_hz: float = 0.1
+    #: mean session lifetime
+    ch8_hold_s: float = 120.0
+    #: join-queue high-water mark (admission control)
+    ch8_hwm: int = 8
+    #: concurrent join-serving workers
+    ch8_workers: int = 2
+    #: offered-load multipliers on ``ch8_base_rate_hz`` (the x axis)
+    ch8_load_factors: tuple[float, ...] = (1.0, 2.0, 4.0)
+    #: workload shapes compared (the SLO table's series)
+    ch8_scenarios: tuple[str, ...] = ("poisson", "flash")
+    #: flash-crowd burst rate at load factor 1.0 (scales with load)
+    ch8_burst_rate_hz: float = 1.0
+    #: flash-crowd burst length
+    ch8_burst_duration_s: float = 30.0
+
 
 PAPER = Preset(name="paper")
 
@@ -129,6 +153,9 @@ QUICK = Preset(
     pl_mst_node_counts=(10, 20, 30, 40, 50),  # the paper's grid
     ch7_member_counts=(50, 100),
     ch7_replications=2,
+    ch8_hosts=32,
+    ch8_duration_s=300.0,
+    ch8_replications=2,
 )
 
 #: tiny preset for unit/integration tests
@@ -163,6 +190,13 @@ SMOKE = Preset(
     pl_mst_node_counts=(8, 16),
     ch7_member_counts=(20,),
     ch7_replications=1,
+    ch8_hosts=16,
+    ch8_duration_s=120.0,
+    ch8_replications=1,
+    ch8_base_rate_hz=0.15,
+    ch8_hold_s=60.0,
+    ch8_load_factors=(1.0, 4.0),
+    ch8_burst_duration_s=20.0,
 )
 
 PRESETS: dict[str, Preset] = {p.name: p for p in (PAPER, QUICK, SMOKE)}

@@ -97,6 +97,19 @@ REGISTRY: dict[str, RegistryEntry] = {
     "fig7_stress": RegistryEntry(
         "—", "Link stress vs members (scale model)", exp.ch7_scale_tables, "stress"
     ),
+    # Chapter 8 — live service mode (beyond the paper)
+    "fig8_p99": RegistryEntry(
+        "—", "p99 join-to-first-chunk vs load (service)", exp.ch8_service_tables,
+        "p99_first_chunk_s",
+    ),
+    "fig8_rejected": RegistryEntry(
+        "—", "Rejected joins vs load (service)", exp.ch8_service_tables,
+        "rejected_pct",
+    ),
+    "fig8_degraded": RegistryEntry(
+        "—", "Time in degraded state vs load (service)", exp.ch8_service_tables,
+        "degraded_pct",
+    ),
     # Ablations
     "abl": RegistryEntry("—", "VDM design-choice ablations", exp.ablation_tables, "ablations"),
     "abl_refine_period": RegistryEntry(

@@ -48,7 +48,6 @@ at once (which is also what makes deadline and break attribution sound).
 from __future__ import annotations
 
 import contextlib
-import random
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, wait
@@ -57,12 +56,8 @@ from dataclasses import dataclass, field
 
 from repro.harness import chaos
 from repro.harness.journal import RunStats, active as active_run
-from repro.util.envflags import (
-    interrupt_grace_s,
-    retry_backoff_s,
-    task_max_attempts,
-    task_timeout_s,
-)
+from repro.util.envflags import interrupt_grace_s, task_timeout_s
+from repro.util.retry import RetryPolicy
 
 __all__ = [
     "SupervisorConfig",
@@ -127,13 +122,27 @@ class SupervisorConfig:
 
     @classmethod
     def from_env(cls) -> "SupervisorConfig":
-        base = retry_backoff_s()
+        retry = RetryPolicy.from_env()
         return cls(
             timeout_s=task_timeout_s(),
-            max_attempts=task_max_attempts(),
-            backoff_base_s=base,
-            backoff_cap_s=max(base, 5.0) if base > 0 else 0.0,
+            max_attempts=retry.max_attempts,
+            backoff_base_s=retry.backoff_base_s,
+            backoff_cap_s=retry.backoff_cap_s,
             grace_s=interrupt_grace_s(),
+        )
+
+    def retry_policy(self) -> RetryPolicy:
+        """The shared retry policy this supervision config embeds.
+
+        :class:`~repro.util.retry.RetryPolicy` is the importable,
+        pool-free home of the retry/backoff logic; the supervisor keeps
+        its flat fields for backward compatibility and derives the policy
+        object on demand.
+        """
+        return RetryPolicy(
+            max_attempts=self.max_attempts,
+            backoff_base_s=self.backoff_base_s,
+            backoff_cap_s=self.backoff_cap_s,
         )
 
 
@@ -157,11 +166,11 @@ class _Batch:
 
 def _backoff(task: _Task, config: SupervisorConfig, key: tuple | None, attempt: int):
     """Decorrelated jitter: sleep in [base, 3*prev], capped; deterministic."""
-    if config.backoff_base_s <= 0:
+    sleep = config.retry_policy().backoff_s(
+        key, task.rep, task.seed, attempt, prev_sleep=task.prev_sleep
+    )
+    if sleep <= 0:
         return
-    rng = random.Random(f"{key!r}|{task.rep}|{task.seed}|{attempt}")
-    prev = task.prev_sleep or config.backoff_base_s
-    sleep = min(config.backoff_cap_s, rng.uniform(config.backoff_base_s, prev * 3))
     task.prev_sleep = sleep
     time.sleep(sleep)
 

@@ -40,12 +40,39 @@ __all__ = [
     "RecoveryTracker",
     "TreeMetrics",
     "collect_tree_metrics",
+    "latency_percentile",
     "stress_stats",
     "stretch_stats",
     "hopcount_stats",
     "resource_usage",
     "mst_ratio",
 ]
+
+
+def latency_percentile(values: list[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    The SLO reducer for the service runtime's join-to-first-chunk
+    latencies (p50/p99): plain sorted-order linear interpolation —
+    ``numpy.percentile``'s default method — implemented directly so the
+    figure is a pure function of the sample list with no array dtype in
+    the loop, which is what lets service metrics JSON be compared byte
+    for byte across runs.  Returns ``0.0`` for an empty sample (a run
+    that admitted no joins has no latency to report, and the SLO tables
+    render that as zero rather than NaN).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not values:
+        return 0.0
+    data = sorted(float(v) for v in values)
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(data) - 1)
+    frac = rank - lo
+    return data[lo] + (data[hi] - data[lo]) * frac
 
 
 def _reachable_edges(tree: TreeRegistry) -> list[tuple[int, int]]:

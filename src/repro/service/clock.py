@@ -1,0 +1,114 @@
+"""Asyncio-awaitable timers backed by the discrete-event simulator.
+
+The service's coroutines never touch the wall clock: every ``sleep`` and
+every timeout registers a cancellable event on the session's
+:class:`~repro.sim.engine.Simulator` and suspends on an asyncio future
+the event resolves.  The runtime's driver fires simulator events only
+when the asyncio loop is quiescent, so awaiting
+``clock.sleep(5)`` costs zero wall time and — more importantly — always
+resumes at exactly the same point in the deterministic event order.
+
+:meth:`VirtualClock.jump` is the ``clock-jump`` chaos arm: it resolves
+every pending timer *now*, modelling a monotonic clock that leapt past
+all deadlines.  Join-timeout races lose spuriously, producers fire early
+— and the run must still end with a legal tree and deterministic
+metrics, which is precisely what the chaos tests pin.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+from repro.service.bus import Pulse
+from repro.sim.engine import Simulator
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Virtual-time sleeps and timeouts for service coroutines."""
+
+    def __init__(self, sim: Simulator, pulse: Pulse) -> None:
+        self.sim = sim
+        self.pulse = pulse
+        self._ids = itertools.count()
+        #: pending timers: id -> (sim Event, asyncio Future)
+        self._timers: dict[int, tuple[object, asyncio.Future]] = {}
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (the simulator clock)."""
+        return self.sim.now
+
+    @property
+    def pending_timers(self) -> int:
+        return len(self._timers)
+
+    def _arm(self, delay_s: float) -> asyncio.Future:
+        """Register a timer; the returned future resolves when it fires."""
+        loop = asyncio.get_running_loop()
+        fut = loop.create_future()
+        tid = next(self._ids)
+        event = self.sim.schedule_cancellable_in(
+            max(0.0, delay_s), lambda: self._fire(tid)
+        )
+        self._timers[tid] = (event, fut)
+        self.pulse.bump()
+        return fut
+
+    def _fire(self, tid: int) -> None:
+        entry = self._timers.pop(tid, None)
+        if entry is None:
+            return
+        _, fut = entry
+        if not fut.done():
+            fut.set_result(None)
+            self.pulse.bump()
+
+    def _disarm(self, fut: asyncio.Future) -> None:
+        """Cancel the timer behind ``fut`` (sim event tombstoned)."""
+        for tid, (event, pending) in list(self._timers.items()):
+            if pending is fut:
+                del self._timers[tid]
+                event.cancel()
+                return
+
+    async def sleep(self, delay_s: float) -> None:
+        """Suspend for ``delay_s`` virtual seconds (>= 0)."""
+        await self._arm(delay_s)
+
+    async def wait_for(self, fut: asyncio.Future, timeout_s: float) -> bool:
+        """Await ``fut`` for up to ``timeout_s`` virtual seconds.
+
+        Returns ``True`` if ``fut`` completed, ``False`` on timeout.
+        ``fut`` is *not* cancelled on timeout — the service's join waits
+        re-arm against the same future on retry, because the underlying
+        protocol operation is still in flight.
+        """
+        if fut.done():
+            return True
+        timer = self._arm(timeout_s)
+        try:
+            await asyncio.wait((fut, timer), return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            if not timer.done():
+                self._disarm(timer)
+                timer.cancel()
+        return fut.done()
+
+    def jump(self) -> int:
+        """Chaos: fire every pending timer immediately.  Returns the count.
+
+        Events are resolved in registration order (timer id), which keeps
+        the post-jump wakeup sequence deterministic.
+        """
+        fired = 0
+        for tid in sorted(self._timers):
+            event, fut = self._timers.pop(tid)
+            event.cancel()
+            if not fut.done():
+                fut.set_result(None)
+                self.pulse.bump()
+                fired += 1
+        return fired

@@ -93,8 +93,11 @@ session never changes behavior mid-flight.
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 
 __all__ = [
+    "FLAG_REGISTRY",
+    "FlagSpec",
     "batched_reps",
     "compiled_underlay_enabled",
     "incremental_tree_enabled",
@@ -111,6 +114,109 @@ __all__ = [
 ]
 
 _FALSE_VALUES = ("0", "false", "no")
+
+
+@dataclass(frozen=True)
+class FlagSpec:
+    """One registered environment knob: default, meaning, read site."""
+
+    default: str
+    description: str
+    read_in: str
+
+
+#: Every ``REPRO_*`` environment variable the codebase reads, by name.
+#: A conformance test regex-scans ``src`` for ``REPRO_`` reads and fails
+#: in *both* directions — an unregistered read (someone added a knob
+#: without documenting it here) and a stale registration (the knob's
+#: last read site was deleted).  Keep descriptions to one line; the
+#: module docstring above carries the full story.
+FLAG_REGISTRY: dict[str, FlagSpec] = {
+    "REPRO_UNDERLAY_CACHE": FlagSpec(
+        "1", "per-pair underlay delay/path memos", "repro.sim.network"
+    ),
+    "REPRO_INCREMENTAL_TREE": FlagSpec(
+        "1", "incrementally maintained tree state", "repro.util.envflags"
+    ),
+    "REPRO_COMPILED_UNDERLAY": FlagSpec(
+        "1", "compile substrates up front (vs lazy Dijkstra)", "repro.util.envflags"
+    ),
+    "REPRO_CACHE_DIR": FlagSpec(
+        "~/.cache/repro-vdm", "artifact-cache root directory", "repro.util.artifacts"
+    ),
+    "REPRO_SUBSTRATE_CACHE": FlagSpec(
+        "1", "on-disk compiled-substrate artifact cache", "repro.util.artifacts"
+    ),
+    "REPRO_CACHE_MAX_BYTES": FlagSpec(
+        "2147483648", "artifact-cache size bound (LRU eviction)", "repro.util.artifacts"
+    ),
+    "REPRO_SHARD_BYTES": FlagSpec(
+        "134217728", "compiled-matrix shard size for mmap artifacts",
+        "repro.util.artifacts",
+    ),
+    "REPRO_TASK_TIMEOUT_S": FlagSpec(
+        "0 (off)", "per-replication wall-clock timeout (supervised pool)",
+        "repro.util.envflags",
+    ),
+    "REPRO_TASK_RETRIES": FlagSpec(
+        "3", "attempts per task before quarantine", "repro.util.envflags"
+    ),
+    "REPRO_RETRY_BACKOFF_S": FlagSpec(
+        "0.25", "base of the decorrelated-jitter retry backoff",
+        "repro.util.envflags",
+    ),
+    "REPRO_GRACE_S": FlagSpec(
+        "5", "interrupted-run drain grace for in-flight tasks",
+        "repro.util.envflags",
+    ),
+    "REPRO_JOURNAL_DIR": FlagSpec(
+        "unset", "default journal directory for the CLIs", "repro.harness.journal"
+    ),
+    "REPRO_CHAOS": FlagSpec(
+        "unset", "worker-fault chaos plan (JSON or @path)", "repro.harness.chaos"
+    ),
+    "REPRO_SERVICE_CHAOS": FlagSpec(
+        "unset", "live-service chaos plan: agent-crash / bus-stall / clock-jump",
+        "repro.harness.chaos",
+    ),
+    "REPRO_JOBS": FlagSpec(
+        "1", "replication worker processes (sweep parallelism)",
+        "repro.harness.parallel",
+    ),
+    "REPRO_START_METHOD": FlagSpec(
+        "platform default", "multiprocessing start method for the pool",
+        "repro.harness.parallel",
+    ),
+    "REPRO_BATCHED_REPS": FlagSpec(
+        "unlimited", "batched-engine replication cap (0 = scalar oracle)",
+        "repro.util.envflags",
+    ),
+    "REPRO_PERF_REPS": FlagSpec(
+        "5", "timing repetitions per perf-report mode", "repro.harness.perfreport"
+    ),
+    "REPRO_SPARSE_UNDERLAY": FlagSpec(
+        "0", "CSR-native sparse substrates (no V^2 matrices)",
+        "repro.util.envflags",
+    ),
+    "REPRO_SPARSE_EXACT": FlagSpec(
+        "1", "pin the sparse engine to exact Dijkstra rows", "repro.util.envflags"
+    ),
+    "REPRO_SPARSE_ROWS": FlagSpec(
+        "128", "sparse-engine Dijkstra row-cache capacity", "repro.util.envflags"
+    ),
+    "REPRO_SPARSE_PREFETCH": FlagSpec(
+        "64", "multi-source Dijkstra prefetch block (0 = demand-time)",
+        "repro.util.envflags",
+    ),
+    "REPRO_SCALE_KERNEL": FlagSpec(
+        "batched", "join-walk kernel: batched or the scalar oracle",
+        "repro.util.envflags",
+    ),
+    "REPRO_SUBSTRATE_DTYPE": FlagSpec(
+        "float64", "compiled-substrate array dtype (float32 leaves exactness)",
+        "repro.util.envflags",
+    ),
+}
 
 
 def incremental_tree_enabled() -> bool:

@@ -1,0 +1,85 @@
+"""Service-mode cells are *typed* declines, not crashes or silent zeros.
+
+The batched engine and the perf report both refuse service cells
+explicitly: ``decline_reason`` names why a cell cannot batch, and
+``generate_perf_report`` raises :class:`ServiceModeUnsupported` rather
+than timing an engine-mode comparison that has no meaning for a live
+control plane.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.vdm import VDMConfig
+from repro.harness.batchrun import BatchDecline, CellSpec, cell_batch, decline_reason
+from repro.harness.perfreport import SERVICE_GROUPS, ServiceModeUnsupported
+from repro.harness.presets import PRESETS
+
+
+def _spec(protocol) -> CellSpec:
+    boom = lambda *a: (_ for _ in ()).throw(AssertionError("factory ran"))
+    return CellSpec(
+        underlay_factory=boom, config_factory=boom, protocol=protocol, metrics={}
+    )
+
+
+class TestDeclineReason:
+    def test_service_cells_decline_with_service_mode_code(self):
+        reason = decline_reason(_spec(("service", None)))
+        assert isinstance(reason, BatchDecline)
+        assert reason.code == "service-mode"
+        assert "control plane" in reason.detail
+
+    def test_unknown_protocol_declines(self):
+        reason = decline_reason(_spec(("narada", None)))
+        assert reason is not None
+        assert reason.code == "protocol"
+
+    def test_bad_config_declines(self):
+        reason = decline_reason(_spec(("vdm", object())))
+        assert reason is not None
+        assert reason.code == "config"
+
+    def test_vdm_cells_do_not_decline(self):
+        assert decline_reason(_spec(("vdm", None))) is None
+        assert decline_reason(_spec(("vdm", VDMConfig()))) is None
+
+
+class TestCellBatchHook:
+    def test_service_cell_hook_returns_none_without_touching_factories(
+        self, monkeypatch
+    ):
+        """A typed decline means the scalar path runs — and the underlay /
+        config factories are never invoked for the refused cell."""
+        monkeypatch.delenv("REPRO_BATCHED_REPS", raising=False)
+        batch = cell_batch(_spec(("service", None)))
+        assert batch([(0, 1234), (1, 5678)]) is None
+
+
+class TestPerfReportRefusal:
+    def test_ch8_service_group_is_declared(self):
+        assert "ch8_service" in SERVICE_GROUPS
+
+    def test_generate_perf_report_raises_typed_error(self, tmp_path):
+        from repro.harness.perfreport import generate_perf_report
+
+        with pytest.raises(ServiceModeUnsupported) as exc:
+            generate_perf_report(
+                PRESETS["smoke"],
+                groups=["ch8_service"],
+                path=str(tmp_path / "bench.json"),
+            )
+        msg = str(exc.value)
+        assert "ch8_service" in msg
+        assert "repro.service" in msg  # points at the real benchmark path
+
+    def test_unknown_group_still_keyerror(self, tmp_path):
+        from repro.harness.perfreport import generate_perf_report
+
+        with pytest.raises(KeyError):
+            generate_perf_report(
+                PRESETS["smoke"],
+                groups=["nonsense"],
+                path=str(tmp_path / "bench.json"),
+            )

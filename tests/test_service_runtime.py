@@ -1,0 +1,401 @@
+"""Live service runtime: determinism, robustness envelope, chaos, health.
+
+Everything runs on a tiny :class:`MatrixUnderlay` in virtual time, so the
+whole file is fast despite exercising multi-hundred-second service runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.harness.chaos import ServiceChaosRule, load_service_plan
+from repro.metrics.collectors import latency_percentile
+from repro.service.bus import BusOverflow, EventBus, Pulse
+from repro.service.health import HealthMonitor
+from repro.service.runtime import ServiceConfig, ServiceRuntime, run_service
+from repro.service.workload import build_workload
+from repro.sim.network import MatrixUnderlay
+
+
+def _underlay(n: int = 24, seed: int = 7) -> MatrixUnderlay:
+    rng = np.random.default_rng(seed)
+    pos = np.sort(rng.uniform(0.0, 100.0, n))
+    return MatrixUnderlay(np.abs(pos[:, None] - pos[None, :]) * 2.0)
+
+
+def _run(cfg: ServiceConfig, plan=()) -> ServiceRuntime:
+    rt = ServiceRuntime(
+        cfg, _underlay(cfg.n_hosts), chaos_plan=plan, journal_outcomes=False
+    )
+    rt.run()
+    return rt
+
+
+BASE = ServiceConfig(
+    scenario="poisson",
+    duration_s=300.0,
+    seed=3,
+    n_hosts=24,
+    arrival_rate_hz=0.15,
+    hold_s=80.0,
+)
+
+
+# ---------------------------------------------------------------------------
+# workload generators
+# ---------------------------------------------------------------------------
+
+
+class TestWorkload:
+    def test_deterministic_per_seed(self):
+        a = build_workload("poisson", seed=5, duration_s=600, rate_hz=0.2, hold_s=60)
+        b = build_workload("poisson", seed=5, duration_s=600, rate_hz=0.2, hold_s=60)
+        assert a == b
+        c = build_workload("poisson", seed=6, duration_s=600, rate_hz=0.2, hold_s=60)
+        assert a != c
+
+    def test_arrivals_sorted_and_indexed(self):
+        arr = build_workload(
+            "flash", seed=1, duration_s=300, rate_hz=0.1, hold_s=60,
+            burst_at_s=100, burst_rate_hz=2.0, burst_duration_s=20,
+        )
+        times = [a.time for a in arr]
+        assert times == sorted(times)
+        assert [a.index for a in arr] == list(range(len(arr)))
+        assert all(0 <= a.time < 300 for a in arr)
+        assert all(a.hold_s > 0 for a in arr)
+
+    def test_flash_concentrates_arrivals_in_burst(self):
+        base = build_workload("poisson", seed=2, duration_s=300, rate_hz=0.1, hold_s=60)
+        flash = build_workload(
+            "flash", seed=2, duration_s=300, rate_hz=0.1, hold_s=60,
+            burst_at_s=100, burst_rate_hz=3.0, burst_duration_s=20,
+        )
+        in_burst = [a for a in flash if 100 <= a.time < 120]
+        assert len(flash) > len(base)
+        assert len(in_burst) >= 20  # ~3/s for 20 s on top of baseline
+
+    def test_diurnal_mean_rate_close_to_baseline(self):
+        arr = build_workload(
+            "diurnal", seed=3, duration_s=2000, rate_hz=0.5, hold_s=60,
+            diurnal_period_s=500, diurnal_depth=0.8,
+        )
+        # thinning preserves the mean rate (0.5/s over 2000 s = ~1000)
+        assert 800 <= len(arr) <= 1200
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"scenario": "nope"},
+            {"rate_hz": 0.0},
+            {"duration_s": 0.0},
+            {"hold_s": -1.0},
+            {"scenario": "flash"},  # missing burst shape
+            {"scenario": "diurnal", "diurnal_depth": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        args = dict(scenario="poisson", seed=0, duration_s=100.0,
+                    rate_hz=0.1, hold_s=50.0)
+        args.update(kwargs)
+        scenario = args.pop("scenario")
+        with pytest.raises(ValueError):
+            build_workload(scenario, **args)
+
+
+# ---------------------------------------------------------------------------
+# event bus
+# ---------------------------------------------------------------------------
+
+
+class TestEventBus:
+    def test_reject_policy_raises_at_high_water_mark(self):
+        async def scenario():
+            bus = EventBus(Pulse())
+            bus.declare("t", maxsize=2, policy="reject")
+            await bus.publish("t", 1)
+            await bus.publish("t", 2)
+            with pytest.raises(BusOverflow):
+                await bus.publish("t", 3)
+            stats = bus.stats("t")
+            assert stats.published == 2
+            assert stats.rejected == 1
+            assert stats.max_depth == 2
+
+        asyncio.run(scenario())
+
+    def test_block_policy_applies_backpressure(self):
+        async def scenario():
+            bus = EventBus(Pulse())
+            bus.declare("t", maxsize=1, policy="block")
+            await bus.publish("t", "a")
+            second = asyncio.ensure_future(bus.publish("t", "b"))
+            await asyncio.sleep(0)
+            assert not second.done()  # publisher parked: queue full
+            assert await bus.get("t") == "a"
+            await second
+            assert await bus.get("t") == "b"
+
+        asyncio.run(scenario())
+
+    def test_stall_gate_blocks_new_gets(self):
+        async def scenario():
+            bus = EventBus(Pulse())
+            bus.declare("t", maxsize=4)
+            bus.stall("t")
+            assert bus.stalled() == ["t"]
+            await bus.publish("t", 1)
+            getter = asyncio.ensure_future(bus.get("t"))
+            for _ in range(3):
+                await asyncio.sleep(0)
+            assert not getter.done()
+            assert bus.depth("t") == 1  # depth builds while stalled
+            bus.resume("t")
+            assert await getter == 1
+            assert bus.stalled() == []
+
+        asyncio.run(scenario())
+
+    def test_declare_validation(self):
+        bus = EventBus()
+        bus.declare("t", maxsize=1)
+        with pytest.raises(ValueError):
+            bus.declare("t", maxsize=1)  # duplicate
+        with pytest.raises(ValueError):
+            bus.declare("u", maxsize=0)
+        with pytest.raises(ValueError):
+            bus.declare("v", maxsize=1, policy="drop")
+        with pytest.raises(KeyError):
+            bus.depth("missing")
+
+
+# ---------------------------------------------------------------------------
+# health monitor
+# ---------------------------------------------------------------------------
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+class TestHealthMonitor:
+    def test_flip_and_recovery_with_degraded_time(self):
+        clock = _FakeClock()
+        healthy = {"x": True}
+        mon = HealthMonitor(clock, {"x": lambda: healthy["x"]}, period_s=5.0)
+        mon.probe_once()
+        assert mon.healthy and mon.time_in_degraded_s == 0.0
+
+        clock.now = 10.0
+        healthy["x"] = False
+        mon.probe_once()
+        clock.now = 25.0
+        healthy["x"] = True
+        mon.probe_once()
+        assert mon.time_in_degraded_s == 15.0
+        flips = [(t.component, t.healthy) for t in mon.transitions]
+        assert flips == [("x", False), ("x", True)]
+
+    def test_finish_closes_open_interval(self):
+        clock = _FakeClock()
+        mon = HealthMonitor(clock, {"x": lambda: False}, period_s=1.0)
+        clock.now = 4.0
+        mon.probe_once()
+        clock.now = 10.0
+        mon.finish()
+        assert mon.time_in_degraded_s == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(_FakeClock(), {}, period_s=1.0)
+        with pytest.raises(ValueError):
+            HealthMonitor(_FakeClock(), {"x": lambda: True}, period_s=0.0)
+
+
+# ---------------------------------------------------------------------------
+# latency percentile
+# ---------------------------------------------------------------------------
+
+
+class TestLatencyPercentile:
+    def test_empty_is_zero(self):
+        assert latency_percentile([], 99.0) == 0.0
+
+    def test_interpolation(self):
+        assert latency_percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.5
+        assert latency_percentile([1.0, 2.0, 3.0, 4.0], 0.0) == 1.0
+        assert latency_percentile([1.0, 2.0, 3.0, 4.0], 100.0) == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            latency_percentile([1.0], -1.0)
+        with pytest.raises(ValueError):
+            latency_percentile([1.0], 101.0)
+
+
+# ---------------------------------------------------------------------------
+# service chaos plan parsing
+# ---------------------------------------------------------------------------
+
+
+class TestServiceChaosPlan:
+    def test_unset_is_empty(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_CHAOS", raising=False)
+        assert load_service_plan() == ()
+
+    def test_inline_and_sorted(self):
+        plan = load_service_plan(
+            '[{"action": "clock-jump", "at_s": 90},'
+            ' {"action": "agent-crash", "at_s": 40, "node_index": 1}]'
+        )
+        assert [r.action for r in plan] == ["agent-crash", "clock-jump"]
+        assert plan[0].node_index == 1
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "not json",
+            '{"action": "agent-crash"}',  # not a list
+            '[{"action": "meteor", "at_s": 1}]',
+            '[{"action": "agent-crash"}]',  # missing at_s
+            '[{"action": "agent-crash", "at_s": -1}]',
+            '[{"action": "bus-stall", "at_s": 1, "duration_s": 0}]',
+            '[{"action": "agent-crash", "at_s": 1, "bogus": 2}]',
+        ],
+    )
+    def test_malformed_raises(self, raw):
+        with pytest.raises(ValueError):
+            load_service_plan(raw)
+
+
+# ---------------------------------------------------------------------------
+# the runtime itself
+# ---------------------------------------------------------------------------
+
+
+class TestServiceRuntime:
+    def test_same_seed_identical_metrics_bytes(self):
+        assert _run(BASE).metrics_json() == _run(BASE).metrics_json()
+
+    def test_different_seed_differs(self):
+        other = ServiceConfig(**{**BASE.__dict__, "seed": 4})
+        assert _run(BASE).metrics_json() != _run(other).metrics_json()
+
+    def test_steady_state_slo(self):
+        rt = _run(BASE)
+        rep = rt.report()
+        assert rep["arrivals"] > 10
+        assert rep["succeeded"] == rep["admitted"] > 0
+        assert rep["rejected"] == 0
+        assert rep["invariant_violations"] == 0
+        assert rep["p99_first_chunk_s"] >= rep["p50_first_chunk_s"] > 0.0
+        # first chunk = epoch quantization + path delay, so well under 10 s
+        assert rep["p99_first_chunk_s"] < 10.0
+
+    def test_flash_crowd_hits_admission_control(self):
+        cfg = ServiceConfig(
+            scenario="flash", duration_s=240.0, seed=5, n_hosts=24,
+            arrival_rate_hz=0.1, hold_s=150.0, join_queue_hwm=2,
+            join_workers=1, probe_period_s=1.0, burst_at_s=60.0,
+            burst_rate_hz=3.0, burst_duration_s=20.0,
+        )
+        rep = _run(cfg).report()
+        assert rep["rejected"] > 0
+        assert rep["bus"]["rejected"] > 0
+        assert rep["bus"]["max_depth"] == 2  # never exceeds the HWM
+        assert rep["time_in_degraded_s"] > 0  # admission probe flipped
+        flipped = {t["component"] for t in rep["health_transitions"]}
+        assert "admission" in flipped
+        assert rep["invariant_violations"] == 0
+
+    def test_run_service_wrapper(self):
+        rep = run_service(BASE, _underlay(BASE.n_hosts))
+        assert rep["schema"] == "repro-service-metrics/1"
+        assert rep["drained"] is False
+
+    def test_runtime_runs_once(self):
+        rt = _run(BASE)
+        with pytest.raises(RuntimeError):
+            rt.run()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"scenario": "nope"},
+            {"n_hosts": 1},
+            {"join_queue_hwm": 0},
+            {"join_workers": 0},
+            {"degree": (0, 5)},
+            {"join_timeout_s": 0.0},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(**{**BASE.__dict__, **kwargs})
+
+
+class TestServiceChaos:
+    CRASH = (ServiceChaosRule(action="agent-crash", at_s=100.0, node_index=1),)
+    STALL = (ServiceChaosRule(action="bus-stall", at_s=100.0, topic="joins",
+                              duration_s=40.0),)
+    JUMP = (ServiceChaosRule(action="clock-jump", at_s=150.0),)
+    FULL = tuple(sorted(CRASH + STALL + JUMP, key=lambda r: r.at_s))
+
+    def test_agent_crash_detected_and_recovered(self):
+        rt = _run(BASE, self.CRASH)
+        rep = rt.report()
+        assert rep["chaos"]["agent_crashes"] == 1
+        assert rep["invariant_violations"] == 0
+        # the orphan watchdog recovered the crashed node's subtree
+        assert not rt.recovery.orphans
+
+    def test_bus_stall_flips_health_and_recovers(self):
+        cfg = ServiceConfig(**{**BASE.__dict__, "probe_period_s": 2.0})
+        rep = _run(cfg, self.STALL).report()
+        assert rep["chaos"]["bus_stalls"] == 1
+        bus_flips = [
+            t["healthy"] for t in rep["health_transitions"]
+            if t["component"] == "bus"
+        ]
+        assert bus_flips == [False, True]  # degraded, then recovered
+        assert rep["time_in_degraded_s"] > 0
+        assert rep["invariant_violations"] == 0
+
+    def test_clock_jump_is_survivable(self):
+        rep = _run(BASE, self.JUMP).report()
+        assert rep["chaos"]["clock_jumps"] == 1
+        assert rep["invariant_violations"] == 0
+
+    def test_full_chaos_plan_deterministic(self):
+        a = _run(BASE, self.FULL).metrics_json()
+        b = _run(BASE, self.FULL).metrics_json()
+        assert a == b
+
+    def test_stall_on_unknown_topic_rejected_up_front(self):
+        bad = (ServiceChaosRule(action="bus-stall", at_s=1.0, topic="nope"),)
+        with pytest.raises(ValueError):
+            ServiceRuntime(BASE, _underlay(), chaos_plan=bad)
+
+
+class TestServiceSweep:
+    def test_smoke_tables_deterministic(self):
+        from repro.harness.experiments import ch8_service_tables, clear_cache
+        from repro.harness.presets import PRESETS
+
+        preset = PRESETS["smoke"]
+        tables = ch8_service_tables(preset)
+        assert set(tables) == {
+            "p50_first_chunk_s", "p99_first_chunk_s",
+            "rejected_pct", "degraded_pct",
+        }
+        def snapshot(table):
+            return [(s.name, s.means()) for s in table.series]
+
+        first = snapshot(tables["p99_first_chunk_s"])
+        clear_cache()
+        again = snapshot(ch8_service_tables(preset)["p99_first_chunk_s"])
+        assert first == again
